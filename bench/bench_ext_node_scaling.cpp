@@ -1,0 +1,39 @@
+// EXTENSION (paper conclusion point 2): project the case study to newer
+// technology nodes with first-order scaling and re-run the comparison.
+// Area ratios — hence Eq. 2's N — are node-invariant, so the iso-footprint
+// EDP benefit persists while absolute energy and latency improve.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/tech/node_scaling.hpp"
+#include "uld3d/util/export.hpp"
+
+int main() {
+  using namespace uld3d;
+  const nn::Network net = nn::make_resnet18();
+
+  Table table({"Node", "Clock (MHz)", "gamma_cells", "N", "Footprint mm2",
+               "Speedup", "EDP benefit"});
+  for (const double node_nm : {130.0, 65.0, 28.0, 14.0, 7.0}) {
+    accel::CaseStudy study;
+    study.pdk = tech::scale_pdk_to_node(study.pdk, node_nm);
+    // The CS logic shrinks through the node-scaled library; the SRAM
+    // bitcell constant scales explicitly (it is not a library cell).
+    const double area_scale = (node_nm / 130.0) * (node_nm / 130.0);
+    study.cs.sram_bit_area_um2 *= area_scale;
+    const auto area = study.area_model();
+    const auto cmp = study.run(net);
+    table.add_row({format_double(node_nm, 0) + " nm",
+                   format_double(study.pdk.node().target_frequency_mhz, 0),
+                   format_double(area.gamma_cells(), 2),
+                   std::to_string(study.m3d_cs_count()),
+                   format_double(area.total_area_um2() / 1.0e6, 1),
+                   format_ratio(cmp.speedup), format_ratio(cmp.edp_benefit)});
+  }
+  emit_table(std::cout, table,
+             "Extension: node-scaling projection of the Sec.-II case study "
+             "(gamma and N are node-invariant; clocks/energies improve)",
+             "ext_node_scaling");
+  return 0;
+}

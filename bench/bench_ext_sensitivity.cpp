@@ -1,0 +1,59 @@
+// EXTENSION: one-at-a-time sensitivity of the M3D EDP benefit to the
+// technology/architecture parameters, around the Sec.-II design point.
+// Ranks which knobs (gamma_cells, bandwidth, access energy, peak compute,
+// idle power) dominate — the quantitative version of the paper's
+// observations 5-8.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/dse/sensitivity.hpp"
+#include "uld3d/nn/zoo.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet18();
+  const auto workloads = core::layer_workloads(net, {}, {});
+  const core::Chip2d base2d = study.chip2d_params();
+  const core::AreaModel base_area = study.area_model();
+
+  const std::vector<std::string> names = {
+      "gamma_cells",       "per_cs_bandwidth", "alpha_pj_per_bit",
+      "peak_ops_per_cycle", "mem_idle_pj",      "cs_idle_pj"};
+  const std::vector<double> baseline = {
+      base_area.gamma_cells(),      base2d.bandwidth_bits_per_cycle,
+      base2d.alpha_pj_per_bit,      base2d.peak_ops_per_cycle,
+      base2d.mem_idle_pj_per_cycle, base2d.cs_idle_pj_per_cycle};
+
+  const auto objective = [&](const std::vector<double>& p) {
+    core::AreaModel area = base_area;
+    area.mem_cells_area_um2 = p[0] * area.cs_area_um2;  // gamma_cells
+    core::Chip2d c2 = base2d;
+    c2.bandwidth_bits_per_cycle = p[1];
+    c2.alpha_pj_per_bit = p[2];
+    c2.peak_ops_per_cycle = p[3];
+    c2.mem_idle_pj_per_cycle = p[4];
+    c2.cs_idle_pj_per_cycle = p[5];
+    const std::int64_t n = area.m3d_parallel_cs();
+    core::Chip3d c3;
+    c3.parallel_cs = n;
+    c3.bandwidth_bits_per_cycle = p[1] * static_cast<double>(n);
+    c3.alpha_pj_per_bit = p[2] * 0.97;
+    c3.mem_idle_pj_per_cycle = p[4] * (1.0 + 0.3 * static_cast<double>(n - 1));
+    std::vector<core::EdpResult> rs;
+    for (const auto& w : workloads) rs.push_back(core::evaluate_edp(w, c2, c3));
+    return core::combine_results(rs).edp_benefit;
+  };
+
+  const auto results = dse::analyze_sensitivity(names, baseline, objective);
+  dse::sensitivity_table(results)
+      .print(std::cout,
+             "Sensitivity of ResNet-18 M3D EDP benefit around the Sec.-II "
+             "point (elasticity = % change per % parameter change)");
+  std::cout << "gamma_cells moves in floor() steps (Eq. 2), so its local "
+               "elasticity is zero between integer N boundaries and large "
+               "at them — exactly the paper's capacity staircase (Fig. 9).\n";
+  return 0;
+}

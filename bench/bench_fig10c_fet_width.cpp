@@ -1,0 +1,51 @@
+// Reproduces Fig. 10b/10c / Observation 7 (Case 1): EDP benefit vs. relaxed
+// M3D memory-access-FET width delta.  A wider BEOL FET grows the M3D cell
+// array; iso-footprint/iso-capacity then forces BOTH chips to grow, and the
+// larger 2D baseline is re-optimized with extra parallel CSs (Eq. 9).
+//
+// Paper reference: no loss of EDP benefit up to delta = 1.6x; small benefits
+// retained even at 2.5x.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/relaxed_baseline.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet18();
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::AreaModel area = study.area_model();
+  const core::RelaxedBandwidth bw{c2.bandwidth_bits_per_cycle};
+
+  const core::TrafficOptions traffic;
+  const core::PartitionOptions part;
+  const auto workloads = core::layer_workloads(net, traffic, part);
+
+  Table table({"delta (FET width)", "M3D cell area scale", "N_2D (Eq. 9)",
+               "N_3D", "Speedup", "EDP benefit"});
+  for (const double delta :
+       {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5, 3.0}) {
+    const auto relaxed_pdk = study.pdk.with_fet_width_relaxation(delta);
+    const double scale =
+        relaxed_pdk.rram_bit_area_m3d_um2() / study.pdk.rram_bit_area_um2();
+    const core::RelaxedDesignPoint point =
+        core::relaxed_design_point(area, scale);
+    std::vector<core::EdpResult> layer_results;
+    for (const auto& w : workloads) {
+      layer_results.push_back(core::evaluate_relaxed_edp(w, c2, point, bw));
+    }
+    const core::EdpResult total = core::combine_results(layer_results);
+    table.add_row({format_ratio(delta, 1), format_ratio(scale, 2),
+                   std::to_string(point.n_2d), std::to_string(point.n_3d),
+                   format_ratio(total.speedup), format_ratio(total.edp_benefit)});
+  }
+  emit_table(std::cout, table,
+              "Fig. 10c: EDP benefit vs relaxed M3D FET width, ResNet-18 "
+              "(paper: flat to 1.6x, small benefit retained at 2.5x)", "fig10c_fet_width");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 10d / Observation 9 (Case 3): EDP benefit vs. the number
+// of interleaved compute+memory tier pairs Y, for workloads with different
+// maximum parallel partitions N#.
+//
+// Paper reference: ResNet-18 benefits go 5.7x -> 6.9x (Y=2) and plateau at
+// ~7.1x; a highly parallel single layer (L4.1 CONV) approaches ~23x.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/multi_tier.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet18();
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::AreaModel area = study.area_model();
+  const double per_cs_bw = c2.bandwidth_bits_per_cycle;
+
+  const core::TrafficOptions traffic;
+  const core::PartitionOptions part;
+  const auto workloads = core::layer_workloads(net, traffic, part);
+
+  // The highly-parallelizable single layer the paper quotes: the last
+  // stage-4 convolution (K = 512 -> N# = 32 at a 16-wide array).
+  core::WorkloadPoint l41;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.layer(i).name() == "L4.1 CONV2") l41 = workloads[i];
+  }
+
+  Table table({"Tier pairs Y", "N (CSs)", "ResNet-18 EDP benefit",
+               "L4.1 CONV EDP benefit"});
+  for (std::int64_t y = 1; y <= 6; ++y) {
+    const std::int64_t n = core::multi_tier_parallel_cs(area, y);
+    std::vector<core::EdpResult> layer_results;
+    for (const auto& w : workloads) {
+      layer_results.push_back(
+          core::evaluate_multi_tier_edp(w, c2, area, y, per_cs_bw));
+    }
+    const core::EdpResult total = core::combine_results(layer_results);
+    const core::EdpResult single =
+        core::evaluate_multi_tier_edp(l41, c2, area, y, per_cs_bw);
+    table.add_row({std::to_string(y), std::to_string(n),
+                   format_ratio(total.edp_benefit),
+                   format_ratio(single.edp_benefit)});
+  }
+  emit_table(std::cout, table,
+              "Fig. 10d: EDP benefit vs interleaved M3D tier pairs "
+              "(paper: 5.7x -> 6.9x -> plateau ~7.1x; L4.1 CONV -> ~23x)", "fig10d_tiers");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces the Fig. 2 physical-design comparison (Sec. II): post-"route"
+// summaries of the 2D baseline and the iso-footprint M3D design, plus
+// Observation 2 (upper-tier power <1%, peak power density +~1%).
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/phys/m3d_flow.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+#include "uld3d/util/units.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+
+  phys::FlowInput input;
+  input.pdk = study.pdk;
+  input.rram_capacity_bits = study.capacity_bits();
+  const double sram_area = units::kb_to_bits(study.cs.sram_buffer_kb) *
+                           study.cs.sram_bit_area_um2;
+  input.cs_sram_area_um2 = sram_area;
+  input.cs_logic_area_um2 =
+      study.cs.area_um2(study.pdk.si_library()) - sram_area;
+  input.cs_logic_gates = study.cs.total_gates();
+
+  const phys::M3dFlow flow;
+  const phys::FlowComparison cmp =
+      flow.run_comparison(input, study.m3d_cs_count());
+
+  const auto row = [](const phys::DesignReport& r) {
+    return std::vector<std::string>{
+        r.name,
+        format_double(r.footprint_mm2, 1),
+        std::to_string(r.cs_placed),
+        format_double(r.si_utilization * 100.0, 1) + "%",
+        format_double(r.total_wirelength_um / 1.0e6, 2),
+        std::to_string(r.buffers),
+        format_double(r.timing.achieved_frequency_mhz, 1),
+        format_double(r.total_power_mw, 1),
+        format_double(r.upper_tier_power_fraction * 100.0, 2) + "%",
+        format_double(r.peak_density_mw_per_mm2, 2),
+        r.feasible ? "yes" : "NO"};
+  };
+
+  Table table({"Design", "Footprint mm2", "CSs", "Si util", "WL (m)",
+               "Buffers", "Freq MHz", "Power mW", "Upper-tier P",
+               "Peak mW/mm2", "Feasible"});
+  table.add_row(row(cmp.design_2d));
+  table.add_row(row(cmp.design_3d));
+  emit_table(std::cout, table, "Fig. 2: post-route 2D vs iso-footprint M3D summary", "fig2_physical_design");
+
+  std::cout << "Iso-footprint: " << (cmp.iso_footprint ? "yes" : "no")
+            << "\nWirelength per CS (M3D/2D): "
+            << format_ratio(cmp.wirelength_per_cs_ratio, 3)
+            << "\nPeak power density (M3D/2D): "
+            << format_ratio(cmp.peak_density_ratio, 4)
+            << "  (paper Obs. 2: ~1.01x)"
+            << "\nM3D vertical ILVs: " << cmp.design_3d.ilv_count / 1000000
+            << "M\n";
+  return 0;
+}

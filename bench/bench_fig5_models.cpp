@@ -1,0 +1,28 @@
+// Reproduces Fig. 5: speedup, energy, and EDP benefit of the Sec.-II M3D
+// accelerator vs. the 2D baseline across AI/ML models.
+//
+// Paper reference: 5.7x-7.5x speedup at ~0.99x energy => 5.7x-7.5x EDP.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+
+  Table table({"Model", "Speedup", "Energy (M3D/2D)", "EDP benefit"});
+  for (const char* name : {"AlexNet", "VGG-16", "ResNet-18", "ResNet-152"}) {
+    const nn::Network net = nn::make_network(name);
+    const sim::DesignComparison cmp = study.run(net);
+    table.add_row({net.name(), format_ratio(cmp.speedup),
+                   format_ratio(cmp.energy_ratio, 3),
+                   format_ratio(cmp.edp_benefit)});
+  }
+  emit_table(std::cout, table,
+              "Fig. 5: M3D vs 2D for AI/ML model inference "
+              "(paper range: 5.7x-7.5x EDP at ~0.99x energy)", "fig5_models");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Fig. 7: energy & delay benefits of iso-footprint M3D for the
+// six Table-II accelerator architectures on AlexNet, evaluated both by the
+// ZigZag-style mapper ("ZZ") and by the paper's analytical framework.
+//
+// Paper reference: EDP benefits 5.3x-11.5x; analytical within 10% of ZigZag.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/mapper/cost_model.hpp"
+#include "uld3d/mapper/table2.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/math.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+namespace {
+
+/// Analytical Sec.-III evaluation of one Table-II architecture, mirroring
+/// the design point the mapper prices (same N, bandwidth, energies).
+uld3d::core::EdpResult analytical_benefit(const uld3d::nn::Network& net,
+                                          const uld3d::mapper::Architecture& arch,
+                                          const uld3d::mapper::SystemCosts& sys,
+                                          std::int64_t n_cs) {
+  using namespace uld3d;
+  core::Chip2d c2;
+  c2.bandwidth_bits_per_cycle = arch.rram_bandwidth_bits_per_cycle;
+  c2.peak_ops_per_cycle = 2.0 * static_cast<double>(arch.spatial.total_pes());
+  c2.alpha_pj_per_bit = arch.rram_read_pj_per_bit;
+  c2.compute_pj_per_op = arch.mac_energy_pj / 2.0;
+  c2.cs_idle_pj_per_cycle = sys.cs_idle_pj_per_cycle;
+  c2.mem_idle_pj_per_cycle = sys.mem_idle_pj_per_cycle;
+
+  core::Chip3d c3;
+  c3.parallel_cs = n_cs;
+  c3.bandwidth_bits_per_cycle =
+      c2.bandwidth_bits_per_cycle * static_cast<double>(n_cs);
+  c3.alpha_pj_per_bit = c2.alpha_pj_per_bit * sys.m3d_access_energy_scale;
+  c3.mem_idle_pj_per_cycle =
+      c2.mem_idle_pj_per_cycle *
+      (1.0 + sys.extra_bank_idle_fraction * static_cast<double>(n_cs - 1));
+
+  core::TrafficOptions traffic;
+  core::PartitionOptions part;
+  part.array_cols = arch.spatial.k;
+  part.array_rows = arch.spatial.c;
+  part.spatial_ox = arch.spatial.ox;
+  part.spatial_oy = arch.spatial.oy;
+  part.channel_tap_packing = false;
+  part.hybrid_pixel_partition = true;  // the mapper explores hybrid splits
+
+  std::vector<core::EdpResult> per_layer;
+  for (const auto& w : core::layer_workloads(net, traffic, part)) {
+    per_layer.push_back(core::evaluate_edp(w, c2, c3));
+  }
+  return core::combine_results(per_layer);
+}
+
+}  // namespace
+
+int main() {
+  using namespace uld3d;
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const nn::Network net = nn::make_alexnet();
+  const mapper::SystemCosts sys;
+
+  Table table({"Architecture", "N", "ZZ speedup", "ZZ energy", "ZZ EDP",
+               "Model speedup", "Model EDP", "|diff|"});
+  double worst_diff = 0.0;
+  for (const auto& arch : mapper::table2_architectures()) {
+    const mapper::DesignPointBenefit zz =
+        mapper::evaluate_benefit(net, arch, sys, pdk);
+    const core::EdpResult model = analytical_benefit(net, arch, sys, zz.n_cs);
+    const double diff = relative_difference(model.edp_benefit, zz.edp_benefit);
+    worst_diff = std::max(worst_diff, diff);
+    table.add_row({arch.name, std::to_string(zz.n_cs),
+                   format_ratio(zz.speedup), format_ratio(zz.energy_ratio, 3),
+                   format_ratio(zz.edp_benefit), format_ratio(model.speedup),
+                   format_ratio(model.edp_benefit),
+                   format_double(diff * 100.0, 1) + "%"});
+  }
+  emit_table(std::cout, table,
+              "Fig. 7: Table-II architectures on AlexNet, ZigZag-style mapper "
+              "vs analytical model (paper: 5.3x-11.5x EDP, <=10% apart)", "fig7_architectures");
+  std::cout << "Worst model-vs-mapper difference: "
+            << format_double(worst_diff * 100.0, 1) << "% (paper: <10%)\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Fig. 8 / Observation 5: EDP benefit of M3D design points that
+// trade parallel CSs against per-CS bandwidth, for compute-bound and
+// memory-bound synthetic workloads.
+//
+// Paper reference: 16 ops/bit (compute-bound) => ~2.1x better EDP from 2x
+// CSs at unchanged bandwidth; 16 bits/op (memory-bound) => ~2.1x better EDP
+// from 2x bandwidth per CS even with 2x fewer CSs.
+#include <iostream>
+
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+namespace {
+
+uld3d::core::Chip2d baseline() {
+  uld3d::core::Chip2d c2;
+  c2.bandwidth_bits_per_cycle = 256.0;
+  c2.peak_ops_per_cycle = 512.0;
+  c2.alpha_pj_per_bit = 1.5;
+  c2.compute_pj_per_op = 1.0;
+  c2.cs_idle_pj_per_cycle = 2.0;
+  c2.mem_idle_pj_per_cycle = 10.0;
+  return c2;
+}
+
+/// An M3D design point with `n_cs` CSs, each with `bw_scale` x the baseline
+/// per-CS bandwidth.
+uld3d::core::Chip3d design_point(std::int64_t n_cs, double bw_scale) {
+  uld3d::core::Chip3d c3;
+  c3.parallel_cs = n_cs;
+  c3.bandwidth_bits_per_cycle =
+      256.0 * bw_scale * static_cast<double>(n_cs);
+  c3.alpha_pj_per_bit = 1.5 * 0.97;
+  c3.mem_idle_pj_per_cycle = 10.0 * (1.0 + 0.3 * static_cast<double>(n_cs - 1));
+  return c3;
+}
+
+}  // namespace
+
+int main() {
+  using namespace uld3d;
+  const core::Chip2d c2 = baseline();
+  const double d0 = 64.0 * 1024.0 * 1024.0;  // 8 MB of traffic
+
+  for (const double ops_per_bit : {16.0, 1.0, 1.0 / 16.0}) {
+    const core::WorkloadPoint w =
+        core::synthetic_workload(ops_per_bit, d0, /*max_partitions=*/64);
+    const char* regime = ops_per_bit > 1.0   ? "compute-bound"
+                         : ops_per_bit < 1.0 ? "memory-bound"
+                                             : "balanced";
+    Table table({"CSs \\ BW/CS", "0.5x", "1x", "2x", "4x"});
+    for (const std::int64_t n : {1, 2, 4, 8, 16}) {
+      std::vector<std::string> row{std::to_string(n) + " CS"};
+      for (const double bw : {0.5, 1.0, 2.0, 4.0}) {
+        const core::EdpResult r = core::evaluate_edp(w, c2, design_point(n, bw));
+        row.push_back(format_ratio(r.edp_benefit));
+      }
+      table.add_row(std::move(row));
+    }
+    emit_table(std::cout, table, std::string("Fig. 8: EDP benefit vs (#CS, per-CS "
+                                       "bandwidth), ") +
+                               format_double(ops_per_bit, 3) + " ops/bit (" +
+                               regime + ")", "fig8_bandwidth_cs");
+  }
+
+  // Observation 5 headline numbers.
+  const core::WorkloadPoint compute_bound =
+      core::synthetic_workload(16.0, d0, 64);
+  const core::WorkloadPoint memory_bound =
+      core::synthetic_workload(1.0 / 16.0, d0, 64);
+  const double cb =
+      core::evaluate_edp(compute_bound, c2, design_point(2, 1.0)).edp_benefit;
+  const double mb_fewer =
+      core::evaluate_edp(memory_bound, c2, design_point(1, 2.0)).edp_benefit /
+      core::evaluate_edp(memory_bound, c2, design_point(2, 1.0)).edp_benefit;
+  std::cout << "Obs. 5a: compute-bound (16 ops/bit), 2x CSs, same BW -> "
+            << format_ratio(cb) << " EDP (paper ~2.1x)\n"
+            << "Obs. 5b: memory-bound (16 bits/op), 2x BW with 2x fewer CSs "
+               "vs 2x CSs -> "
+            << format_ratio(mb_fewer) << " relative EDP gain (paper ~2.1x)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Eq. 17 / Observation 10: temperature rise of stacked
+// interleaved compute+memory tier pairs, and the maximum stack height under
+// a ~60 K budget [20].  Also cross-checks Observation 2: the single-pair
+// Sec.-II M3D design adds negligible heat.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/multi_tier.hpp"
+#include "uld3d/core/thermal.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+  const core::AreaModel area = study.area_model();
+  const double die_mm2 = area.total_area_um2() / 1.0e6;
+
+  // Per-pair vertical resistance from the PDK tier stack, normalised to the
+  // case-study die; sink resistance for a passive heat spreader.
+  const auto stack = tech::TierStack::make_m3d_130nm();
+  double pair_r_mm2 = 0.0;
+  for (const auto& tier : stack.tiers()) pair_r_mm2 += tier.thermal_resistance_mm2_k_per_w;
+  const double pair_r = pair_r_mm2 / die_mm2;
+  const double sink_r = 1200.0 / die_mm2;  // mm^2*K/W spreader-to-ambient
+
+  Table table({"Tier pairs Y", "N (CSs)", "Total power (W)", "Temp rise (K)",
+               "Within 60 K budget"});
+  for (std::int64_t y = 1; y <= 12; ++y) {
+    const std::int64_t n = core::multi_tier_parallel_cs(area, y);
+    // Each pair dissipates its CS group's power plus its memory tier.
+    const double pair_power_w =
+        (static_cast<double>(n) / static_cast<double>(y) * 4.0 + 2.5) * 1.0e-3 *
+        20.0;  // mW-per-MHz scaled to 20 MHz operation, per pair
+    core::ThermalStack thermal(sink_r);
+    for (std::int64_t j = 0; j < y; ++j) {
+      thermal.add_tier({pair_r, pair_power_w});
+    }
+    const double rise = thermal.temperature_rise_k();
+    table.add_row({std::to_string(y), std::to_string(n),
+                   format_double(pair_power_w * static_cast<double>(y), 3),
+                   format_double(rise, 2), rise <= 60.0 ? "yes" : "NO"});
+  }
+  emit_table(std::cout, table,
+              "Obs. 10 (Eq. 17): temperature rise vs interleaved tier pairs", "obs10_thermal");
+
+  const core::ThermalTier per_tier{pair_r, 8.0 * 4.0 * 20.0 * 1.0e-3 + 0.05};
+  std::cout << "Max tier pairs within a 60 K budget (paper Obs. 10 bound): "
+            << core::ThermalStack::max_tier_pairs(sink_r, per_tier, 60.0)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks of the library's computational kernels:
+// network simulation, mapper evaluation, analytical model, placement, and
+// the full flow.  These measure the cost of the tools themselves (useful
+// when sweeping large design spaces), not the modeled hardware.
+#include <benchmark/benchmark.h>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/mapper/cost_model.hpp"
+#include "uld3d/mapper/table2.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/phys/m3d_flow.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace {
+
+using namespace uld3d;
+
+void BM_SimulateResNet18(benchmark::State& state) {
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet18();
+  const auto cfg = study.config_3d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_network(net, cfg));
+  }
+}
+BENCHMARK(BM_SimulateResNet18);
+
+void BM_SimulateResNet152(benchmark::State& state) {
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet152();
+  const auto cfg = study.config_3d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_network(net, cfg));
+  }
+}
+BENCHMARK(BM_SimulateResNet152);
+
+void BM_MapperAlexNet(benchmark::State& state) {
+  const auto arch = mapper::make_table2_architecture(
+      static_cast<int>(state.range(0)));
+  const nn::Network net = nn::make_alexnet();
+  const mapper::SystemCosts sys;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper::evaluate_network(net, arch, sys, 8));
+  }
+}
+BENCHMARK(BM_MapperAlexNet)->DenseRange(1, 6);
+
+void BM_AnalyticalNetworkWorkload(benchmark::State& state) {
+  const nn::Network net = nn::make_resnet152();
+  const core::TrafficOptions traffic;
+  const core::PartitionOptions part;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::network_workload(net, traffic, part));
+  }
+}
+BENCHMARK(BM_AnalyticalNetworkWorkload);
+
+void BM_AnalyticalEdp(benchmark::State& state) {
+  const accel::CaseStudy study;
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::Chip3d c3 = study.chip3d_params();
+  const core::WorkloadPoint w = core::synthetic_workload(4.0, 1.0e9, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_edp(w, c2, c3));
+  }
+}
+BENCHMARK(BM_AnalyticalEdp);
+
+phys::FlowInput case_study_flow_input() {
+  const accel::CaseStudy study;
+  phys::FlowInput input;
+  input.pdk = study.pdk;
+  input.rram_capacity_bits = study.capacity_bits();
+  const double sram = units::kb_to_bits(study.cs.sram_buffer_kb) *
+                      study.cs.sram_bit_area_um2;
+  input.cs_sram_area_um2 = sram;
+  input.cs_logic_area_um2 = study.cs.area_um2(study.pdk.si_library()) - sram;
+  input.cs_logic_gates = study.cs.total_gates();
+  return input;
+}
+
+void BM_PhysicalDesignFlow2d(benchmark::State& state) {
+  const phys::FlowInput input = case_study_flow_input();
+  const phys::M3dFlow flow;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.run_design(input, false, 1));
+  }
+}
+BENCHMARK(BM_PhysicalDesignFlow2d);
+
+void BM_PhysicalDesignFlowM3d(benchmark::State& state) {
+  const phys::FlowInput input = case_study_flow_input();
+  const phys::M3dFlow flow;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.run_design(input, true, 8));
+  }
+}
+BENCHMARK(BM_PhysicalDesignFlowM3d);
+
+}  // namespace
+
+BENCHMARK_MAIN();

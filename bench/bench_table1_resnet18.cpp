@@ -1,0 +1,40 @@
+// Reproduces Table I: per-layer speedup / energy / EDP benefit of the
+// iso-footprint, iso-on-chip-memory-capacity M3D accelerator on ResNet-18.
+//
+// Paper reference values: per-layer speedups 2.5x-7.9x, totals
+// 5.64x speedup / 0.99x energy / 5.66x EDP.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/table.hpp"
+
+int main() {
+  using namespace uld3d;
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet18();
+  sim::DesignComparison cmp = study.run(net);
+  // Table I reports CONV1 and the max-pool as one row.
+  sim::merge_rows(cmp, "CONV1", "POOL1", "CONV1+POOL");
+
+  Table table({"Layer", "Speedup", "Energy", "EDP benefit"});
+  for (const auto& row : cmp.layers) {
+    // Table I lists convolution rows (the residual adds and final pooling
+    // execute on the shared vector unit and are folded into the totals).
+    if (row.name.find("ADD") != std::string::npos ||
+        row.name == "AVGPOOL" || row.name == "FC") {
+      continue;
+    }
+    table.add_row({row.name, format_ratio(row.speedup),
+                   format_ratio(row.energy_ratio), format_ratio(row.edp_benefit)});
+  }
+  table.add_row({"Total", format_ratio(cmp.speedup),
+                 format_ratio(cmp.energy_ratio), format_ratio(cmp.edp_benefit)});
+  emit_table(std::cout, table,
+              "Table I: iso-footprint, iso-capacity M3D benefits, ResNet-18 "
+              "(paper total: 5.64x / 0.99x / 5.66x)", "table1_resnet18");
+  std::cout << "M3D parallel CSs (Eq. 2): " << study.m3d_cs_count()
+            << "  (paper: 8)\n";
+  return 0;
+}

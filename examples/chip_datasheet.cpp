@@ -1,0 +1,20 @@
+// The coupled architectural + physical run: simulate a workload on both
+// designs, characterize power the way the paper does (default activation
+// factors), place both chips at the identical footprint, and print a
+// datasheet.
+//
+// Usage: ./chip_datasheet [network]
+#include <iostream>
+
+#include "uld3d/accel/chip_summary.hpp"
+#include "uld3d/nn/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uld3d;
+  const std::string name = argc > 1 ? argv[1] : "resnet18";
+  const accel::CaseStudy study;
+  const accel::ChipSummary summary =
+      accel::summarize_chip(study, nn::make_network(name));
+  std::cout << accel::datasheet(summary);
+  return 0;
+}

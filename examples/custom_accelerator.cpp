@@ -1,0 +1,46 @@
+// Define a custom Table-II-style accelerator architecture and evaluate its
+// iso-footprint M3D benefit with the ZigZag-style mapper — the workflow a
+// user follows to test their own design point.
+#include <iostream>
+
+#include "uld3d/mapper/cost_model.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/table.hpp"
+#include "uld3d/util/units.hpp"
+
+int main() {
+  using namespace uld3d;
+
+  // A 64x16 output-channel-heavy array with a 1 MB global buffer and small
+  // per-PE registers — not one of the paper's six points.
+  mapper::Architecture arch;
+  arch.name = "Custom (64,16,-,-)";
+  arch.spatial = {64, 16, 1, 1};
+  arch.weights.reg = {2 * 8.0, 0.008, 1.0e9};
+  arch.weights.local = {units::kb_to_bits(16.0), 0.04, 2048.0};
+  arch.weights.global = {units::mb_to_bits(1.0), 0.15, 1024.0};
+  arch.inputs.local = {units::kb_to_bits(16.0), 0.04, 2048.0};
+  arch.inputs.global = {units::mb_to_bits(1.0), 0.15, 1024.0};
+  arch.outputs.reg = {4 * 8.0, 0.008, 1.0e9};
+  arch.outputs.global = {units::mb_to_bits(1.0), 0.15, 1024.0};
+  arch.rram_capacity_bits = units::mb_to_bits(256.0);
+
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const mapper::SystemCosts sys;
+
+  Table table({"Network", "N (Eq. 2)", "Speedup", "Energy", "EDP benefit"});
+  for (const char* name : {"alexnet", "resnet18", "resnet50"}) {
+    const nn::Network net = nn::make_network(name);
+    const auto benefit = mapper::evaluate_benefit(net, arch, sys, pdk);
+    table.add_row({net.name(), std::to_string(benefit.n_cs),
+                   format_ratio(benefit.speedup),
+                   format_ratio(benefit.energy_ratio, 3),
+                   format_ratio(benefit.edp_benefit)});
+  }
+  const auto area = mapper::arch_area_model(arch, pdk);
+  table.print(std::cout, arch.name + " — iso-footprint M3D benefits");
+  std::cout << "CS area: " << format_double(area.cs_area_um2 / 1.0e6, 1)
+            << " mm^2, gamma_cells: " << format_double(area.gamma_cells(), 2)
+            << "\n";
+  return 0;
+}

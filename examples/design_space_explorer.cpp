@@ -1,0 +1,78 @@
+// Design-space exploration with the dse sweep engine: sweep RRAM capacity,
+// CS count, and per-CS bandwidth through the analytical framework; print
+// the full grid and the Pareto frontier (footprint vs. EDP benefit).
+//
+// Usage: ./design_space_explorer [network]
+// Set ULD3D_CSV_DIR to also dump the sweep as CSV.
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/dse/sweep.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/export.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uld3d;
+  const std::string name = argc > 1 ? argv[1] : "resnet18";
+  const nn::Network net = nn::make_network(name);
+  const core::TrafficOptions traffic;
+  const core::PartitionOptions part;
+  const auto workloads = core::layer_workloads(net, traffic, part);
+
+  dse::Grid grid;
+  grid.axis("capacity_mb", {16.0, 32.0, 64.0, 128.0})
+      .axis("n_cs", {1.0, 2.0, 4.0, 8.0, 16.0})
+      .axis("bw_scale", {1.0, 2.0});
+
+  const auto evaluate = [&](const std::vector<double>& p) {
+    accel::CaseStudy study;
+    study.rram_capacity_mb = p[0];
+    const auto n = static_cast<std::int64_t>(p[1]);
+    const std::int64_t n_geom = study.m3d_cs_count();
+    if (n > n_geom) {
+      // Does not fit the freed Si area: mark infeasible.
+      return std::vector<double>{0.0, study.area_model().total_area_um2() / 1e6,
+                                 0.0};
+    }
+    core::Chip2d c2 = study.chip2d_params();
+    core::Chip3d c3 = study.chip3d_params(n);
+    c3.bandwidth_bits_per_cycle *= p[2];
+    std::vector<core::EdpResult> rs;
+    for (const auto& w : workloads) rs.push_back(core::evaluate_edp(w, c2, c3));
+    const auto total = core::combine_results(rs);
+    return std::vector<double>{total.edp_benefit,
+                               study.area_model().total_area_um2() / 1e6,
+                               total.speedup};
+  };
+
+  const dse::SweepResult result = dse::run_sweep(
+      grid, {"edp_benefit", "footprint_mm2", "speedup"}, evaluate);
+
+  emit_table(std::cout, result.to_table(),
+             "M3D design space for " + net.name() +
+                 " (0 = does not fit the freed Si area)",
+             "design_space_" + name);
+
+  const auto front = result.pareto_front("edp_benefit", "footprint_mm2");
+  Table pareto({"capacity_mb", "n_cs", "bw_scale", "footprint_mm2",
+                "EDP benefit"});
+  for (const std::size_t i : front) {
+    const auto& row = result.rows()[i];
+    pareto.add_row({format_double(row.params[0], 0),
+                    format_double(row.params[1], 0),
+                    format_double(row.params[2], 1),
+                    format_double(row.metrics[1], 1),
+                    format_ratio(row.metrics[0])});
+  }
+  emit_table(std::cout, pareto, "Pareto frontier (footprint vs EDP benefit)",
+             "design_space_pareto_" + name);
+
+  const auto& best = result.rows()[result.best("edp_benefit")];
+  std::cout << "Best EDP point: " << format_double(best.params[0], 0)
+            << " MB, " << format_double(best.params[1], 0) << " CSs, "
+            << format_ratio(best.params[2], 1) << " bandwidth -> "
+            << format_ratio(best.metrics[0]) << "\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Render the case study's 2D and M3D floorplans (ASCII, Fig. 2b/2d style),
+// export a DEF-like dump, and print the M3D thermal map.
+//
+// Usage: ./floorplan_viewer [--def]
+#include <cstring>
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/phys/m3d_flow.hpp"
+#include "uld3d/phys/render.hpp"
+#include "uld3d/phys/thermal_map.hpp"
+#include "uld3d/util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uld3d;
+  const bool dump_def = argc > 1 && std::strcmp(argv[1], "--def") == 0;
+
+  const accel::CaseStudy study;
+  phys::FlowInput input;
+  input.pdk = study.pdk;
+  input.rram_capacity_bits = study.capacity_bits();
+  const double sram = units::kb_to_bits(study.cs.sram_buffer_kb) *
+                      study.cs.sram_bit_area_um2;
+  input.cs_sram_area_um2 = sram;
+  input.cs_logic_area_um2 = study.cs.area_um2(study.pdk.si_library()) - sram;
+  input.cs_logic_gates = study.cs.total_gates();
+
+  const phys::M3dFlow flow;
+  const auto cmp = flow.run_comparison(input, study.m3d_cs_count());
+
+  for (const auto* report : {&cmp.design_2d, &cmp.design_3d}) {
+    std::cout << "=== " << report->name << " floorplan ("
+              << report->footprint_mm2 << " mm^2, " << report->cs_placed
+              << " CS) ===\n"
+              << phys::render_ascii_floorplan(
+                     report->die_width_um, report->die_height_um,
+                     report->placed_macros, report->placed_blocks)
+              << '\n';
+    if (dump_def) {
+      std::cout << phys::export_def(report->name, report->die_width_um,
+                                    report->die_height_um,
+                                    report->placed_macros,
+                                    report->placed_blocks)
+                << '\n';
+    }
+  }
+
+  const phys::ThermalMap heat(cmp.design_3d.power,
+                              tech::TierStack::make_m3d_130nm(),
+                              cmp.design_3d.die_width_um,
+                              cmp.design_3d.die_height_um,
+                              /*sink=*/1200.0);
+  std::cout << "=== M3D thermal map ===\n" << heat.to_ascii();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Quickstart: build the paper's case study in a dozen lines.
+//
+//   1. Take the calibrated 130 nm M3D PDK.
+//   2. Derive the iso-footprint M3D design point (how many parallel CSs the
+//      freed Si area hosts, Eq. 2).
+//   3. Simulate a workload on the 2D baseline and the M3D design.
+//
+// Build & run:  ./quickstart [network]   (default: resnet18)
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uld3d;
+
+  // The case study bundles the PDK, the computing-sub-system design, and
+  // the 64 MB on-chip RRAM configuration of the paper's Sec. II.
+  const accel::CaseStudy study;
+
+  const core::AreaModel area = study.area_model();
+  std::cout << "2D baseline footprint : "
+            << format_double(area.total_area_um2() / 1.0e6, 1) << " mm^2\n"
+            << "gamma_cells           : "
+            << format_double(area.gamma_cells(), 2) << "\n"
+            << "M3D parallel CSs (N)  : " << study.m3d_cs_count() << "\n\n";
+
+  const std::string name = argc > 1 ? argv[1] : "resnet18";
+  const nn::Network net = nn::make_network(name);
+  const sim::DesignComparison cmp = study.run(net);
+
+  std::cout << net.name() << " inference, M3D vs 2D:\n"
+            << "  speedup     : " << format_ratio(cmp.speedup) << "\n"
+            << "  energy      : " << format_ratio(cmp.energy_ratio, 3)
+            << " (M3D/2D)\n"
+            << "  EDP benefit : " << format_ratio(cmp.edp_benefit) << "\n";
+  return 0;
+}

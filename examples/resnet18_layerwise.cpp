@@ -1,0 +1,46 @@
+// Per-layer analysis (Table-I style) for any model in the zoo, on a
+// configurable design point.
+//
+// Usage: ./resnet18_layerwise [network] [n_cs] [capacity_mb]
+#include <cstdlib>
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uld3d;
+  const std::string name = argc > 1 ? argv[1] : "resnet18";
+  const std::int64_t n_cs_override = argc > 2 ? std::atoll(argv[2]) : 0;
+  const double capacity_mb = argc > 3 ? std::atof(argv[3]) : 64.0;
+
+  accel::CaseStudy study;
+  study.rram_capacity_mb = capacity_mb;
+  const std::int64_t n_cs =
+      n_cs_override > 0 ? n_cs_override : study.m3d_cs_count();
+
+  const nn::Network net = nn::make_network(name);
+  const auto cfg_2d = study.config_2d();
+  auto cfg_3d = study.config_3d();
+  cfg_3d.n_cs = n_cs;
+  cfg_3d.n_banks = n_cs;
+  const sim::DesignComparison cmp = sim::compare_designs(net, cfg_2d, cfg_3d);
+
+  Table table({"Layer", "2D cycles", "M3D cycles", "Speedup", "Energy",
+               "EDP benefit"});
+  for (const auto& row : cmp.layers) {
+    table.add_row({row.name, std::to_string(row.cycles_2d),
+                   std::to_string(row.cycles_3d), format_ratio(row.speedup),
+                   format_ratio(row.energy_ratio, 3),
+                   format_ratio(row.edp_benefit)});
+  }
+  table.add_row({"Total", std::to_string(cmp.run_2d.total_cycles),
+                 std::to_string(cmp.run_3d.total_cycles),
+                 format_ratio(cmp.speedup), format_ratio(cmp.energy_ratio, 3),
+                 format_ratio(cmp.edp_benefit)});
+  table.print(std::cout, net.name() + " on " + std::to_string(n_cs) +
+                             "-CS M3D vs 2D (" +
+                             format_double(capacity_mb, 0) + " MB RRAM)");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Multi-tier stacking under a thermal envelope: combine the Case-3 EDP
+// model (more interleaved compute/memory tier pairs => more parallel CSs)
+// with the Eq.-17 thermal stack, and report the best thermally-legal stack.
+//
+// Usage: ./thermal_stacking [budget_K] [sink_mm2KperW]
+#include <cstdlib>
+#include <iostream>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/multi_tier.hpp"
+#include "uld3d/core/thermal.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace uld3d;
+  const double budget_k = argc > 1 ? std::atof(argv[1]) : 60.0;
+  const double sink_mm2 = argc > 2 ? std::atof(argv[2]) : 1200.0;
+
+  const accel::CaseStudy study;
+  const core::AreaModel area = study.area_model();
+  const core::Chip2d c2 = study.chip2d_params();
+  const double die_mm2 = area.total_area_um2() / 1.0e6;
+
+  const auto stack = tech::TierStack::make_m3d_130nm();
+  double pair_r_mm2 = 0.0;
+  for (const auto& tier : stack.tiers()) {
+    pair_r_mm2 += tier.thermal_resistance_mm2_k_per_w;
+  }
+  const double pair_r = pair_r_mm2 / die_mm2;
+  const double sink_r = sink_mm2 / die_mm2;
+
+  const nn::Network net = nn::make_resnet18();
+  const core::TrafficOptions traffic;
+  const core::PartitionOptions part;
+  const auto workloads = core::layer_workloads(net, traffic, part);
+
+  Table table({"Tier pairs Y", "CSs", "EDP benefit", "Temp rise (K)",
+               "Legal"});
+  std::int64_t best_y = 1;
+  double best_edp = 0.0;
+  for (std::int64_t y = 1; y <= 10; ++y) {
+    const std::int64_t n = core::multi_tier_parallel_cs(area, y);
+    std::vector<core::EdpResult> rs;
+    for (const auto& w : workloads) {
+      rs.push_back(core::evaluate_multi_tier_edp(w, c2, area, y,
+                                                 c2.bandwidth_bits_per_cycle));
+    }
+    const auto total = core::combine_results(rs);
+
+    core::ThermalStack thermal(sink_r);
+    const double pair_power_w =
+        (static_cast<double>(n) / static_cast<double>(y)) * 4.0e-3 * 20.0 + 0.05;
+    for (std::int64_t j = 0; j < y; ++j) thermal.add_tier({pair_r, pair_power_w});
+    const double rise = thermal.temperature_rise_k();
+    const bool legal = rise <= budget_k;
+    if (legal && total.edp_benefit > best_edp) {
+      best_edp = total.edp_benefit;
+      best_y = y;
+    }
+    table.add_row({std::to_string(y), std::to_string(n),
+                   format_ratio(total.edp_benefit), format_double(rise, 1),
+                   legal ? "yes" : "NO"});
+  }
+  table.print(std::cout, "ResNet-18 multi-tier stacking under a " +
+                             format_double(budget_k, 0) + " K budget");
+  std::cout << "Best thermally-legal stack: Y = " << best_y << " ("
+            << format_ratio(best_edp) << " EDP benefit)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "uld3d/accel/case_study.hpp"
+
+#include <algorithm>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::accel {
+
+double CaseStudy::capacity_bits() const {
+  return units::mb_to_bits(rram_capacity_mb);
+}
+
+core::AreaModel CaseStudy::area_model() const {
+  expects(rram_capacity_mb > 0.0, "RRAM capacity must be positive");
+  expects(baseline_mem_density_handicap >= 1.0,
+          "density handicap >= 1 (1 = RRAM-density baseline)");
+  // The bank count equals the M3D CS count, which itself depends on the area
+  // ratios; the per-bank peripheral cost is a small additive term, so one
+  // fixed-point refinement pass converges.
+  core::AreaModel area;
+  std::int64_t banks = 1;
+  for (int pass = 0; pass < 2; ++pass) {
+    const tech::RramMacroGeometry macro = pdk.rram_macro(
+        capacity_bits(), static_cast<int>(banks), /*m3d=*/false);
+    area.cs_area_um2 = cs.area_um2(pdk.si_library());
+    area.mem_cells_area_um2 =
+        macro.cell_array_area_um2 * baseline_mem_density_handicap;
+    area.mem_perif_area_um2 = macro.periph_area_um2;
+    // Bus/IO ring: a few percent of the memory+CS area.
+    area.bus_area_um2 = 0.04 * (area.cs_area_um2 + area.mem_cells_area_um2 +
+                                area.mem_perif_area_um2);
+    banks = std::max<std::int64_t>(1, area.m3d_parallel_cs());
+  }
+  return area;
+}
+
+std::int64_t CaseStudy::m3d_cs_count() const { return area_model().m3d_parallel_cs(); }
+
+sim::AcceleratorConfig CaseStudy::config_2d() const {
+  auto cfg = sim::AcceleratorConfig::baseline_2d(pdk);
+  cfg.array.rows = cs.pe_rows;
+  cfg.array.cols = cs.pe_cols;
+  return cfg;
+}
+
+sim::AcceleratorConfig CaseStudy::config_3d() const {
+  auto cfg = sim::AcceleratorConfig::m3d_design(pdk, m3d_cs_count());
+  cfg.array.rows = cs.pe_rows;
+  cfg.array.cols = cs.pe_cols;
+  return cfg;
+}
+
+sim::DesignComparison CaseStudy::run(const nn::Network& net) const {
+  return sim::compare_designs(net, config_2d(), config_3d());
+}
+
+core::Chip2d CaseStudy::chip2d_params() const {
+  const sim::AcceleratorConfig cfg = config_2d();
+  core::Chip2d c;
+  c.bandwidth_bits_per_cycle = cfg.memory.bank_read_bits_per_cycle;
+  c.peak_ops_per_cycle = cfg.array.peak_ops_per_cycle();
+  c.alpha_pj_per_bit = cfg.memory.read_energy_pj_per_bit;
+  c.compute_pj_per_op = cfg.array.mac_energy_pj / 2.0;  // MAC = 2 ops
+  c.cs_idle_pj_per_cycle = cfg.memory.cs_idle_pj_per_cycle;
+  c.mem_idle_pj_per_cycle = cfg.memory.mem_idle_pj_per_cycle;
+  return c;
+}
+
+core::Chip3d CaseStudy::chip3d_params() const {
+  return chip3d_params(m3d_cs_count());
+}
+
+core::Chip3d CaseStudy::chip3d_params(std::int64_t n_cs) const {
+  const sim::AcceleratorConfig cfg = config_2d();
+  core::Chip3d c;
+  c.parallel_cs = n_cs;
+  c.bandwidth_bits_per_cycle =
+      cfg.memory.bank_read_bits_per_cycle * static_cast<double>(n_cs);
+  c.alpha_pj_per_bit = cfg.memory.read_energy_pj_per_bit *
+                       cfg.memory.m3d_access_energy_scale;
+  c.mem_idle_pj_per_cycle =
+      cfg.memory.mem_idle_pj_per_cycle *
+      (1.0 + cfg.memory.extra_bank_idle_fraction * static_cast<double>(n_cs - 1));
+  return c;
+}
+
+}  // namespace uld3d::accel

@@ -1,0 +1,28 @@
+#include "uld3d/accel/cs_design.hpp"
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::accel {
+
+std::int64_t CsDesign::total_gates() const {
+  return pe_rows * pe_cols * gates_per_pe + accumulator_gates + control_gates;
+}
+
+double CsDesign::area_um2(const tech::StdCellLibrary& lib) const {
+  expects(pe_rows > 0 && pe_cols > 0 && gates_per_pe > 0,
+          "CS dimensions must be positive");
+  const double logic =
+      static_cast<double>(total_gates()) * lib.gate_area_um2();
+  const double sram = units::kb_to_bits(sram_buffer_kb) * sram_bit_area_um2;
+  // 75% placement utilization: routing and power-grid overhead.
+  return (logic + sram) / 0.75;
+}
+
+double CsDesign::leakage_mw(const tech::StdCellLibrary& lib) const {
+  const double leak_nw =
+      static_cast<double>(total_gates()) * lib.gate_leakage_nw();
+  return leak_nw * 1.0e-6;
+}
+
+}  // namespace uld3d::accel

@@ -1,0 +1,169 @@
+#include "uld3d/accel/cs_netlist.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/wirelength.hpp"
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::accel {
+
+namespace {
+
+/// Cells of one PE; returns the indices needed for inter-PE nets.
+struct PePins {
+  std::vector<std::int32_t> input_regs;  ///< 8 input pipeline DFFs
+  std::vector<std::int32_t> psum_regs;   ///< 24 partial-sum DFFs
+  std::int32_t first_cell = 0;
+  std::int32_t last_cell = 0;
+};
+
+PePins emit_pe(phys::Netlist& netlist, const PeStructure& pe,
+               const std::string& prefix) {
+  PePins pins;
+  std::vector<std::int32_t> nand_cells;
+  std::vector<std::int32_t> tree_cells;
+
+  const auto add = [&](const char* type, int count,
+                       std::vector<std::int32_t>* sink) {
+    for (int i = 0; i < count; ++i) {
+      const std::int32_t id = netlist.add_cell(
+          prefix + "/" + type + std::to_string(i), type);
+      if (sink != nullptr) sink->push_back(id);
+      pins.last_cell = id;
+      if (pins.first_cell == 0 && netlist.cell_count() == 1) {
+        pins.first_cell = id;
+      }
+    }
+  };
+
+  pins.first_cell = static_cast<std::int32_t>(netlist.cell_count());
+  add("NAND2_X1", pe.multiplier_nand2, &nand_cells);
+  add("FA_X1", pe.multiplier_fa, &tree_cells);
+  add("FA_X1", pe.accumulator_fa, &tree_cells);
+  std::vector<std::int32_t> weight_regs;
+  add("DFF_X1", pe.weight_reg_dff, &weight_regs);
+  add("DFF_X1", pe.input_pipe_dff, &pins.input_regs);
+  add("DFF_X1", pe.psum_pipe_dff, &pins.psum_regs);
+
+  // Intra-PE wiring (structural shape, not full logical fidelity):
+  // each partial-product NAND pair feeds a reduction-tree adder, the tree
+  // chains into the accumulator, and the registers tap the tree outputs.
+  for (std::size_t i = 0; i + 1 < nand_cells.size(); i += 2) {
+    const std::size_t fa = i / 2;
+    if (fa < tree_cells.size()) {
+      netlist.add_net(prefix + "/pp" + std::to_string(i),
+                      {nand_cells[i], nand_cells[i + 1], tree_cells[fa]});
+    }
+  }
+  for (std::size_t i = 0; i + 1 < tree_cells.size(); ++i) {
+    netlist.add_net(prefix + "/carry" + std::to_string(i),
+                    {tree_cells[i], tree_cells[i + 1]});
+  }
+  for (std::size_t i = 0; i < weight_regs.size() && i < nand_cells.size();
+       ++i) {
+    netlist.add_net(prefix + "/w" + std::to_string(i),
+                    {weight_regs[i], nand_cells[i]});
+  }
+  for (std::size_t i = 0; i < pins.psum_regs.size() && i < tree_cells.size();
+       ++i) {
+    netlist.add_net(prefix + "/acc" + std::to_string(i),
+                    {tree_cells[tree_cells.size() - 1 - i], pins.psum_regs[i]});
+  }
+  return pins;
+}
+
+}  // namespace
+
+phys::Netlist build_cs_array_netlist(const CsDesign& cs,
+                                     const PeStructure& pe) {
+  expects(cs.pe_rows > 0 && cs.pe_cols > 0, "PE array must be non-empty");
+  phys::Netlist netlist;
+  std::vector<std::vector<PePins>> grid(
+      static_cast<std::size_t>(cs.pe_rows),
+      std::vector<PePins>(static_cast<std::size_t>(cs.pe_cols)));
+
+  for (std::int64_t r = 0; r < cs.pe_rows; ++r) {
+    for (std::int64_t c = 0; c < cs.pe_cols; ++c) {
+      const std::string prefix =
+          "pe_r" + std::to_string(r) + "_c" + std::to_string(c);
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          emit_pe(netlist, pe, prefix);
+    }
+  }
+
+  // Systolic nets: the 8-bit input bus moves rightward along each row, the
+  // 24-bit partial-sum bus moves downward along each column.
+  for (std::int64_t r = 0; r < cs.pe_rows; ++r) {
+    for (std::int64_t c = 0; c + 1 < cs.pe_cols; ++c) {
+      const auto& here = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      const auto& right = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c + 1)];
+      for (std::size_t bit = 0; bit < here.input_regs.size(); ++bit) {
+        netlist.add_net("x_r" + std::to_string(r) + "_c" + std::to_string(c) +
+                            "_b" + std::to_string(bit),
+                        {here.input_regs[bit], right.input_regs[bit]});
+      }
+    }
+  }
+  for (std::int64_t r = 0; r + 1 < cs.pe_rows; ++r) {
+    for (std::int64_t c = 0; c < cs.pe_cols; ++c) {
+      const auto& here = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      const auto& below = grid[static_cast<std::size_t>(r + 1)][static_cast<std::size_t>(c)];
+      for (std::size_t bit = 0; bit < here.psum_regs.size(); ++bit) {
+        netlist.add_net("ps_r" + std::to_string(r) + "_c" + std::to_string(c) +
+                            "_b" + std::to_string(bit),
+                        {here.psum_regs[bit], below.psum_regs[bit]});
+      }
+    }
+  }
+  return netlist;
+}
+
+CsNetlistReport validate_cs_netlist(const CsDesign& cs,
+                                    const tech::StdCellLibrary& lib) {
+  const PeStructure pe;
+  const phys::Netlist netlist = build_cs_array_netlist(cs, pe);
+
+  CsNetlistReport report;
+  report.cells = netlist.cell_count();
+  report.nets = netlist.net_count();
+  report.gate_equivalents = netlist.gate_equivalents(lib);
+  report.array_area_um2 = netlist.area_um2(lib);
+  report.budget_area_um2 = static_cast<double>(cs.pe_rows * cs.pe_cols *
+                                               cs.gates_per_pe) *
+                           lib.gate_area_um2();
+
+  // Hierarchical placement: each PE occupies its own tile of a
+  // pe_rows x pe_cols grid (the physical array topology); cells fill their
+  // tile row-major.  Emission order is PE-major, so positions follow
+  // directly from the cell index.
+  const double side = std::sqrt(report.array_area_um2);
+  const double tile_w = side / static_cast<double>(cs.pe_cols);
+  const double tile_h = side / static_cast<double>(cs.pe_rows);
+  const auto cells_per_pe = static_cast<std::size_t>(pe.cells_per_pe());
+  const double cell_pitch =
+      std::sqrt(tile_w * tile_h / static_cast<double>(cells_per_pe));
+  const auto tile_columns = static_cast<std::size_t>(
+      std::max(1.0, std::floor(tile_w / cell_pitch)));
+  std::vector<phys::Point> positions;
+  positions.reserve(netlist.cell_count());
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const std::size_t pe_index = i / cells_per_pe;
+    const std::size_t within = i % cells_per_pe;
+    const auto pe_c = static_cast<double>(
+        pe_index % static_cast<std::size_t>(cs.pe_cols));
+    const auto pe_r = static_cast<double>(
+        pe_index / static_cast<std::size_t>(cs.pe_cols));
+    const auto col = static_cast<double>(within % tile_columns);
+    const auto row = static_cast<double>(within / tile_columns);
+    positions.push_back({pe_c * tile_w + (col + 0.5) * cell_pitch,
+                         pe_r * tile_h + (row + 0.5) * cell_pitch});
+  }
+  report.structural_hpwl_um = netlist.hpwl_um(positions);
+  report.donath_estimate_um = phys::donath_total_wirelength_um(
+      report.gate_equivalents, report.array_area_um2, {});
+  return report;
+}
+
+}  // namespace uld3d::accel

@@ -1,0 +1,52 @@
+// The Sec.-II case study: iso-footprint, iso-on-chip-memory-capacity M3D
+// accelerator vs. its 2D baseline, assembled from the PDK, the CS design,
+// and the systolic simulator.  Also bridges to the Sec.-III analytical
+// framework (AreaModel / Chip2d / Chip3d parameter extraction).
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/accel/cs_design.hpp"
+#include "uld3d/core/area_model.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/nn/network.hpp"
+#include "uld3d/sim/network_sim.hpp"
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::accel {
+
+/// Configuration of one case-study comparison.
+struct CaseStudy {
+  tech::FoundryM3dPdk pdk = tech::FoundryM3dPdk::make_130nm();
+  CsDesign cs;
+  double rram_capacity_mb = 64.0;  ///< on-chip model storage (both designs)
+  /// 2D memory-density handicap for Observation 3: 1.0 means the 2D baseline
+  /// also uses dense BEOL RRAM (the paper's conservative default); 2.0 means
+  /// the 2D baseline uses a memory 2x less dense (e.g. SRAM), which enlarges
+  /// the common footprint and admits more M3D CSs.
+  double baseline_mem_density_handicap = 1.0;
+
+  /// Area decomposition of the 2D baseline chip (Fig. 6a quantities).
+  [[nodiscard]] core::AreaModel area_model() const;
+
+  /// N: parallel CSs of the iso-footprint M3D design (Eq. 2).
+  [[nodiscard]] std::int64_t m3d_cs_count() const;
+
+  /// Simulator configurations for both designs.
+  [[nodiscard]] sim::AcceleratorConfig config_2d() const;
+  [[nodiscard]] sim::AcceleratorConfig config_3d() const;
+
+  /// Run the full per-layer comparison for one network (Table I / Fig. 5).
+  [[nodiscard]] sim::DesignComparison run(const nn::Network& net) const;
+
+  /// Analytical-framework parameters matching the simulated designs, for
+  /// Sec.-III evaluations and model-vs-simulator validation.
+  [[nodiscard]] core::Chip2d chip2d_params() const;
+  [[nodiscard]] core::Chip3d chip3d_params() const;
+  [[nodiscard]] core::Chip3d chip3d_params(std::int64_t n_cs) const;
+
+  /// RRAM capacity in bits.
+  [[nodiscard]] double capacity_bits() const;
+};
+
+}  // namespace uld3d::accel

@@ -1,0 +1,31 @@
+// Area/power budget of one computing sub-system (CS): the 16x16
+// weight-stationary systolic array plus accumulators, SRAM buffers, and
+// control of the Sec.-II accelerator, realized in the Si CMOS library.
+#pragma once
+
+#include "uld3d/sim/accelerator_config.hpp"
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::accel {
+
+/// Gate/SRAM budget of one CS; areas derive from the standard-cell library.
+struct CsDesign {
+  std::int64_t pe_rows = 16;
+  std::int64_t pe_cols = 16;
+  std::int64_t gates_per_pe = 600;        ///< 8-bit MAC + weight/pipe regs
+  std::int64_t accumulator_gates = 22000; ///< 16 x 32-bit accumulate/requant
+  std::int64_t control_gates = 120000;    ///< sequencer, DMA, NoC port, vector unit
+  double sram_buffer_kb = 96.0;           ///< double-buffers (Chimera-style, small)
+  double sram_bit_area_um2 = 2.5;         ///< 6T bitcell + array overhead @130nm
+
+  /// Total placed area of one CS in the Si CMOS library (um^2).
+  [[nodiscard]] double area_um2(const tech::StdCellLibrary& lib) const;
+
+  /// Logic leakage power of one CS (mW), for the idle-energy calibration.
+  [[nodiscard]] double leakage_mw(const tech::StdCellLibrary& lib) const;
+
+  /// Total logic gate count (excluding SRAM bits).
+  [[nodiscard]] std::int64_t total_gates() const;
+};
+
+}  // namespace uld3d::accel

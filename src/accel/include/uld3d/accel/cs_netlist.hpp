@@ -1,0 +1,53 @@
+// Structural netlist generator for the Sec.-II computing sub-system: the
+// 16x16 weight-stationary PE array emitted gate by gate (partial-product
+// NANDs, full-adder trees, accumulators, pipeline registers) with the
+// systolic nearest-neighbour nets (inputs rightward, partial sums
+// downward).  This realizes the "synthesized netlist" entering the Fig.-4b
+// flow and lets the statistical area/wire models be validated against a
+// real structural design.
+#pragma once
+
+#include "uld3d/accel/cs_design.hpp"
+#include "uld3d/phys/netlist.hpp"
+
+namespace uld3d::accel {
+
+/// Gate composition of one 8-bit weight-stationary PE.
+struct PeStructure {
+  int multiplier_nand2 = 64;   ///< 8x8 partial-product generation
+  int multiplier_fa = 56;      ///< Wallace-ish reduction tree
+  int accumulator_fa = 24;     ///< 24-bit partial-sum add
+  int weight_reg_dff = 8;
+  int input_pipe_dff = 8;
+  int psum_pipe_dff = 24;
+
+  [[nodiscard]] int cells_per_pe() const {
+    return multiplier_nand2 + multiplier_fa + accumulator_fa +
+           weight_reg_dff + input_pipe_dff + psum_pipe_dff;
+  }
+};
+
+/// Emit the full PE-array netlist for `cs` (row-major PE order, so a
+/// row-major placement reproduces the array topology).  Inter-PE nets carry
+/// the 8-bit input buses rightward and the 24-bit partial-sum buses
+/// downward; per-PE nets wire the multiplier internals.
+[[nodiscard]] phys::Netlist build_cs_array_netlist(
+    const CsDesign& cs, const PeStructure& pe = {});
+
+/// Validation summary: structural vs. budgeted figures for one CS.
+struct CsNetlistReport {
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::int64_t gate_equivalents = 0;
+  double array_area_um2 = 0.0;       ///< structural placed area
+  double budget_area_um2 = 0.0;      ///< CsDesign's PE-array budget
+  double structural_hpwl_um = 0.0;   ///< row-major placement HPWL
+  double donath_estimate_um = 0.0;   ///< statistical model on same block
+};
+
+/// Build, place row-major into the PE-array share of the CS footprint, and
+/// compare against the budgets and the Donath estimate.
+[[nodiscard]] CsNetlistReport validate_cs_netlist(
+    const CsDesign& cs, const tech::StdCellLibrary& lib);
+
+}  // namespace uld3d::accel

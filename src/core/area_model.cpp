@@ -1,0 +1,44 @@
+#include "uld3d/core/area_model.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::core {
+
+double AreaModel::gamma_cells() const {
+  validate();
+  return mem_cells_area_um2 / cs_area_um2;
+}
+
+double AreaModel::gamma_perif() const {
+  validate();
+  return mem_perif_area_um2 / cs_area_um2;
+}
+
+double AreaModel::total_area_um2() const {
+  validate();
+  return cs_area_um2 + mem_cells_area_um2 + mem_perif_area_um2 + bus_area_um2;
+}
+
+std::int64_t AreaModel::m3d_parallel_cs() const {
+  return m3d_parallel_cs(1.0);
+}
+
+std::int64_t AreaModel::m3d_parallel_cs(double usable_fraction) const {
+  validate();
+  expects(usable_fraction > 0.0 && usable_fraction <= 1.0,
+          "usable fraction must be in (0, 1]");
+  const double n = 1.0 + usable_fraction * gamma_cells();
+  // floor with a tiny epsilon so e.g. gamma = 7.0 - 1e-15 still yields 8.
+  return static_cast<std::int64_t>(std::floor(n + 1e-9));
+}
+
+void AreaModel::validate() const {
+  expects(cs_area_um2 > 0.0, "CS area must be positive");
+  expects(mem_cells_area_um2 >= 0.0 && mem_perif_area_um2 >= 0.0 &&
+              bus_area_um2 >= 0.0,
+          "areas must be non-negative");
+}
+
+}  // namespace uld3d::core

@@ -1,0 +1,38 @@
+#include "uld3d/core/folding.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::core {
+
+FoldingBenefit evaluate_folding(const FoldingInputs& in) {
+  expects(in.tiers >= 1, "tier count must be >= 1");
+  expects(in.wire_energy_fraction >= 0.0 && in.wire_energy_fraction < 1.0,
+          "wire energy fraction must be in [0, 1)");
+  expects(in.wire_delay_fraction >= 0.0 && in.wire_delay_fraction < 1.0,
+          "wire delay fraction must be in [0, 1)");
+  expects(in.buffer_energy_fraction >= 0.0 &&
+              in.wire_energy_fraction + in.buffer_energy_fraction < 1.0,
+          "energy fractions must leave room for logic energy");
+
+  FoldingBenefit b;
+  b.footprint_ratio = 1.0 / static_cast<double>(in.tiers);
+  b.wirelength_ratio = 1.0 / std::sqrt(static_cast<double>(in.tiers));
+
+  // Wire energy scales with length (capacitance); buffers scale away with
+  // the wire they repeat; cell energy is untouched.
+  b.energy_ratio =
+      (1.0 - in.wire_energy_fraction - in.buffer_energy_fraction) +
+      (in.wire_energy_fraction + in.buffer_energy_fraction) *
+          b.wirelength_ratio;
+
+  // Buffered global wire delay is ~linear in length; logic delay fixed.
+  b.delay_ratio = (1.0 - in.wire_delay_fraction) +
+                  in.wire_delay_fraction * b.wirelength_ratio;
+
+  b.edp_benefit = 1.0 / (b.energy_ratio * b.delay_ratio);
+  return b;
+}
+
+}  // namespace uld3d::core

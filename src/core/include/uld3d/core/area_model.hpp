@@ -1,0 +1,44 @@
+// Chip area decomposition (paper Sec. III, Fig. 6a).
+//
+// The baseline 2D chip of total area A_2D consists of one computing
+// sub-system (CS) of area A_C, memory cell arrays A_M^cells, memory
+// peripherals A_M^perif, and buses/IO A_bus.  The two ratios
+//   gamma_cells = A_M^cells / A_C      (Eq. 2's driver)
+//   gamma_perif = A_M^perif / A_C      (Case 3)
+// determine how many parallel CSs an iso-footprint M3D chip can host.
+#pragma once
+
+#include <cstdint>
+
+namespace uld3d::core {
+
+/// Area breakdown of the baseline 2D chip.  All areas in um^2.
+struct AreaModel {
+  double cs_area_um2 = 0.0;          ///< A_C,2D: one computing sub-system
+  double mem_cells_area_um2 = 0.0;   ///< A_M,2D^cells: RRAM cell arrays
+  double mem_perif_area_um2 = 0.0;   ///< A_M,2D^perif: sense amps, controllers
+  double bus_area_um2 = 0.0;         ///< A_bus,2D: system buses and IO
+
+  /// gamma_2D^cells = A_M^cells / A_C.
+  [[nodiscard]] double gamma_cells() const;
+  /// gamma_2D^perif = A_M^perif / A_C.
+  [[nodiscard]] double gamma_perif() const;
+  /// A_2D: total chip footprint.
+  [[nodiscard]] double total_area_um2() const;
+
+  /// Number of parallel CSs the iso-footprint M3D chip hosts (paper Eq. 2):
+  /// the original CS plus one per CS-sized chunk of Si area freed below the
+  /// RRAM arrays.  The paper's bracket is interpreted as the physical
+  /// packing bound floor(1 + gamma_cells): a fractional CS cannot be placed.
+  [[nodiscard]] std::int64_t m3d_parallel_cs() const;
+
+  /// Eq. (2) generalised: parallel CSs when only `usable_fraction` of the
+  /// freed Si area is actually placeable (peripheral blockages, routing
+  /// keep-outs found during physical design).
+  [[nodiscard]] std::int64_t m3d_parallel_cs(double usable_fraction) const;
+
+  /// Validate invariants (all areas non-negative, CS area positive).
+  void validate() const;
+};
+
+}  // namespace uld3d::core

@@ -1,0 +1,74 @@
+// The paper's analytical EDP framework (Sec. III, Eqs. 1-8).
+//
+// Times are in clock cycles, energies in pJ.  2D and M3D designs run at the
+// same target frequency (Sec. II: "2D and 3D designs are given identical
+// target frequencies"), so cycle ratios equal time ratios and EDP benefits
+// are frequency-independent.
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/core/workload.hpp"
+
+namespace uld3d::core {
+
+/// Baseline 2D chip parameters (Fig. 6a).
+struct Chip2d {
+  double bandwidth_bits_per_cycle = 0.0;  ///< B_2D
+  double peak_ops_per_cycle = 0.0;        ///< P_peak of the single CS
+  double alpha_pj_per_bit = 0.0;          ///< alpha_2D: memory access energy
+  double compute_pj_per_op = 0.0;         ///< E_C
+  double cs_idle_pj_per_cycle = 0.0;      ///< E_C^idle
+  double mem_idle_pj_per_cycle = 0.0;     ///< E_M,2D^idle
+};
+
+/// Iso-footprint, iso-capacity M3D chip parameters (Fig. 6b).
+struct Chip3d {
+  std::int64_t parallel_cs = 1;           ///< N (Eq. 2)
+  double bandwidth_bits_per_cycle = 0.0;  ///< B_3D (total, split N ways)
+  double alpha_pj_per_bit = 0.0;          ///< alpha_3D
+  double mem_idle_pj_per_cycle = 0.0;     ///< E_M,3D^idle
+  // E_C and E_C^idle are inherited from the 2D chip: the parallel CSs are
+  // the same Si CMOS design (paper: E_C,3D = E_C,2D).
+};
+
+/// Result bundle for one (workload, 2D, 3D) evaluation.
+struct EdpResult {
+  double t2d_cycles = 0.0;   ///< Eq. (1)
+  double t3d_cycles = 0.0;   ///< Eq. (4)
+  double speedup = 0.0;      ///< Eq. (5)
+  double e2d_pj = 0.0;       ///< Eq. (6)
+  double e3d_pj = 0.0;       ///< Eq. (7)
+  double energy_ratio = 0.0; ///< E_2D / E_3D (>1 means M3D uses less energy)
+  double edp_benefit = 0.0;  ///< Eq. (8) = speedup * E_2D / E_3D
+  std::int64_t n_max = 1;    ///< min(N#, N): CSs actually used
+};
+
+/// Eq. (1): T_C,2D = max(D0/B_2D, F0/P_peak).
+[[nodiscard]] double execution_time_2d(const WorkloadPoint& w, const Chip2d& c);
+
+/// Eq. (4): T_C,3D = max(D0*N/B_3D, F0/(N_max*P_peak)) with
+/// N_max = min(N#, N).  The D0*N/B_3D term models the N-way split of B_3D
+/// with the workload's traffic replicated to each partition's bank group —
+/// the paper's conservative bandwidth assumption.
+[[nodiscard]] double execution_time_3d(const WorkloadPoint& w, const Chip2d& c2,
+                                       const Chip3d& c3);
+
+/// Eq. (6): total 2D energy.
+[[nodiscard]] double energy_2d(const WorkloadPoint& w, const Chip2d& c);
+
+/// Eq. (7): total M3D energy, as printed in the paper (the unused
+/// (N - N_max) CSs are charged idle for all of T_3D, and all N CSs are
+/// charged idle for the compute slack).
+[[nodiscard]] double energy_3d(const WorkloadPoint& w, const Chip2d& c2,
+                               const Chip3d& c3);
+
+/// Eqs. (5) and (8) bundled: speedup, energies, EDP benefit.
+[[nodiscard]] EdpResult evaluate_edp(const WorkloadPoint& w, const Chip2d& c2,
+                                     const Chip3d& c3);
+
+/// Aggregate per-layer results into a whole-network result: cycles and
+/// energies add; speedup/EDP recomputed from the sums.
+[[nodiscard]] EdpResult combine_results(const std::vector<EdpResult>& results);
+
+}  // namespace uld3d::core

@@ -1,0 +1,38 @@
+// The "M3D folding" baseline the paper argues against (Sec. I, refs [3-4]):
+// keep the architecture fixed and fold its physical design across two (or
+// more) device tiers.  Folding halves the footprint and shortens wires by
+// ~1/sqrt(tiers), which trims wire energy and allows a slightly faster
+// clock — but touches neither parallelism nor bandwidth, so the EDP benefit
+// saturates around 1.1-1.4x.  This module quantifies that ceiling so the
+// architectural design points (5x-11x) can be contrasted against it.
+#pragma once
+
+#include <cstdint>
+
+namespace uld3d::core {
+
+/// Energy/delay composition of the design being folded.
+struct FoldingInputs {
+  int tiers = 2;                     ///< device tiers the logic folds across
+  double wire_energy_fraction = 0.30;  ///< share of dynamic energy in wires
+  double wire_delay_fraction = 0.35;   ///< share of the critical path in wires
+  /// Placement overhead recovered by folding (the ~50% footprint reduction
+  /// reported by the RTL-to-GDS folding flows [3-4] also removes whitespace
+  /// and buffer stages).
+  double buffer_energy_fraction = 0.05;
+};
+
+/// Outcome of folding: all values are ratios vs. the unfolded 2D design.
+struct FoldingBenefit {
+  double footprint_ratio = 1.0;   ///< ~1/tiers
+  double wirelength_ratio = 1.0;  ///< ~1/sqrt(tiers)
+  double energy_ratio = 1.0;      ///< < 1: wire + buffer energy savings
+  double delay_ratio = 1.0;       ///< < 1: wire-delay savings
+  double edp_benefit = 1.0;       ///< 1 / (energy_ratio * delay_ratio)
+};
+
+/// Evaluate the folding-only benefit (paper expectation: ~1.1-1.4x for
+/// tiers = 2, cf. [3-4]).
+[[nodiscard]] FoldingBenefit evaluate_folding(const FoldingInputs& inputs);
+
+}  // namespace uld3d::core

@@ -1,0 +1,30 @@
+// Case 3 of the paper (Sec. III-F): multiple interleaved compute & memory
+// tiers.  With Y interleaved pairs of compute and memory tiers, and each
+// memory tier carrying its own peripherals/controllers and IO, the M3D chip
+// hosts N = Y * floor(1 + gamma_cells + gamma_perif) parallel CSs.
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/core/area_model.hpp"
+#include "uld3d/core/edp_model.hpp"
+
+namespace uld3d::core {
+
+/// Parallel CS count of a Y-pair interleaved M3D chip (paper Sec. III-F).
+/// Each added compute tier contributes a full footprint of CS area, and each
+/// memory tier moves both its cells AND its peripherals off the tier below.
+[[nodiscard]] std::int64_t multi_tier_parallel_cs(const AreaModel& area,
+                                                  std::int64_t tier_pairs);
+
+/// Evaluate the Case-3 EDP benefit of a Y-pair M3D chip vs. the 2D baseline.
+/// Bandwidth scales with the CS count (each memory tier brings its own
+/// peripherals, so every CS keeps a private bank group at `per_cs_bw`).
+/// Memory idle energy scales with Y (each tier's peripherals leak).
+[[nodiscard]] EdpResult evaluate_multi_tier_edp(const WorkloadPoint& w,
+                                                const Chip2d& c2,
+                                                const AreaModel& area,
+                                                std::int64_t tier_pairs,
+                                                double per_cs_bw_bits_per_cycle);
+
+}  // namespace uld3d::core

@@ -1,0 +1,54 @@
+// Case 1 / Case 2 of the paper (Sec. III-D/E, Eqs. 9-12).
+//
+// When the M3D memory access FETs are width-relaxed by delta (Case 1), or
+// the ILV via pitch grows by beta (Case 2), the M3D cell array grows.  To
+// keep the comparison iso-footprint and iso-capacity, both chips grow to the
+// M3D cell-array size, and the now-larger 2D baseline is re-optimized with
+// extra parallel CSs of its own (Eq. 9).  This module evaluates the
+// resulting M3D-vs-new-2D EDP benefit (Eqs. 10-12).
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/core/area_model.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/workload.hpp"
+
+namespace uld3d::core {
+
+/// Outcome of re-optimizing both chips for a grown M3D cell array.
+struct RelaxedDesignPoint {
+  double m3d_cells_area_um2 = 0.0;  ///< A_M,3D^cells = (area scale) * A_M,2D^cells
+  double footprint_um2 = 0.0;       ///< common footprint of both chips
+  std::int64_t n_2d = 1;            ///< parallel CSs in the re-optimized 2D chip
+  std::int64_t n_3d = 1;            ///< parallel CSs in the M3D chip
+};
+
+/// Compute the Case-1/Case-2 design point for a given M3D cell-array area
+/// scale factor (delta for Case 1, or the via-pitch-induced growth for
+/// Case 2; 1.0 = no relaxation).
+///
+/// Eq. (9): the grown footprint hosts
+///   N_2D = 1 + floor(max(scale*A_cells - A_2D, 0) / A_C)
+/// CSs in the 2D baseline (the original CS plus any that fit in the added
+/// area), while the M3D chip hosts N_3D = 1 + floor(scale*A_cells_freed/A_C)
+/// since the whole (grown) array still frees its Si footprint.
+[[nodiscard]] RelaxedDesignPoint relaxed_design_point(const AreaModel& area,
+                                                      double cell_area_scale);
+
+/// Per-CS bandwidth model for the relaxed comparison: both chips keep the
+/// same per-bank bandwidth; total bandwidth scales with each chip's CS
+/// count (each CS gets a bank group), matching the Sec.-II methodology.
+struct RelaxedBandwidth {
+  double per_cs_bits_per_cycle = 0.0;
+};
+
+/// Eqs. (10)-(12): EDP benefit of the M3D chip vs. the re-optimized larger
+/// 2D baseline.  The new 2D chip runs the workload on N_max,2D = min(N#,
+/// N_2D) CSs with bandwidth N_2D-way-partitioned, mirroring Eq. (4)'s form.
+[[nodiscard]] EdpResult evaluate_relaxed_edp(const WorkloadPoint& w,
+                                             const Chip2d& c2,
+                                             const RelaxedDesignPoint& point,
+                                             const RelaxedBandwidth& bw);
+
+}  // namespace uld3d::core

@@ -1,0 +1,65 @@
+// Gables-style roofline model [12] — the foundation under the paper's
+// Eq. 1.  A Roofline is a (peak throughput, memory bandwidth) pair; the
+// attainable throughput of a workload with operational intensity I is
+// min(P_peak, B * I).  Gables extends this to an SoC of heterogeneous
+// accelerators sharing memory bandwidth; the paper's N-parallel-CS M3D chip
+// is the homogeneous special case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uld3d/core/workload.hpp"
+
+namespace uld3d::core {
+
+/// A single-accelerator roofline.
+struct Roofline {
+  double peak_ops_per_cycle = 0.0;       ///< P_peak
+  double bandwidth_bits_per_cycle = 0.0; ///< B
+
+  /// Attainable throughput (ops/cycle) at operational intensity I (ops/bit).
+  [[nodiscard]] double attainable_ops_per_cycle(double intensity) const;
+
+  /// The ridge point: the intensity where compute and memory balance.
+  [[nodiscard]] double ridge_intensity() const;
+
+  /// Execution time (cycles) of a workload — exactly the paper's Eq. 1.
+  [[nodiscard]] double execution_time_cycles(const WorkloadPoint& w) const;
+
+  /// True when the workload sits left of the ridge (bandwidth-limited).
+  [[nodiscard]] bool memory_bound(const WorkloadPoint& w) const;
+};
+
+/// One IP block of a Gables SoC: its share of compute plus the fraction of
+/// the workload it executes.
+struct GablesIp {
+  Roofline roofline;            ///< the IP's private roofline
+  double work_fraction = 1.0;   ///< share of F0 (and D0) mapped to this IP
+};
+
+/// A Gables SoC: IPs run concurrently but share `shared_bandwidth` to
+/// memory; each IP is additionally capped by its private roofline.
+class GablesSoc {
+ public:
+  explicit GablesSoc(double shared_bandwidth_bits_per_cycle);
+
+  void add_ip(GablesIp ip);
+  [[nodiscard]] std::size_t ip_count() const { return ips_.size(); }
+
+  /// Execution time of `w`: all IPs start together; the SoC finishes when
+  /// the slowest IP finishes; memory time is the shared-bandwidth bound.
+  [[nodiscard]] double execution_time_cycles(const WorkloadPoint& w) const;
+
+  /// The paper's M3D chip as a Gables SoC: n identical CSs, each taking
+  /// 1/n of the work, with per-CS bandwidth `B3D / n`.
+  [[nodiscard]] static GablesSoc homogeneous(std::int64_t n,
+                                             const Roofline& per_cs,
+                                             double shared_bandwidth);
+
+ private:
+  double shared_bandwidth_;
+  std::vector<GablesIp> ips_;
+};
+
+}  // namespace uld3d::core

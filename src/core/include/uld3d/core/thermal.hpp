@@ -1,0 +1,46 @@
+// Thermal model for stacked M3D tiers (paper Eq. 17, Observations 2 & 10).
+//
+//   Temp_rise = sum_{i=1..Y} ( (sum_{j=1..i} R_j) + R_0 ) * P_i
+//
+// where R_0 is the heat-sink resistance to ambient, R_j the vertical thermal
+// resistance added by the j-th interleaved tier pair, and P_i the power of
+// the i-th pair (compute + memory).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uld3d::core {
+
+/// One interleaved compute+memory tier pair.
+struct ThermalTier {
+  double resistance_k_per_w = 0.0;  ///< R_j: added vertical resistance
+  double power_w = 0.0;             ///< P_j = P_C,j + P_M,j
+};
+
+/// A stack of tier pairs above a heat sink.
+class ThermalStack {
+ public:
+  explicit ThermalStack(double sink_resistance_k_per_w);
+
+  /// Add the next tier pair on top.
+  void add_tier(ThermalTier tier);
+
+  [[nodiscard]] std::size_t tier_count() const { return tiers_.size(); }
+  [[nodiscard]] double sink_resistance() const { return r0_; }
+
+  /// Eq. (17): total temperature rise of the hottest (top) tier.
+  [[nodiscard]] double temperature_rise_k() const;
+
+  /// Largest Y such that a uniform stack of `per_tier` pairs stays within
+  /// `max_rise_k` (Observation 10; typical budget ~60 K [20]).
+  [[nodiscard]] static std::int64_t max_tier_pairs(double sink_resistance_k_per_w,
+                                                   const ThermalTier& per_tier,
+                                                   double max_rise_k);
+
+ private:
+  double r0_;
+  std::vector<ThermalTier> tiers_;
+};
+
+}  // namespace uld3d::core

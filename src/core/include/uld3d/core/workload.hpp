@@ -1,0 +1,106 @@
+// Workload abstraction for the analytical framework (paper Sec. III-A).
+//
+// A workload point is the (F0, D0, N#) triple of the paper: F0 compute
+// operations over D0 bits of on-chip memory traffic, partitionable into at
+// most N# parallel pieces.  Helpers derive workload points from nn::Layer /
+// nn::Network, where D0 counts the RRAM/global-buffer traffic of one
+// inference: weight reads plus input reads plus output writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uld3d/nn/network.hpp"
+
+namespace uld3d::core {
+
+/// The paper's (F0, D0, N#).
+struct WorkloadPoint {
+  double f0_ops = 0.0;          ///< compute operations
+  double d0_bits = 0.0;         ///< on-chip memory traffic in bits
+  std::int64_t max_partitions = 1;  ///< N#: maximum parallel partitions
+  /// Portion of D0 that every parallel partition must fetch in full (e.g.
+  /// the input map of a K-partitioned conv).  The remainder splits across
+  /// partitions.  Negative (the default) means ALL of D0 is replicated —
+  /// the paper's conservative Eq. (4) written exactly as printed.
+  double d0_shared_bits = -1.0;
+
+  /// Replicated traffic bits (resolves the -1 default to d0_bits).
+  [[nodiscard]] double shared_bits() const {
+    return d0_shared_bits < 0.0 ? d0_bits : d0_shared_bits;
+  }
+
+  /// Operational intensity, ops per bit.
+  [[nodiscard]] double intensity() const {
+    return d0_bits > 0.0 ? f0_ops / d0_bits : 0.0;
+  }
+};
+
+/// How a layer's traffic is charged when deriving D0.
+struct TrafficOptions {
+  int weight_bits = 8;       ///< weight precision
+  int activation_bits = 8;   ///< activation precision
+  bool count_weights = true;
+  bool count_inputs = true;
+  bool count_outputs = true;
+  /// RRAM writes occupy the port longer than reads; output bits are charged
+  /// at this weight so D0/B matches the accelerator's real port occupancy.
+  double output_write_weight = 4.0;
+};
+
+/// How a layer can be split across parallel CSs, mirroring the Sec.-II
+/// accelerator's mapping (see sim::AcceleratorConfig for the same choices).
+struct PartitionOptions {
+  std::int64_t array_cols = 16;   ///< K spatial unrolling (tile width)
+  std::int64_t array_rows = 16;   ///< C spatial unrolling (tile height)
+  std::int64_t spatial_ox = 1;    ///< OX spatial unrolling
+  std::int64_t spatial_oy = 1;    ///< OY spatial unrolling
+  bool serial_vector_unit = true; ///< pool/eltwise run on one shared unit
+  bool ds_c_partition = true;     ///< strided 1x1 convs partition over C
+  /// Small-C layers pack several filter taps into the C dimension (the
+  /// Sec.-II channel-packing optimization); affects utilization only.
+  bool channel_tap_packing = true;
+  /// When true, convolutions may also partition across output rows (hybrid
+  /// K x OY splits, a mapping freedom DSE tools like ZigZag explore):
+  /// N# = ceil(K/cols) * ceil(OY/spatial_oy) and traffic splits cleanly, so
+  /// nothing is replicated.  The fixed Sec.-II SoC keeps this false.
+  bool hybrid_pixel_partition = false;
+};
+
+/// Spatial PE utilization of a conv under `part`'s unrolling.  F0 is charged
+/// as ops/utilization ("effective ops"): idle PE slots still take cycles,
+/// exactly as an architectural simulator like ZigZag accounts them.
+[[nodiscard]] double conv_spatial_utilization(const nn::ConvSpec& conv,
+                                              const PartitionOptions& part);
+
+/// D0 for one layer under `opts` (weights + inputs + weighted outputs).
+[[nodiscard]] double layer_traffic_bits(const nn::Layer& layer,
+                                        const TrafficOptions& opts);
+
+/// Workload point for one layer.  N# follows `part`: ceil(K/array_cols) for
+/// convolutions (K-partitioned systolic mapping), ceil(C/array_rows) for
+/// strided 1x1 projections when ds_c_partition is set, and 1 (or the channel
+/// count) for pool/eltwise layers depending on serial_vector_unit.
+[[nodiscard]] WorkloadPoint layer_workload(const nn::Layer& layer,
+                                           const TrafficOptions& opts,
+                                           const PartitionOptions& part);
+
+/// Aggregate workload point of a full network: F0 and D0 sum over layers;
+/// N# is the compute-weighted effective partition bound, i.e. the N# that a
+/// single max() roofline over the whole network behaves as.
+[[nodiscard]] WorkloadPoint network_workload(const nn::Network& net,
+                                             const TrafficOptions& opts,
+                                             const PartitionOptions& part);
+
+/// Per-layer workload points for a network (same order as net.layers()).
+[[nodiscard]] std::vector<WorkloadPoint> layer_workloads(
+    const nn::Network& net, const TrafficOptions& opts,
+    const PartitionOptions& part);
+
+/// A synthetic workload with a given operational intensity (ops/bit), used
+/// by the Fig.-8 sweeps: D0 fixed at `d0_bits`, F0 = intensity * D0.
+[[nodiscard]] WorkloadPoint synthetic_workload(double ops_per_bit,
+                                               double d0_bits,
+                                               std::int64_t max_partitions);
+
+}  // namespace uld3d::core

@@ -1,0 +1,41 @@
+#include "uld3d/core/multi_tier.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::core {
+
+std::int64_t multi_tier_parallel_cs(const AreaModel& area,
+                                    std::int64_t tier_pairs) {
+  area.validate();
+  expects(tier_pairs >= 1, "at least one compute/memory tier pair");
+  if (tier_pairs == 1) {
+    // Y = 1 is the Sec.-II configuration: peripherals stay in the Si tier
+    // (they are NOT freed), so only gamma_cells contributes.
+    return area.m3d_parallel_cs();
+  }
+  // Y >= 2: each memory tier has its own peripherals/controllers and IO on
+  // its companion tier, so the full (cells + peripherals) footprint converts
+  // to CS-capable area on every pair (paper: N = Y*[1 + g_cells + g_perif]).
+  const double per_pair = 1.0 + area.gamma_cells() + area.gamma_perif();
+  return tier_pairs *
+         static_cast<std::int64_t>(std::floor(per_pair + 1e-9));
+}
+
+EdpResult evaluate_multi_tier_edp(const WorkloadPoint& w, const Chip2d& c2,
+                                  const AreaModel& area,
+                                  std::int64_t tier_pairs,
+                                  double per_cs_bw_bits_per_cycle) {
+  expects(per_cs_bw_bits_per_cycle > 0.0, "per-CS bandwidth must be positive");
+  Chip3d c3;
+  c3.parallel_cs = multi_tier_parallel_cs(area, tier_pairs);
+  c3.bandwidth_bits_per_cycle =
+      per_cs_bw_bits_per_cycle * static_cast<double>(c3.parallel_cs);
+  c3.alpha_pj_per_bit = c2.alpha_pj_per_bit * 0.97;
+  c3.mem_idle_pj_per_cycle =
+      c2.mem_idle_pj_per_cycle * static_cast<double>(tier_pairs);
+  return evaluate_edp(w, c2, c3);
+}
+
+}  // namespace uld3d::core

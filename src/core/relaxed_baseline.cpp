@@ -1,0 +1,65 @@
+#include "uld3d/core/relaxed_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::core {
+
+RelaxedDesignPoint relaxed_design_point(const AreaModel& area,
+                                        double cell_area_scale) {
+  area.validate();
+  expects(cell_area_scale >= 1.0, "cell area scale >= 1 (1 = no relaxation)");
+  RelaxedDesignPoint p;
+  p.m3d_cells_area_um2 = cell_area_scale * area.mem_cells_area_um2;
+  const double a2d = area.total_area_um2();
+  // If the grown array still fits inside the original footprint, nothing
+  // changes; otherwise both chips grow to hold it (Fig. 10a).
+  p.footprint_um2 = std::max(a2d, p.m3d_cells_area_um2 + area.mem_perif_area_um2 +
+                                      area.cs_area_um2 + area.bus_area_um2);
+  // Eq. (9): extra area beyond the original 2D chip hosts extra 2D CSs.
+  const double extra = std::max(0.0, p.m3d_cells_area_um2 - a2d);
+  p.n_2d = 1 + static_cast<std::int64_t>(std::floor(extra / area.cs_area_um2 + 1e-9));
+  // The M3D chip frees the Si under the (grown) array for parallel CSs.
+  p.n_3d = 1 + static_cast<std::int64_t>(
+                   std::floor(p.m3d_cells_area_um2 / area.cs_area_um2 + 1e-9));
+  ensures(p.n_3d >= p.n_2d, "M3D can never host fewer CSs than 2D");
+  return p;
+}
+
+EdpResult evaluate_relaxed_edp(const WorkloadPoint& w, const Chip2d& c2,
+                               const RelaxedDesignPoint& point,
+                               const RelaxedBandwidth& bw) {
+  expects(bw.per_cs_bits_per_cycle > 0.0, "per-CS bandwidth must be positive");
+
+  // The re-optimized 2D baseline behaves like an "M3D" chip with N_2D CSs in
+  // Eq. (10)'s numerator: T_C,2D^new = max(D0*N_2D/B_2D_total, F0/(N_max,2D*P)).
+  Chip3d as_2d;
+  as_2d.parallel_cs = point.n_2d;
+  as_2d.bandwidth_bits_per_cycle =
+      bw.per_cs_bits_per_cycle * static_cast<double>(point.n_2d);
+  as_2d.alpha_pj_per_bit = c2.alpha_pj_per_bit;
+  as_2d.mem_idle_pj_per_cycle = c2.mem_idle_pj_per_cycle;
+
+  Chip3d m3d;
+  m3d.parallel_cs = point.n_3d;
+  m3d.bandwidth_bits_per_cycle =
+      bw.per_cs_bits_per_cycle * static_cast<double>(point.n_3d);
+  // M3D retains its (CNFET-selector) access energy and banked idle energy.
+  m3d.alpha_pj_per_bit = c2.alpha_pj_per_bit * 0.97;
+  m3d.mem_idle_pj_per_cycle = c2.mem_idle_pj_per_cycle;
+
+  EdpResult r;
+  r.t2d_cycles = execution_time_3d(w, c2, as_2d);  // Eq. (10) numerator
+  r.t3d_cycles = execution_time_3d(w, c2, m3d);
+  r.speedup = r.t2d_cycles / r.t3d_cycles;
+  r.e2d_pj = energy_3d(w, c2, as_2d);  // Eq. (11)
+  r.e3d_pj = energy_3d(w, c2, m3d);
+  r.energy_ratio = r.e2d_pj / r.e3d_pj;
+  r.edp_benefit = r.speedup * r.energy_ratio;  // Eq. (12)
+  r.n_max = std::min<std::int64_t>(w.max_partitions, point.n_3d);
+  return r;
+}
+
+}  // namespace uld3d::core

@@ -1,0 +1,72 @@
+#include "uld3d/core/roofline.hpp"
+
+#include <algorithm>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::core {
+
+double Roofline::attainable_ops_per_cycle(double intensity) const {
+  expects(peak_ops_per_cycle > 0.0 && bandwidth_bits_per_cycle > 0.0,
+          "roofline parameters must be positive");
+  expects(intensity >= 0.0, "intensity must be non-negative");
+  return std::min(peak_ops_per_cycle, bandwidth_bits_per_cycle * intensity);
+}
+
+double Roofline::ridge_intensity() const {
+  expects(bandwidth_bits_per_cycle > 0.0, "bandwidth must be positive");
+  return peak_ops_per_cycle / bandwidth_bits_per_cycle;
+}
+
+double Roofline::execution_time_cycles(const WorkloadPoint& w) const {
+  expects(peak_ops_per_cycle > 0.0 && bandwidth_bits_per_cycle > 0.0,
+          "roofline parameters must be positive");
+  return std::max(w.d0_bits / bandwidth_bits_per_cycle,
+                  w.f0_ops / peak_ops_per_cycle);
+}
+
+bool Roofline::memory_bound(const WorkloadPoint& w) const {
+  return w.d0_bits / bandwidth_bits_per_cycle >
+         w.f0_ops / peak_ops_per_cycle;
+}
+
+GablesSoc::GablesSoc(double shared_bandwidth_bits_per_cycle)
+    : shared_bandwidth_(shared_bandwidth_bits_per_cycle) {
+  expects(shared_bandwidth_ > 0.0, "shared bandwidth must be positive");
+}
+
+void GablesSoc::add_ip(GablesIp ip) {
+  expects(ip.work_fraction > 0.0 && ip.work_fraction <= 1.0,
+          "work fraction must be in (0, 1]");
+  expects(ip.roofline.peak_ops_per_cycle > 0.0 &&
+              ip.roofline.bandwidth_bits_per_cycle > 0.0,
+          "IP roofline must be positive");
+  ips_.push_back(ip);
+}
+
+double GablesSoc::execution_time_cycles(const WorkloadPoint& w) const {
+  expects(!ips_.empty(), "a Gables SoC needs at least one IP");
+  // Each IP executes its slice under its private roofline; the SoC-level
+  // memory system additionally bounds the total traffic.
+  double slowest_ip = 0.0;
+  for (const auto& ip : ips_) {
+    WorkloadPoint slice = w;
+    slice.f0_ops = w.f0_ops * ip.work_fraction;
+    slice.d0_bits = w.d0_bits * ip.work_fraction;
+    slowest_ip = std::max(slowest_ip, ip.roofline.execution_time_cycles(slice));
+  }
+  const double shared_memory_time = w.d0_bits / shared_bandwidth_;
+  return std::max(slowest_ip, shared_memory_time);
+}
+
+GablesSoc GablesSoc::homogeneous(std::int64_t n, const Roofline& per_cs,
+                                 double shared_bandwidth) {
+  expects(n >= 1, "need at least one CS");
+  GablesSoc soc(shared_bandwidth);
+  for (std::int64_t i = 0; i < n; ++i) {
+    soc.add_ip({per_cs, 1.0 / static_cast<double>(n)});
+  }
+  return soc;
+}
+
+}  // namespace uld3d::core

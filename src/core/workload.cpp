@@ -1,0 +1,139 @@
+#include "uld3d/core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::core {
+
+double layer_traffic_bits(const nn::Layer& layer, const TrafficOptions& opts) {
+  expects(opts.output_write_weight >= 1.0, "write weight must be >= 1");
+  double bits = 0.0;
+  if (opts.count_weights) {
+    bits += static_cast<double>(layer.weight_bits(opts.weight_bits));
+  }
+  if (opts.count_inputs) {
+    bits += static_cast<double>(layer.input_bits(opts.activation_bits));
+  }
+  if (opts.count_outputs) {
+    bits += opts.output_write_weight *
+            static_cast<double>(layer.output_bits(opts.activation_bits));
+  }
+  return bits;
+}
+
+namespace {
+double fill(std::int64_t dim, std::int64_t unroll) {
+  return static_cast<double>(dim) /
+         static_cast<double>(ceil_div(dim, unroll) * unroll);
+}
+}  // namespace
+
+double conv_spatial_utilization(const nn::ConvSpec& conv,
+                                const PartitionOptions& part) {
+  double c_fill = 0.0;
+  if (part.channel_tap_packing && conv.c < part.array_rows) {
+    const std::int64_t taps = conv.fx * conv.fy;
+    const std::int64_t packed =
+        std::min<std::int64_t>(taps, part.array_rows / conv.c);
+    c_fill = std::min<double>(
+        1.0, static_cast<double>(conv.c * packed) /
+                 static_cast<double>(part.array_rows));
+  } else {
+    c_fill = fill(conv.c, part.array_rows);
+  }
+  return fill(conv.k, part.array_cols) * c_fill *
+         fill(conv.ox, part.spatial_ox) * fill(conv.oy, part.spatial_oy);
+}
+
+WorkloadPoint layer_workload(const nn::Layer& layer, const TrafficOptions& opts,
+                             const PartitionOptions& part) {
+  expects(part.array_cols >= 1 && part.array_rows >= 1 &&
+              part.spatial_ox >= 1 && part.spatial_oy >= 1,
+          "array dimensions must be >= 1");
+  WorkloadPoint w;
+  w.f0_ops = static_cast<double>(layer.ops());
+  w.d0_bits = layer_traffic_bits(layer, opts);
+  if (layer.is_conv()) {
+    w.f0_ops /= conv_spatial_utilization(layer.conv(), part);
+  }
+  if (layer.is_conv()) {
+    const auto& c = layer.conv();
+    const bool ds = part.ds_c_partition && c.fx == 1 && c.fy == 1 &&
+                    c.stride > 1 && c.c > part.array_rows;
+    if (ds) {
+      // C-partitioning splits weights AND inputs; nothing is replicated.
+      w.max_partitions = ceil_div(c.c, part.array_rows);
+      w.d0_shared_bits = 0.0;
+    } else if (part.hybrid_pixel_partition) {
+      // Hybrid K x OY partitioning: weights split along K, inputs along OY;
+      // to first order nothing is replicated.
+      w.max_partitions =
+          ceil_div(c.k, part.array_cols) * ceil_div(c.oy, part.spatial_oy);
+      w.d0_shared_bits = 0.0;
+    } else {
+      // K-partitioning replicates the input map to every partition.
+      w.max_partitions = ceil_div(c.k, part.array_cols);
+      w.d0_shared_bits = opts.count_inputs
+                             ? static_cast<double>(
+                                   layer.input_bits(opts.activation_bits))
+                             : 0.0;
+    }
+  } else if (part.serial_vector_unit) {
+    w.max_partitions = 1;
+  } else {
+    w.max_partitions =
+        layer.is_pool() ? layer.pool().channels : layer.eltwise().channels;
+  }
+  w.max_partitions = std::max<std::int64_t>(1, w.max_partitions);
+  return w;
+}
+
+WorkloadPoint network_workload(const nn::Network& net,
+                               const TrafficOptions& opts,
+                               const PartitionOptions& part) {
+  WorkloadPoint total;
+  // Effective N# of the whole network: with per-layer compute times t_l and
+  // partition bounds n_l, the parallel execution takes sum(t_l / n_l), so the
+  // network behaves as the compute-weighted harmonic mean of the n_l.
+  double weighted_inverse = 0.0;
+  total.d0_shared_bits = 0.0;
+  for (const auto& layer : net.layers()) {
+    const WorkloadPoint w = layer_workload(layer, opts, part);
+    total.f0_ops += w.f0_ops;
+    total.d0_bits += w.d0_bits;
+    total.d0_shared_bits += w.shared_bits();
+    weighted_inverse += w.f0_ops / static_cast<double>(w.max_partitions);
+  }
+  expects(total.f0_ops > 0.0, "network has no compute");
+  const double harmonic = total.f0_ops / weighted_inverse;
+  total.max_partitions = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(harmonic)));
+  return total;
+}
+
+std::vector<WorkloadPoint> layer_workloads(const nn::Network& net,
+                                           const TrafficOptions& opts,
+                                           const PartitionOptions& part) {
+  std::vector<WorkloadPoint> points;
+  points.reserve(net.size());
+  for (const auto& layer : net.layers()) {
+    points.push_back(layer_workload(layer, opts, part));
+  }
+  return points;
+}
+
+WorkloadPoint synthetic_workload(double ops_per_bit, double d0_bits,
+                                 std::int64_t max_partitions) {
+  expects(ops_per_bit > 0.0 && d0_bits > 0.0, "workload must be non-trivial");
+  expects(max_partitions >= 1, "N# >= 1");
+  WorkloadPoint w;
+  w.d0_bits = d0_bits;
+  w.f0_ops = ops_per_bit * d0_bits;
+  w.max_partitions = max_partitions;
+  return w;
+}
+
+}  // namespace uld3d::core

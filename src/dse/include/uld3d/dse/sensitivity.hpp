@@ -1,0 +1,36 @@
+// One-at-a-time sensitivity analysis: how much a scalar objective moves per
+// relative perturbation of each input parameter.  Used to rank which
+// technology/architecture knobs (bandwidth, gamma_cells, access energy,
+// via pitch, ...) dominate the M3D EDP benefit.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uld3d/util/table.hpp"
+
+namespace uld3d::dse {
+
+/// Result for one parameter.
+struct Sensitivity {
+  std::string parameter;
+  double baseline_value = 0.0;
+  double objective_minus = 0.0;  ///< objective at (1 - step) * value
+  double objective_plus = 0.0;   ///< objective at (1 + step) * value
+  /// Normalized elasticity: d(objective)/objective per d(param)/param,
+  /// central-differenced.  |1.0| means proportional response.
+  double elasticity = 0.0;
+};
+
+/// Compute elasticities of `objective(params)` around `baseline`, one
+/// parameter at a time, with a relative `step` (default 5%).
+[[nodiscard]] std::vector<Sensitivity> analyze_sensitivity(
+    const std::vector<std::string>& names, const std::vector<double>& baseline,
+    const std::function<double(const std::vector<double>&)>& objective,
+    double step = 0.05);
+
+/// Render sensitivities as a table, largest |elasticity| first.
+[[nodiscard]] Table sensitivity_table(std::vector<Sensitivity> results);
+
+}  // namespace uld3d::dse

@@ -1,0 +1,86 @@
+// Design-space sweep engine: Cartesian parameter grids, metric evaluation,
+// Pareto-front extraction, and tabular export.  Used by the benchmark
+// harnesses and the design_space_explorer example; model-agnostic (the
+// evaluation callback closes over whatever chip/workload objects it needs).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uld3d/util/table.hpp"
+
+namespace uld3d::dse {
+
+/// One swept parameter and its values.
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A Cartesian grid over named axes.
+class Grid {
+ public:
+  /// Append an axis; returns *this for chaining.
+  Grid& axis(std::string name, std::vector<double> values);
+
+  [[nodiscard]] std::size_t axis_count() const { return axes_.size(); }
+  [[nodiscard]] std::size_t size() const;  ///< product of axis lengths
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+
+  /// The `index`-th grid point (row-major over axes in insertion order).
+  [[nodiscard]] std::vector<double> point(std::size_t index) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+/// One evaluated design point.
+struct SweepRow {
+  std::vector<double> params;   ///< one value per axis
+  std::vector<double> metrics;  ///< one value per metric
+};
+
+/// All evaluated points of a sweep.
+class SweepResult {
+ public:
+  SweepResult(std::vector<std::string> param_names,
+              std::vector<std::string> metric_names,
+              std::vector<SweepRow> rows);
+
+  [[nodiscard]] const std::vector<SweepRow>& rows() const { return rows_; }
+  [[nodiscard]] const std::vector<std::string>& param_names() const {
+    return param_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+
+  /// Column index of a metric; throws for unknown names.
+  [[nodiscard]] std::size_t metric_index(const std::string& name) const;
+
+  /// Indices of rows on the Pareto front that MAXIMIZES `benefit_metric`
+  /// while MINIMIZING `cost_metric`, sorted by ascending cost.
+  [[nodiscard]] std::vector<std::size_t> pareto_front(
+      const std::string& benefit_metric, const std::string& cost_metric) const;
+
+  /// Row index with the best (largest) value of `metric`.
+  [[nodiscard]] std::size_t best(const std::string& metric) const;
+
+  /// Render as a uld3d::Table (params then metrics, `digits` decimals).
+  [[nodiscard]] Table to_table(int digits = 2) const;
+
+ private:
+  std::vector<std::string> param_names_;
+  std::vector<std::string> metric_names_;
+  std::vector<SweepRow> rows_;
+};
+
+/// Evaluate `metrics(point)` at every grid point.  The callback returns one
+/// value per metric name (checked).
+[[nodiscard]] SweepResult run_sweep(
+    const Grid& grid, const std::vector<std::string>& metric_names,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        evaluate);
+
+}  // namespace uld3d::dse

@@ -1,0 +1,55 @@
+#include "uld3d/dse/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::dse {
+
+std::vector<Sensitivity> analyze_sensitivity(
+    const std::vector<std::string>& names, const std::vector<double>& baseline,
+    const std::function<double(const std::vector<double>&)>& objective,
+    double step) {
+  expects(names.size() == baseline.size(),
+          "one name per baseline parameter required");
+  expects(step > 0.0 && step < 1.0, "relative step must be in (0, 1)");
+  const double base_objective = objective(baseline);
+  expects(std::abs(base_objective) > 0.0,
+          "objective must be non-zero at the baseline");
+
+  std::vector<Sensitivity> results;
+  results.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Sensitivity s;
+    s.parameter = names[i];
+    s.baseline_value = baseline[i];
+    std::vector<double> params = baseline;
+    params[i] = baseline[i] * (1.0 - step);
+    s.objective_minus = objective(params);
+    params[i] = baseline[i] * (1.0 + step);
+    s.objective_plus = objective(params);
+    s.elasticity = (s.objective_plus - s.objective_minus) /
+                   (2.0 * step * base_objective);
+    results.push_back(std::move(s));
+  }
+  return results;
+}
+
+Table sensitivity_table(std::vector<Sensitivity> results) {
+  std::sort(results.begin(), results.end(),
+            [](const Sensitivity& a, const Sensitivity& b) {
+              return std::abs(a.elasticity) > std::abs(b.elasticity);
+            });
+  Table table({"Parameter", "Baseline", "Obj @ -5%", "Obj @ +5%",
+               "Elasticity"});
+  for (const auto& s : results) {
+    table.add_row({s.parameter, format_double(s.baseline_value, 3),
+                   format_double(s.objective_minus, 3),
+                   format_double(s.objective_plus, 3),
+                   format_double(s.elasticity, 3)});
+  }
+  return table;
+}
+
+}  // namespace uld3d::dse

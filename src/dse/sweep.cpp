@@ -1,0 +1,128 @@
+#include "uld3d/dse/sweep.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::dse {
+
+Grid& Grid::axis(std::string name, std::vector<double> values) {
+  expects(!values.empty(), "axis needs at least one value: " + name);
+  for (const auto& existing : axes_) {
+    expects(existing.name != name, "duplicate axis name: " + name);
+  }
+  axes_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+std::size_t Grid::size() const {
+  std::size_t n = axes_.empty() ? 0 : 1;
+  for (const auto& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<double> Grid::point(std::size_t index) const {
+  expects(index < size(), "grid index out of range");
+  std::vector<double> values(axes_.size());
+  // Row-major: the LAST axis varies fastest.
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const auto& axis = axes_[a];
+    values[a] = axis.values[index % axis.values.size()];
+    index /= axis.values.size();
+  }
+  return values;
+}
+
+SweepResult::SweepResult(std::vector<std::string> param_names,
+                         std::vector<std::string> metric_names,
+                         std::vector<SweepRow> rows)
+    : param_names_(std::move(param_names)),
+      metric_names_(std::move(metric_names)),
+      rows_(std::move(rows)) {
+  for (const auto& row : rows_) {
+    expects(row.params.size() == param_names_.size(),
+            "row parameter width mismatch");
+    expects(row.metrics.size() == metric_names_.size(),
+            "row metric width mismatch");
+  }
+}
+
+std::size_t SweepResult::metric_index(const std::string& name) const {
+  const auto it = std::find(metric_names_.begin(), metric_names_.end(), name);
+  expects(it != metric_names_.end(), "unknown metric: " + name);
+  return static_cast<std::size_t>(it - metric_names_.begin());
+}
+
+std::vector<std::size_t> SweepResult::pareto_front(
+    const std::string& benefit_metric, const std::string& cost_metric) const {
+  const std::size_t bi = metric_index(benefit_metric);
+  const std::size_t ci = metric_index(cost_metric);
+  std::vector<std::size_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rows_[a].metrics[ci] != rows_[b].metrics[ci]) {
+      return rows_[a].metrics[ci] < rows_[b].metrics[ci];
+    }
+    return rows_[a].metrics[bi] > rows_[b].metrics[bi];
+  });
+  std::vector<std::size_t> front;
+  double best_benefit = -1.0e300;
+  for (const std::size_t i : order) {
+    if (rows_[i].metrics[bi] > best_benefit) {
+      best_benefit = rows_[i].metrics[bi];
+      front.push_back(i);
+    }
+  }
+  return front;
+}
+
+std::size_t SweepResult::best(const std::string& metric) const {
+  expects(!rows_.empty(), "empty sweep has no best row");
+  const std::size_t mi = metric_index(metric);
+  std::size_t best_row = 0;
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].metrics[mi] > rows_[best_row].metrics[mi]) best_row = i;
+  }
+  return best_row;
+}
+
+Table SweepResult::to_table(int digits) const {
+  std::vector<std::string> headers = param_names_;
+  headers.insert(headers.end(), metric_names_.begin(), metric_names_.end());
+  Table table(std::move(headers));
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.params.size() + row.metrics.size());
+    for (const double v : row.params) cells.push_back(format_double(v, digits));
+    for (const double v : row.metrics) cells.push_back(format_double(v, digits));
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+SweepResult run_sweep(
+    const Grid& grid, const std::vector<std::string>& metric_names,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        evaluate) {
+  expects(grid.axis_count() > 0, "sweep needs at least one axis");
+  expects(!metric_names.empty(), "sweep needs at least one metric");
+  std::vector<std::string> param_names;
+  param_names.reserve(grid.axis_count());
+  for (const auto& axis : grid.axes()) param_names.push_back(axis.name);
+
+  std::vector<SweepRow> rows;
+  rows.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SweepRow row;
+    row.params = grid.point(i);
+    row.metrics = evaluate(row.params);
+    expects(row.metrics.size() == metric_names.size(),
+            "evaluator returned wrong metric count");
+    rows.push_back(std::move(row));
+  }
+  return SweepResult(std::move(param_names),
+                     std::vector<std::string>(metric_names), std::move(rows));
+}
+
+}  // namespace uld3d::dse

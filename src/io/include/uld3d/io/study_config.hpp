@@ -1,0 +1,37 @@
+// Bind INI configs to the library's experiment objects: a whole CaseStudy
+// (PDK knobs + CS design + capacity) or a custom mapper Architecture can be
+// described in text and round-tripped.
+//
+// CaseStudy schema (all keys optional; defaults = the paper's Sec.-II point):
+//   [study]    capacity_mb, mem_density_handicap
+//   [node]     feature_nm, target_mhz
+//   [rram]     bits_per_cell, cell_area_f2, read_pj_per_bit, write_pj_per_bit,
+//              read_latency_ns, bank_read_bits, periph_area_fraction
+//   [cnfet]    drive_ratio, width_relaxation, access_energy_ratio
+//   [ilv]      pitch_nm, vias_per_cell
+//   [cs]       pe_rows, pe_cols, gates_per_pe, control_gates, sram_kb
+//
+// Architecture schema:
+//   [arch]     name, spatial_k, spatial_c, spatial_ox, spatial_oy,
+//              rram_mb, rram_bw_bits_per_cycle, mac_pj
+//   [weights] / [inputs] / [outputs]
+//              reg_bytes, local_kb, global_mb  (0 = level absent)
+#pragma once
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/io/config.hpp"
+#include "uld3d/mapper/architecture.hpp"
+
+namespace uld3d::io {
+
+/// Build a CaseStudy from `config`, starting from the paper defaults.
+[[nodiscard]] accel::CaseStudy case_study_from_config(const Config& config);
+
+/// Serialize a CaseStudy's knobs back to a Config.
+[[nodiscard]] Config case_study_to_config(const accel::CaseStudy& study);
+
+/// Build a mapper Architecture from `config`.
+[[nodiscard]] mapper::Architecture architecture_from_config(
+    const Config& config);
+
+}  // namespace uld3d::io

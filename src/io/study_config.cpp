@@ -1,0 +1,129 @@
+#include "uld3d/io/study_config.hpp"
+
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::io {
+
+accel::CaseStudy case_study_from_config(const Config& c) {
+  accel::CaseStudy study;  // paper defaults
+  study.rram_capacity_mb = c.get_double("study", "capacity_mb", 64.0);
+  study.baseline_mem_density_handicap =
+      c.get_double("study", "mem_density_handicap", 1.0);
+
+  tech::NodeParams node;
+  node.feature_nm = c.get_double("node", "feature_nm", node.feature_nm);
+  node.target_frequency_mhz =
+      c.get_double("node", "target_mhz", node.target_frequency_mhz);
+
+  tech::RramParams rram;
+  rram.bits_per_cell = c.get_double("rram", "bits_per_cell", rram.bits_per_cell);
+  rram.cell_area_f2 = c.get_double("rram", "cell_area_f2", rram.cell_area_f2);
+  rram.read_energy_pj_per_bit =
+      c.get_double("rram", "read_pj_per_bit", rram.read_energy_pj_per_bit);
+  rram.write_energy_pj_per_bit =
+      c.get_double("rram", "write_pj_per_bit", rram.write_energy_pj_per_bit);
+  rram.read_latency_ns =
+      c.get_double("rram", "read_latency_ns", rram.read_latency_ns);
+  rram.bank_read_bits =
+      c.get_double("rram", "bank_read_bits", rram.bank_read_bits);
+  rram.periph_area_fraction =
+      c.get_double("rram", "periph_area_fraction", rram.periph_area_fraction);
+
+  tech::CnfetParams cnfet;
+  cnfet.drive_ratio_vs_si =
+      c.get_double("cnfet", "drive_ratio", cnfet.drive_ratio_vs_si);
+  cnfet.width_relaxation =
+      c.get_double("cnfet", "width_relaxation", cnfet.width_relaxation);
+  cnfet.access_energy_ratio =
+      c.get_double("cnfet", "access_energy_ratio", cnfet.access_energy_ratio);
+
+  tech::IlvParams ilv;
+  ilv.pitch_nm = c.get_double("ilv", "pitch_nm", ilv.pitch_nm);
+  ilv.vias_per_rram_cell =
+      c.get_double("ilv", "vias_per_cell", ilv.vias_per_rram_cell);
+
+  study.pdk = tech::FoundryM3dPdk(node, rram, cnfet, ilv);
+
+  study.cs.pe_rows = c.get_int("cs", "pe_rows", study.cs.pe_rows);
+  study.cs.pe_cols = c.get_int("cs", "pe_cols", study.cs.pe_cols);
+  study.cs.gates_per_pe = c.get_int("cs", "gates_per_pe", study.cs.gates_per_pe);
+  study.cs.control_gates =
+      c.get_int("cs", "control_gates", study.cs.control_gates);
+  study.cs.sram_buffer_kb = c.get_double("cs", "sram_kb", study.cs.sram_buffer_kb);
+  return study;
+}
+
+Config case_study_to_config(const accel::CaseStudy& study) {
+  Config c;
+  const auto set_double = [&c](const char* section, const char* key,
+                               double value) {
+    std::ostringstream os;
+    os << value;
+    c.set(section, key, os.str());
+  };
+  set_double("study", "capacity_mb", study.rram_capacity_mb);
+  set_double("study", "mem_density_handicap",
+             study.baseline_mem_density_handicap);
+  set_double("node", "feature_nm", study.pdk.node().feature_nm);
+  set_double("node", "target_mhz", study.pdk.node().target_frequency_mhz);
+  set_double("rram", "bits_per_cell", study.pdk.rram().bits_per_cell);
+  set_double("rram", "cell_area_f2", study.pdk.rram().cell_area_f2);
+  set_double("rram", "read_pj_per_bit", study.pdk.rram().read_energy_pj_per_bit);
+  set_double("rram", "write_pj_per_bit",
+             study.pdk.rram().write_energy_pj_per_bit);
+  set_double("rram", "read_latency_ns", study.pdk.rram().read_latency_ns);
+  set_double("rram", "bank_read_bits", study.pdk.rram().bank_read_bits);
+  set_double("rram", "periph_area_fraction",
+             study.pdk.rram().periph_area_fraction);
+  set_double("cnfet", "drive_ratio", study.pdk.cnfet().drive_ratio_vs_si);
+  set_double("cnfet", "width_relaxation", study.pdk.cnfet().width_relaxation);
+  set_double("cnfet", "access_energy_ratio",
+             study.pdk.cnfet().access_energy_ratio);
+  set_double("ilv", "pitch_nm", study.pdk.ilv().pitch_nm);
+  set_double("ilv", "vias_per_cell", study.pdk.ilv().vias_per_rram_cell);
+  set_double("cs", "pe_rows", static_cast<double>(study.cs.pe_rows));
+  set_double("cs", "pe_cols", static_cast<double>(study.cs.pe_cols));
+  set_double("cs", "gates_per_pe", static_cast<double>(study.cs.gates_per_pe));
+  set_double("cs", "control_gates",
+             static_cast<double>(study.cs.control_gates));
+  set_double("cs", "sram_kb", study.cs.sram_buffer_kb);
+  return c;
+}
+
+namespace {
+
+mapper::OperandBuffers buffers_from(const Config& c, const char* section) {
+  mapper::OperandBuffers buffers;
+  buffers.reg = {c.get_double(section, "reg_bytes", 0.0) * 8.0, 0.008, 1.0e9};
+  buffers.local = {units::kb_to_bits(c.get_double(section, "local_kb", 0.0)),
+                   0.04, 2048.0};
+  buffers.global = {units::mb_to_bits(c.get_double(section, "global_mb", 0.0)),
+                    0.15, 1024.0};
+  return buffers;
+}
+
+}  // namespace
+
+mapper::Architecture architecture_from_config(const Config& c) {
+  mapper::Architecture arch;
+  arch.name = c.get_string("arch", "name", "custom");
+  arch.spatial.k = c.get_int("arch", "spatial_k", 16);
+  arch.spatial.c = c.get_int("arch", "spatial_c", 16);
+  arch.spatial.ox = c.get_int("arch", "spatial_ox", 1);
+  arch.spatial.oy = c.get_int("arch", "spatial_oy", 1);
+  arch.rram_capacity_bits =
+      units::mb_to_bits(c.get_double("arch", "rram_mb", 256.0));
+  arch.rram_bandwidth_bits_per_cycle = c.get_double(
+      "arch", "rram_bw_bits_per_cycle", arch.rram_bandwidth_bits_per_cycle);
+  arch.mac_energy_pj = c.get_double("arch", "mac_pj", arch.mac_energy_pj);
+  arch.weights = buffers_from(c, "weights");
+  arch.inputs = buffers_from(c, "inputs");
+  arch.outputs = buffers_from(c, "outputs");
+  arch.validate();
+  return arch;
+}
+
+}  // namespace uld3d::io

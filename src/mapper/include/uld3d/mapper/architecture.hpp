@@ -1,0 +1,78 @@
+// Accelerator architecture description for the ZigZag-style mapper
+// (paper Table II): spatial unrolling of the PE array plus per-operand
+// memory hierarchies (PE registers, local SRAM, global SRAM, on-chip RRAM).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::mapper {
+
+/// Spatial unrolling of the PE array over the conv loop dimensions
+/// (Table II column "PE spatial (K, C, OX, OY)"; '-' entries are 1).
+struct SpatialUnrolling {
+  std::int64_t k = 1;
+  std::int64_t c = 1;
+  std::int64_t ox = 1;
+  std::int64_t oy = 1;
+
+  [[nodiscard]] std::int64_t total_pes() const { return k * c * ox * oy; }
+};
+
+/// One buffer level for one operand.  capacity_bits == 0 means the level is
+/// absent for that operand.
+struct BufferLevel {
+  double capacity_bits = 0.0;
+  double access_energy_pj_per_bit = 0.0;
+  double bandwidth_bits_per_cycle = 0.0;
+};
+
+/// Per-operand buffering (Table II columns Reg/PE, local, global).  The
+/// global level refers to the ONE chip-level global SRAM (a shared SoC
+/// resource outside the replicated CS); reg and local are per-CS.
+struct OperandBuffers {
+  BufferLevel reg;     ///< per-PE registers (capacity is per PE)
+  BufferLevel local;   ///< per-CS local SRAM
+  BufferLevel global;  ///< the chip-level global SRAM (shared, counted once)
+};
+
+/// A full architecture design point.
+struct Architecture {
+  std::string name;
+  SpatialUnrolling spatial;
+  OperandBuffers weights;
+  OperandBuffers inputs;
+  OperandBuffers outputs;
+  double rram_capacity_bits = 0.0;
+  /// Total read width of the on-chip RRAM macro array seen by one CS (its
+  /// bank group).  A 256 MB array senses thousands of bits per access — the
+  /// "high bandwidth in reading AI/ML model weights" the paper leverages —
+  /// so the Table-II design points default to a wide 4096 b/cycle port.
+  double rram_bandwidth_bits_per_cycle = 4096.0;
+  double rram_read_pj_per_bit = 1.5;
+  double rram_write_pj_per_bit = 8.0;
+  double mac_energy_pj = 2.0;
+  int weight_bits = 8;
+  int activation_bits = 8;
+  int psum_bits = 24;
+
+  /// Area of one CS (PE logic + registers + local SRAM), for Eq.-2 N
+  /// derivation.  The chip-level global SRAM is NOT replicated with the CS
+  /// and is excluded here.  Register files and SRAM use distinct bit-area
+  /// densities.
+  [[nodiscard]] double cs_area_um2(const tech::StdCellLibrary& lib) const;
+
+  /// Total register + local SRAM bits of one CS (global excluded).
+  [[nodiscard]] double buffer_bits() const;
+
+  /// Physical size of the shared global SRAM (the max over the per-operand
+  /// views, which all name the same buffer).
+  [[nodiscard]] double global_sram_bits() const;
+
+  void validate() const;
+};
+
+}  // namespace uld3d::mapper

@@ -1,0 +1,20 @@
+// The six accelerator architectures of the paper's Table II.
+//
+// All are normalized to 1024 PEs and 256 MB of on-chip RRAM.  Arch. 1-5 are
+// variants of popular AI accelerators [14-18]; Arch. 6 is the paper's own
+// Sec.-II accelerator scaled to the same PE count.
+#pragma once
+
+#include <vector>
+
+#include "uld3d/mapper/architecture.hpp"
+
+namespace uld3d::mapper {
+
+/// Architecture `index` of Table II (1-based, 1..6).
+[[nodiscard]] Architecture make_table2_architecture(int index);
+
+/// All six Table-II architectures in order.
+[[nodiscard]] std::vector<Architecture> table2_architectures();
+
+}  // namespace uld3d::mapper

@@ -1,0 +1,85 @@
+#include "uld3d/mapper/spatial_search.hpp"
+
+#include <limits>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::mapper {
+
+std::vector<SpatialUnrolling> enumerate_unrollings(std::int64_t total_pes) {
+  expects(total_pes >= 1 && (total_pes & (total_pes - 1)) == 0,
+          "PE budget must be a power of two");
+  std::vector<SpatialUnrolling> out;
+  for (std::int64_t k = 1; k <= total_pes; k *= 2) {
+    for (std::int64_t c = 1; k * c <= total_pes; c *= 2) {
+      for (std::int64_t ox = 1; k * c * ox <= total_pes; ox *= 2) {
+        const std::int64_t oy = total_pes / (k * c * ox);
+        out.push_back({k, c, ox, oy});
+      }
+    }
+  }
+  return out;
+}
+
+double SpatialSearchResult::improvement() const {
+  const double searched = cost.latency_cycles * cost.energy_pj;
+  const double fixed = fixed_cost.latency_cycles * fixed_cost.energy_pj;
+  return searched > 0.0 ? fixed / searched : 1.0;
+}
+
+SpatialSearchResult search_spatial(const nn::ConvSpec& conv,
+                                   const Architecture& arch,
+                                   const SystemCosts& sys, std::int64_t n_cs) {
+  SpatialSearchResult result;
+  result.fixed_cost = evaluate_conv(conv, arch, sys, n_cs);
+  result.best = arch.spatial;
+  result.cost = result.fixed_cost;
+
+  double best_edp = result.cost.latency_cycles * result.cost.energy_pj;
+  for (const SpatialUnrolling& candidate :
+       enumerate_unrollings(arch.spatial.total_pes())) {
+    Architecture variant = arch;
+    variant.spatial = candidate;
+    const LayerCost cost = evaluate_conv(conv, variant, sys, n_cs);
+    ++result.candidates;
+    const double edp = cost.latency_cycles * cost.energy_pj;
+    if (edp < best_edp) {
+      best_edp = edp;
+      result.best = candidate;
+      result.cost = cost;
+    }
+  }
+  ensures(result.improvement() >= 1.0 - 1e-9,
+          "search must never be worse than the fixed dataflow");
+  return result;
+}
+
+SearchedNetworkCost evaluate_network_with_search(const nn::Network& net,
+                                                 const Architecture& arch,
+                                                 const SystemCosts& sys,
+                                                 std::int64_t n_cs) {
+  SearchedNetworkCost out;
+  out.fixed = evaluate_network(net, arch, sys, n_cs);
+  out.searched.network = net.name();
+  out.searched.architecture = arch.name + " + spatial search";
+  out.searched.n_cs = n_cs;
+  for (const auto& layer : net.layers()) {
+    if (layer.is_conv()) {
+      const SpatialSearchResult r =
+          search_spatial(layer.conv(), arch, sys, n_cs);
+      out.searched.latency_cycles += r.cost.latency_cycles;
+      out.searched.energy_pj += r.cost.energy_pj;
+      out.searched.layers.push_back(r.cost);
+    } else {
+      // Vector layers are dataflow-independent: reuse the fixed cost.
+      const LayerCost& fixed =
+          out.fixed.layers[out.searched.layers.size()];
+      out.searched.latency_cycles += fixed.latency_cycles;
+      out.searched.energy_pj += fixed.energy_pj;
+      out.searched.layers.push_back(fixed);
+    }
+  }
+  return out;
+}
+
+}  // namespace uld3d::mapper

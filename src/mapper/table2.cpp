@@ -1,0 +1,104 @@
+#include "uld3d/mapper/table2.hpp"
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::mapper {
+
+namespace {
+
+using units::kb_to_bits;
+using units::mb_to_bits;
+
+// Representative per-level access energies at 130 nm (pJ/bit).
+constexpr double kRegEnergy = 0.008;
+constexpr double kLocalEnergy = 0.04;
+constexpr double kGlobalEnergy = 0.15;
+
+BufferLevel reg(double bytes) {
+  return {bytes * 8.0, kRegEnergy, 1.0e9};  // registers never bottleneck
+}
+BufferLevel local_kb(double kb) { return {kb_to_bits(kb), kLocalEnergy, 2048.0}; }
+BufferLevel global_mb(double mb) { return {mb_to_bits(mb), kGlobalEnergy, 1024.0}; }
+BufferLevel none() { return {}; }
+
+Architecture base(const char* name) {
+  Architecture a;
+  a.name = name;
+  a.rram_capacity_bits = mb_to_bits(256.0);
+  return a;
+}
+
+}  // namespace
+
+Architecture make_table2_architecture(int index) {
+  switch (index) {
+    case 1: {
+      // Systolic tile with deep local buffering (TPU-like [15]).
+      Architecture a = base("Arch1 (16,16,2,2)");
+      a.spatial = {16, 16, 2, 2};
+      a.weights = {reg(1), local_kb(64), global_mb(2.0)};
+      a.inputs = {none(), local_kb(64), global_mb(2.0)};
+      a.outputs = {reg(2), local_kb(256), global_mb(2.0)};
+      return a;
+    }
+    case 2: {
+      // Smaller channel tile, wider spatial unrolling (edge-TPU-like [16]).
+      Architecture a = base("Arch2 (8,8,4,4)");
+      a.spatial = {8, 8, 4, 4};
+      a.weights = {reg(1), local_kb(32), global_mb(2.0)};
+      a.inputs = {none(), none(), global_mb(2.0)};
+      a.outputs = {reg(2), none(), global_mb(2.0)};
+      return a;
+    }
+    case 3: {
+      // Large channel-parallel array with fat PE register files and no
+      // local SRAM (Ascend-cube-like [17]).
+      Architecture a = base("Arch3 (32,32,-,-)");
+      a.spatial = {32, 32, 1, 1};
+      a.weights = {reg(128), none(), global_mb(2.0)};
+      a.inputs = {none(), none(), global_mb(2.0)};
+      a.outputs = {reg(1024), none(), global_mb(2.0)};
+      return a;
+    }
+    case 4: {
+      // Output-pixel-parallel design (FSD-like [18]).
+      Architecture a = base("Arch4 (32,2,4,4)");
+      a.spatial = {32, 2, 4, 4};
+      a.weights = {reg(1), local_kb(64), global_mb(2.0)};
+      a.inputs = {none(), local_kb(32), global_mb(2.0)};
+      a.outputs = {reg(2), none(), global_mb(2.0)};
+      return a;
+    }
+    case 5: {
+      // Lean spatially-unrolled design (AR/VR-accelerator-like [14]).
+      Architecture a = base("Arch5 (32,-,8,4)");
+      a.spatial = {32, 1, 8, 4};
+      a.weights = {reg(1), local_kb(1), global_mb(2.0)};
+      a.inputs = {none(), local_kb(1), global_mb(2.0)};
+      a.outputs = {reg(4), none(), global_mb(2.0)};
+      return a;
+    }
+    case 6: {
+      // The paper's Sec.-II accelerator scaled to 1024 PEs.
+      Architecture a = base("Arch6 (32,32)");
+      a.spatial = {32, 32, 1, 1};
+      a.weights = {reg(2.2), none(), global_mb(0.5)};
+      a.inputs = {reg(2.2), local_kb(32), global_mb(0.5)};
+      a.outputs = {reg(1), local_kb(32), global_mb(0.5)};
+      return a;
+    }
+    default:
+      expects(false, "Table II architecture index must be 1..6");
+      return base("invalid");
+  }
+}
+
+std::vector<Architecture> table2_architectures() {
+  std::vector<Architecture> archs;
+  archs.reserve(6);
+  for (int i = 1; i <= 6; ++i) archs.push_back(make_table2_architecture(i));
+  return archs;
+}
+
+}  // namespace uld3d::mapper

@@ -1,0 +1,150 @@
+#include "uld3d/mapper/temporal_mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::mapper {
+
+namespace {
+
+double fill(std::int64_t dim, std::int64_t unroll) {
+  const std::int64_t outer = ceil_div(dim, unroll);
+  return static_cast<double>(dim) /
+         static_cast<double>(outer * unroll);
+}
+
+/// Route `volume` bits of read traffic for one operand down the hierarchy:
+/// the innermost level large enough to hold `resident_bits` serves the
+/// repeated reads; every level above sees the data only once.
+void route_reads(const OperandBuffers& buffers, double resident_bits,
+                 double repeated_bits, double once_bits, std::int64_t pes,
+                 OperandTraffic& t) {
+  const double reg_cap = buffers.reg.capacity_bits * static_cast<double>(pes);
+  if (reg_cap >= resident_bits && reg_cap > 0.0) {
+    t.reg_bits += repeated_bits;
+    t.rram_read_bits += once_bits;
+    return;
+  }
+  if (buffers.local.capacity_bits >= resident_bits &&
+      buffers.local.capacity_bits > 0.0) {
+    t.local_bits += repeated_bits;
+    t.rram_read_bits += once_bits;
+    return;
+  }
+  if (buffers.global.capacity_bits >= resident_bits &&
+      buffers.global.capacity_bits > 0.0) {
+    t.global_bits += repeated_bits;
+    t.rram_read_bits += once_bits;
+    return;
+  }
+  // Nothing holds the working set: every repeated fetch goes to RRAM.
+  t.rram_read_bits += repeated_bits;
+}
+
+/// Capacity available to hold partial sums (registers + local + global).
+double psum_capacity(const OperandBuffers& outputs, std::int64_t pes) {
+  return outputs.reg.capacity_bits * static_cast<double>(pes) +
+         outputs.local.capacity_bits + outputs.global.capacity_bits;
+}
+
+}  // namespace
+
+double spatial_utilization(const nn::ConvSpec& conv,
+                           const SpatialUnrolling& spatial) {
+  return fill(conv.k, spatial.k) * fill(conv.c, spatial.c) *
+         fill(conv.ox, spatial.ox) * fill(conv.oy, spatial.oy);
+}
+
+std::vector<TemporalMapping> candidate_mappings(const nn::ConvSpec& conv,
+                                                const Architecture& arch) {
+  arch.validate();
+  const std::int64_t pes = arch.spatial.total_pes();
+  const double wb = static_cast<double>(arch.weight_bits);
+  const double ab = static_cast<double>(arch.activation_bits);
+  const double pb = static_cast<double>(arch.psum_bits);
+
+  const double macs = static_cast<double>(conv.k * conv.c * conv.ox * conv.oy *
+                                          conv.fx * conv.fy);
+  const double w_bits = static_cast<double>(conv.k * conv.c * conv.fx * conv.fy) * wb;
+  const double i_bits =
+      static_cast<double>(conv.c * conv.input_x() * conv.input_y()) * ab;
+  const double o_bits = static_cast<double>(conv.k * conv.ox * conv.oy) * ab;
+  const double o_psum_bits = static_cast<double>(conv.k * conv.ox * conv.oy) * pb;
+
+  TemporalMapping proto;
+  proto.k_outer = ceil_div(conv.k, arch.spatial.k);
+  proto.c_outer = ceil_div(conv.c, arch.spatial.c);
+  proto.taps = conv.fx * conv.fy;
+  proto.utilization = spatial_utilization(conv, arch.spatial);
+  proto.compute_cycles = macs / (static_cast<double>(pes) * proto.utilization);
+
+  // Traffic common to all candidates.
+  const auto common = [&](TemporalMapping& m) {
+    // Every MAC reads a weight and writes/reads a partial sum at the PE.
+    m.weights.reg_bits += macs * wb;
+    m.outputs.reg_bits += 2.0 * macs * pb;
+    // Weights enter the chip exactly once per re-fetch pass (set by caller
+    // via m.weights.rram_read_bits).  Final outputs are written to RRAM.
+    m.outputs.rram_write_bits += o_bits;
+  };
+
+  std::vector<TemporalMapping> candidates;
+
+  {  // A. weight-outer: inputs re-fetched once per (k_outer, tap).
+    TemporalMapping m = proto;
+    m.order = "weight-outer";
+    common(m);
+    m.weights.rram_read_bits += w_bits;
+    const double repeats =
+        static_cast<double>(m.k_outer) * static_cast<double>(m.taps);
+    route_reads(arch.inputs, i_bits, i_bits * repeats, i_bits, pes, m.inputs);
+    // Per-K-tile psum slice must stay resident across (c_outer, taps).
+    const double psum_tile = o_psum_bits / static_cast<double>(m.k_outer);
+    if (psum_capacity(arch.outputs, pes) < psum_tile) {
+      // Spill: one read+write round trip per accumulation pass beyond the first.
+      const double passes =
+          static_cast<double>(m.c_outer) * static_cast<double>(m.taps) - 1.0;
+      m.outputs.global_bits += 2.0 * std::max(0.0, passes) * o_psum_bits;
+    }
+    candidates.push_back(std::move(m));
+  }
+
+  {  // B. input-outer: inputs fetched once per tap; full-K psums resident.
+    TemporalMapping m = proto;
+    m.order = "input-outer";
+    common(m);
+    m.weights.rram_read_bits += w_bits;
+    route_reads(arch.inputs, i_bits, i_bits * static_cast<double>(m.taps),
+                i_bits, pes, m.inputs);
+    if (psum_capacity(arch.outputs, pes) < o_psum_bits) {
+      const double passes = static_cast<double>(m.c_outer) *
+                                static_cast<double>(m.taps) *
+                                static_cast<double>(m.k_outer) -
+                            static_cast<double>(m.k_outer);
+      m.outputs.global_bits += 2.0 * std::max(0.0, passes) *
+                               (o_psum_bits / static_cast<double>(m.k_outer));
+    }
+    candidates.push_back(std::move(m));
+  }
+
+  {  // C. pixel-tiled: shrink the psum working set; weights re-fetched per tile.
+    TemporalMapping m = proto;
+    m.order = "pixel-tiled";
+    common(m);
+    const double cap = psum_capacity(arch.outputs, pes);
+    const double tiles =
+        cap > 0.0 ? std::max(1.0, std::ceil(o_psum_bits / cap)) : 1.0;
+    m.weights.rram_read_bits += w_bits * tiles;
+    route_reads(arch.inputs, i_bits / tiles,
+                i_bits * static_cast<double>(m.taps), i_bits, pes, m.inputs);
+    candidates.push_back(std::move(m));
+  }
+
+  ensures(!candidates.empty(), "mapping candidates must be non-empty");
+  return candidates;
+}
+
+}  // namespace uld3d::mapper

@@ -1,0 +1,86 @@
+#include "uld3d/nn/generator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::nn {
+
+namespace {
+
+std::int64_t pick(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  rng.below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace
+
+Network random_network(Rng& rng, const GeneratorOptions& opt) {
+  expects(opt.min_stages >= 1 && opt.max_stages >= opt.min_stages,
+          "stage bounds must be ordered and positive");
+  expects(opt.min_blocks_per_stage >= 1 &&
+              opt.max_blocks_per_stage >= opt.min_blocks_per_stage,
+          "block bounds must be ordered and positive");
+  expects(opt.max_channels >= 16, "need room for at least 16 channels");
+  expects(opt.input_size >= 8, "input must be at least 8x8");
+
+  std::vector<Layer> layers;
+  std::int64_t channels = 3;
+  std::int64_t size = opt.input_size;
+  int layer_id = 0;
+
+  // Stem: a strided conv into a modest channel count.
+  const std::int64_t stem_channels = pick(rng, 2, 6) * 8;
+  const std::int64_t stem_kernel = 2 * pick(rng, 1, 3) + 1;  // 3, 5, 7
+  size /= 2;
+  layers.push_back(make_conv("G" + std::to_string(layer_id++) + " STEM",
+                             stem_channels, channels, size, size, stem_kernel,
+                             stem_kernel, 2));
+  channels = stem_channels;
+
+  const int stages =
+      static_cast<int>(pick(rng, opt.min_stages, opt.max_stages));
+  for (int stage = 0; stage < stages && size >= 4; ++stage) {
+    const std::int64_t out_channels =
+        std::min(opt.max_channels, channels * pick(rng, 1, 2));
+    const bool downsample = stage > 0 && size >= 8;
+    if (downsample) size /= 2;
+
+    const int blocks = static_cast<int>(
+        pick(rng, opt.min_blocks_per_stage, opt.max_blocks_per_stage));
+    for (int block = 0; block < blocks; ++block) {
+      const std::string prefix = "G" + std::to_string(layer_id++) + " ";
+      const bool residual = opt.allow_residual && rng.below(2) == 0;
+      const std::int64_t in_ch = channels;
+      const std::int64_t stride = (block == 0 && downsample) ? 2 : 1;
+      if (residual && (in_ch != out_channels || stride > 1)) {
+        layers.push_back(make_conv(prefix + "DS", out_channels, in_ch, size,
+                                   size, 1, 1, stride));
+      }
+      const std::int64_t kernel = 2 * pick(rng, 0, 1) + 1;  // 1 or 3
+      layers.push_back(make_conv(prefix + "CONV", out_channels, in_ch, size,
+                                 size, kernel, kernel, stride));
+      if (residual) {
+        layers.push_back(make_eltwise(prefix + "ADD", out_channels, size, size));
+      }
+      channels = out_channels;
+    }
+    // Occasional pooling between stages.
+    if (rng.below(3) == 0 && size >= 8) {
+      size /= 2;
+      layers.push_back(make_pool("G" + std::to_string(layer_id++) + " POOL",
+                                 channels, size, size, 2, 2, 2));
+    }
+  }
+
+  if (opt.end_with_classifier) {
+    layers.push_back(make_pool("GAP", channels, 1, 1, size, size, size));
+    layers.push_back(make_fc("FC", pick(rng, 10, 1000), channels));
+  }
+
+  return Network("random-" + std::to_string(rng.below(1u << 30)),
+                 std::move(layers));
+}
+
+}  // namespace uld3d::nn

@@ -1,0 +1,28 @@
+// Random CNN generator for property/fuzz testing: produces structurally
+// valid networks (channel counts chain, spatial sizes shrink monotonically)
+// with randomized depth, widths, kernel sizes, strides, and optional
+// residual blocks — so model-level invariants can be checked far outside
+// the zoo's six fixed topologies.
+#pragma once
+
+#include "uld3d/nn/network.hpp"
+#include "uld3d/util/rng.hpp"
+
+namespace uld3d::nn {
+
+struct GeneratorOptions {
+  int min_stages = 2;
+  int max_stages = 5;
+  int min_blocks_per_stage = 1;
+  int max_blocks_per_stage = 3;
+  std::int64_t max_channels = 512;
+  std::int64_t input_size = 64;   ///< input feature-map side
+  bool allow_residual = true;     ///< emit DS + ADD residual blocks
+  bool end_with_classifier = true;
+};
+
+/// Generate a random, structurally valid CNN.  Deterministic in `rng`.
+[[nodiscard]] Network random_network(Rng& rng,
+                                     const GeneratorOptions& options = {});
+
+}  // namespace uld3d::nn

@@ -1,0 +1,103 @@
+// Neural-network layer descriptors.
+//
+// The reproduction evaluates inference of CNN workloads (AlexNet, VGG,
+// ResNet) on the paper's accelerators.  Layers carry exact shapes so compute
+// operations (F0) and data footprints (D0) are derived, not estimated.
+// Dimension naming follows the paper's Table II: K = output channels,
+// C = input channels, OX/OY = output width/height, FX/FY = filter
+// width/height.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace uld3d::nn {
+
+/// 2-D convolution (a fully-connected layer is a 1x1 conv on a 1x1 map).
+struct ConvSpec {
+  std::string name;
+  std::int64_t k = 0;    ///< output channels
+  std::int64_t c = 0;    ///< input channels
+  std::int64_t ox = 0;   ///< output width
+  std::int64_t oy = 0;   ///< output height
+  std::int64_t fx = 1;   ///< filter width
+  std::int64_t fy = 1;   ///< filter height
+  std::int64_t stride = 1;
+
+  [[nodiscard]] std::int64_t input_x() const { return (ox - 1) * stride + fx; }
+  [[nodiscard]] std::int64_t input_y() const { return (oy - 1) * stride + fy; }
+};
+
+/// Pooling (max or average); carries no weights.
+struct PoolSpec {
+  std::string name;
+  std::int64_t channels = 0;
+  std::int64_t ox = 0;
+  std::int64_t oy = 0;
+  std::int64_t fx = 1;
+  std::int64_t fy = 1;
+  std::int64_t stride = 1;
+};
+
+/// Residual element-wise addition of two equal-shaped activation maps.
+struct EltwiseAddSpec {
+  std::string name;
+  std::int64_t channels = 0;
+  std::int64_t ox = 0;
+  std::int64_t oy = 0;
+};
+
+/// A network layer.
+class Layer {
+ public:
+  using Spec = std::variant<ConvSpec, PoolSpec, EltwiseAddSpec>;
+
+  explicit Layer(Spec spec);
+
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] bool is_conv() const;
+  [[nodiscard]] bool is_pool() const;
+  [[nodiscard]] bool is_eltwise() const;
+  [[nodiscard]] const ConvSpec& conv() const;
+  [[nodiscard]] const PoolSpec& pool() const;
+  [[nodiscard]] const EltwiseAddSpec& eltwise() const;
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+
+  /// Compute operations for one inference (a MAC counts as 2 ops, following
+  /// the usual convention and the paper's ops-per-cycle P_peak definition).
+  [[nodiscard]] std::int64_t ops() const;
+
+  /// MAC count (convs only; zero otherwise).
+  [[nodiscard]] std::int64_t macs() const;
+
+  /// Weight parameter count (zero for pool/eltwise).
+  [[nodiscard]] std::int64_t weight_count() const;
+
+  /// Weight storage in bits at `bits_per_weight` precision.
+  [[nodiscard]] std::int64_t weight_bits(int bits_per_weight) const;
+
+  /// Input activation bits consumed (unique pixels, not reuse-weighted).
+  [[nodiscard]] std::int64_t input_bits(int bits_per_activation) const;
+
+  /// Output activation bits produced.
+  [[nodiscard]] std::int64_t output_bits(int bits_per_activation) const;
+
+ private:
+  Spec spec_;
+};
+
+/// Convenience builders.
+[[nodiscard]] Layer make_conv(std::string name, std::int64_t k, std::int64_t c,
+                              std::int64_t ox, std::int64_t oy, std::int64_t fx,
+                              std::int64_t fy, std::int64_t stride = 1);
+[[nodiscard]] Layer make_fc(std::string name, std::int64_t out_features,
+                            std::int64_t in_features);
+[[nodiscard]] Layer make_pool(std::string name, std::int64_t channels,
+                              std::int64_t ox, std::int64_t oy, std::int64_t fx,
+                              std::int64_t fy, std::int64_t stride);
+[[nodiscard]] Layer make_eltwise(std::string name, std::int64_t channels,
+                                 std::int64_t ox, std::int64_t oy);
+
+}  // namespace uld3d::nn

@@ -1,0 +1,37 @@
+// A network is an ordered list of layers with aggregate accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uld3d/nn/layer.hpp"
+
+namespace uld3d::nn {
+
+class Network {
+ public:
+  Network(std::string name, std::vector<Layer> layers);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] const Layer& layer(std::size_t index) const;
+
+  /// Total compute operations for one inference.
+  [[nodiscard]] std::int64_t total_ops() const;
+  /// Total MACs for one inference.
+  [[nodiscard]] std::int64_t total_macs() const;
+  /// Total weight parameters.
+  [[nodiscard]] std::int64_t total_weights() const;
+  /// Model weight storage in bits.
+  [[nodiscard]] std::int64_t total_weight_bits(int bits_per_weight) const;
+  /// Largest single-layer activation working set (input + output), bits.
+  [[nodiscard]] std::int64_t peak_activation_bits(int bits_per_activation) const;
+
+ private:
+  std::string name_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace uld3d::nn

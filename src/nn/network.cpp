@@ -1,0 +1,52 @@
+#include "uld3d/nn/network.hpp"
+
+#include <algorithm>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::nn {
+
+Network::Network(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  expects(!layers_.empty(), "a network needs at least one layer");
+}
+
+const Layer& Network::layer(std::size_t index) const {
+  expects(index < layers_.size(), "layer index out of range");
+  return layers_[index];
+}
+
+std::int64_t Network::total_ops() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.ops();
+  return total;
+}
+
+std::int64_t Network::total_macs() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.macs();
+  return total;
+}
+
+std::int64_t Network::total_weights() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.weight_count();
+  return total;
+}
+
+std::int64_t Network::total_weight_bits(int bits_per_weight) const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.weight_bits(bits_per_weight);
+  return total;
+}
+
+std::int64_t Network::peak_activation_bits(int bits_per_activation) const {
+  std::int64_t peak = 0;
+  for (const auto& l : layers_) {
+    peak = std::max(peak, l.input_bits(bits_per_activation) +
+                              l.output_bits(bits_per_activation));
+  }
+  return peak;
+}
+
+}  // namespace uld3d::nn

@@ -1,0 +1,96 @@
+#include "uld3d/phys/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::phys {
+
+CongestionMap::CongestionMap(double die_width_um, double die_height_um,
+                             const std::vector<Route>& routes,
+                             const CongestionParams& params)
+    : nx_(0), ny_(0), bin_um_(params.bin_um) {
+  expects(die_width_um > 0.0 && die_height_um > 0.0,
+          "die dimensions must be positive");
+  expects(params.bin_um > 0.0, "bin size must be positive");
+  expects(params.wire_pitch_um > 0.0, "wire pitch must be positive");
+  expects(params.routing_layers >= 1, "need at least one routing layer");
+  nx_ = ceil_to_int(die_width_um / bin_um_);
+  ny_ = ceil_to_int(die_height_um / bin_um_);
+  demand_.assign(static_cast<std::size_t>(nx_ * ny_), 0.0);
+  // Tracks crossing one bin: bin width over pitch, per layer.
+  supply_per_bin_ = bin_um_ / params.wire_pitch_um *
+                    static_cast<double>(params.routing_layers);
+
+  for (const auto& route : routes) {
+    expects(route.tracks > 0.0, "route width must be positive");
+    // L-route: horizontal leg at the source's y, then vertical leg.
+    const Point corner{route.to.x, route.from.y};
+    add_segment(route.from, corner, route.tracks);
+    add_segment(corner, route.to, route.tracks);
+  }
+}
+
+void CongestionMap::add_segment(Point a, Point b, double tracks) {
+  const auto bin_of = [&](double v, std::int64_t n) {
+    return std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(v / bin_um_), 0, n - 1);
+  };
+  const std::int64_t ax = bin_of(a.x, nx_);
+  const std::int64_t ay = bin_of(a.y, ny_);
+  const std::int64_t bx = bin_of(b.x, nx_);
+  const std::int64_t by = bin_of(b.y, ny_);
+  if (ay == by) {
+    for (std::int64_t x = std::min(ax, bx); x <= std::max(ax, bx); ++x) {
+      demand_[static_cast<std::size_t>(ay * nx_ + x)] += tracks;
+    }
+  } else {
+    for (std::int64_t y = std::min(ay, by); y <= std::max(ay, by); ++y) {
+      demand_[static_cast<std::size_t>(y * nx_ + ax)] += tracks;
+    }
+  }
+}
+
+double CongestionMap::peak_utilization() const {
+  double peak = 0.0;
+  for (const double d : demand_) peak = std::max(peak, d);
+  return peak / supply_per_bin_;
+}
+
+double CongestionMap::mean_utilization() const {
+  if (demand_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double d : demand_) sum += d;
+  return sum / static_cast<double>(demand_.size()) / supply_per_bin_;
+}
+
+double CongestionMap::overflow_fraction() const {
+  if (demand_.empty()) return 0.0;
+  std::int64_t over = 0;
+  for (const double d : demand_) {
+    if (d > supply_per_bin_) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(demand_.size());
+}
+
+std::string CongestionMap::to_ascii() const {
+  static constexpr char kRamp[] = " .:-=+*#@";
+  std::ostringstream os;
+  for (std::int64_t y = ny_ - 1; y >= 0; --y) {
+    for (std::int64_t x = 0; x < nx_; ++x) {
+      const double u =
+          demand_[static_cast<std::size_t>(y * nx_ + x)] / supply_per_bin_;
+      const int level = std::min(8, static_cast<int>(u * 8.999));
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  os << "peak " << peak_utilization() * 100.0 << "% of tracks, overflow "
+     << overflow_fraction() * 100.0 << "% of bins\n";
+  return os.str();
+}
+
+}  // namespace uld3d::phys

@@ -1,0 +1,161 @@
+#include "uld3d/phys/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::phys {
+
+Floorplan::Floorplan(double width_um, double height_um, tech::TierStack stack,
+                     double bin_um)
+    : width_um_(width_um),
+      height_um_(height_um),
+      bin_um_(bin_um),
+      nx_(0),
+      ny_(0),
+      stack_(std::move(stack)) {
+  expects(width_um > 0.0 && height_um > 0.0, "die dimensions must be positive");
+  expects(bin_um > 0.0, "bin size must be positive");
+  nx_ = ceil_to_int(width_um / bin_um);
+  ny_ = ceil_to_int(height_um / bin_um);
+  expects(nx_ * ny_ <= 64 * 1024 * 1024, "floorplan grid too fine");
+  for (const auto& tier : stack_.tiers()) {
+    if (tier.kind == tech::TierKind::kBeolMetal) continue;  // routing only
+    grids_.push_back(
+        {tier.kind, std::vector<std::uint8_t>(
+                        static_cast<std::size_t>(nx_ * ny_), 0)});
+  }
+}
+
+const Floorplan::TierGrid* Floorplan::grid_for(tech::TierKind tier) const {
+  for (const auto& g : grids_) {
+    if (g.kind == tier) return &g;
+  }
+  return nullptr;
+}
+
+Floorplan::TierGrid* Floorplan::grid_for(tech::TierKind tier) {
+  for (auto& g : grids_) {
+    if (g.kind == tier) return &g;
+  }
+  return nullptr;
+}
+
+void Floorplan::bin_range(const Rect& rect, std::int64_t& bx0, std::int64_t& by0,
+                          std::int64_t& bx1, std::int64_t& by1) const {
+  bx0 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor(rect.x0 / bin_um_)), 0, nx_);
+  by0 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor(rect.y0 / bin_um_)), 0, ny_);
+  bx1 = std::clamp<std::int64_t>(ceil_to_int(rect.x1 / bin_um_), 0, nx_);
+  by1 = std::clamp<std::int64_t>(ceil_to_int(rect.y1 / bin_um_), 0, ny_);
+}
+
+void Floorplan::mark(TierGrid& grid, const Rect& rect) {
+  std::int64_t bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;
+  bin_range(rect, bx0, by0, bx1, by1);
+  for (std::int64_t y = by0; y < by1; ++y) {
+    for (std::int64_t x = bx0; x < bx1; ++x) {
+      grid.occupied[static_cast<std::size_t>(y * nx_ + x)] = 1;
+    }
+  }
+}
+
+bool Floorplan::clear_in(const TierGrid& grid, const Rect& rect) const {
+  std::int64_t bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;
+  bin_range(rect, bx0, by0, bx1, by1);
+  for (std::int64_t y = by0; y < by1; ++y) {
+    for (std::int64_t x = bx0; x < bx1; ++x) {
+      if (grid.occupied[static_cast<std::size_t>(y * nx_ + x)] != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Floorplan::place_macro(const Macro& macro, double x, double y) {
+  const Rect rect = Rect::at(x, y, macro.width_um, macro.height_um);
+  if (rect.x1 > width_um_ + 1e-6 || rect.y1 > height_um_ + 1e-6 ||
+      rect.x0 < -1e-6 || rect.y0 < -1e-6) {
+    return false;
+  }
+  for (const auto& g : grids_) {
+    if (macro.blocks(g.kind) && !clear_in(g, rect)) return false;
+  }
+  for (auto& g : grids_) {
+    if (macro.blocks(g.kind)) mark(g, rect);
+  }
+  macros_.push_back({macro, rect});
+  return true;
+}
+
+std::optional<Rect> Floorplan::place_macro_anywhere(const Macro& macro) {
+  for (std::int64_t by = 0; by < ny_; ++by) {
+    for (std::int64_t bx = 0; bx < nx_; ++bx) {
+      const double x = static_cast<double>(bx) * bin_um_;
+      const double y = static_cast<double>(by) * bin_um_;
+      if (place_macro(macro, x, y)) {
+        return Rect::at(x, y, macro.width_um, macro.height_um);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Floorplan::allocate_region(tech::TierKind tier, const Rect& rect) {
+  TierGrid* grid = grid_for(tier);
+  expects(grid != nullptr, "tier has no placement grid");
+  if (!clear_in(*grid, rect)) return false;
+  mark(*grid, rect);
+  return true;
+}
+
+bool Floorplan::region_free(tech::TierKind tier, const Rect& rect) const {
+  const TierGrid* grid = grid_for(tier);
+  expects(grid != nullptr, "tier has no placement grid");
+  return clear_in(*grid, rect);
+}
+
+std::optional<Rect> Floorplan::find_free_region(tech::TierKind tier,
+                                                double w_um,
+                                                double h_um) const {
+  const TierGrid* grid = grid_for(tier);
+  expects(grid != nullptr, "tier has no placement grid");
+  const std::int64_t bw = ceil_to_int(w_um / bin_um_);
+  const std::int64_t bh = ceil_to_int(h_um / bin_um_);
+  for (std::int64_t by = 0; by + bh <= ny_; ++by) {
+    for (std::int64_t bx = 0; bx + bw <= nx_; ++bx) {
+      const Rect rect = Rect::at(static_cast<double>(bx) * bin_um_,
+                                 static_cast<double>(by) * bin_um_,
+                                 static_cast<double>(bw) * bin_um_,
+                                 static_cast<double>(bh) * bin_um_);
+      if (clear_in(*grid, rect)) return rect;
+    }
+  }
+  return std::nullopt;
+}
+
+double Floorplan::free_area_um2(tech::TierKind tier) const {
+  const TierGrid* grid = grid_for(tier);
+  expects(grid != nullptr, "tier has no placement grid");
+  std::int64_t free_bins = 0;
+  for (const std::uint8_t occ : grid->occupied) {
+    if (occ == 0) ++free_bins;
+  }
+  return static_cast<double>(free_bins) * bin_um_ * bin_um_;
+}
+
+double Floorplan::utilization(tech::TierKind tier) const {
+  const TierGrid* grid = grid_for(tier);
+  expects(grid != nullptr, "tier has no placement grid");
+  std::int64_t used = 0;
+  for (const std::uint8_t occ : grid->occupied) {
+    if (occ != 0) ++used;
+  }
+  return static_cast<double>(used) / static_cast<double>(nx_ * ny_);
+}
+
+}  // namespace uld3d::phys

@@ -1,0 +1,19 @@
+#include "uld3d/phys/geometry.hpp"
+
+#include <cmath>
+
+namespace uld3d::phys {
+
+double overlap_area(const Rect& a, const Rect& b) {
+  const double w = std::min(a.x1, b.x1) - std::max(a.x0, b.x0);
+  const double h = std::min(a.y1, b.y1) - std::max(a.y0, b.y0);
+  return (w > 0.0 && h > 0.0) ? w * h : 0.0;
+}
+
+double center_distance(const Rect& a, const Rect& b) {
+  const Point ca = a.center();
+  const Point cb = b.center();
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+}  // namespace uld3d::phys

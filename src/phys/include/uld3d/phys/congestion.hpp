@@ -1,0 +1,58 @@
+// Global-routing congestion estimate: every logical connection contributes
+// an L-shaped (two-segment Manhattan) route between its endpoints; demand
+// accumulates per bin and is compared against the bin's track supply from
+// the metal stack.  The M3D question it answers: do eight CS-to-bank buses
+// over the RRAM arrays still fit the routing resources the 2D design had?
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/geometry.hpp"
+
+namespace uld3d::phys {
+
+/// One logical connection to route.
+struct Route {
+  Point from;
+  Point to;
+  double tracks = 1.0;  ///< parallel wires (e.g. a 64-bit bus = 64 tracks)
+};
+
+struct CongestionParams {
+  double bin_um = 250.0;
+  /// Routing tracks a bin offers per metal layer: bin width / wire pitch.
+  double wire_pitch_um = 0.46;   // intermediate-metal pitch at 130 nm
+  int routing_layers = 4;        // layers available for global routing
+};
+
+class CongestionMap {
+ public:
+  CongestionMap(double die_width_um, double die_height_um,
+                const std::vector<Route>& routes,
+                const CongestionParams& params = {});
+
+  /// Demand / supply of the worst bin.
+  [[nodiscard]] double peak_utilization() const;
+  /// Mean utilization over all bins.
+  [[nodiscard]] double mean_utilization() const;
+  /// Fraction of bins whose demand exceeds supply (overflow).
+  [[nodiscard]] double overflow_fraction() const;
+  [[nodiscard]] std::int64_t bins_x() const { return nx_; }
+  [[nodiscard]] std::int64_t bins_y() const { return ny_; }
+
+  /// Coarse ASCII utilization map (space . : - = + * # @).
+  [[nodiscard]] std::string to_ascii() const;
+
+ private:
+  void add_segment(Point a, Point b, double tracks);
+
+  std::int64_t nx_;
+  std::int64_t ny_;
+  double bin_um_;
+  double supply_per_bin_;
+  std::vector<double> demand_;
+};
+
+}  // namespace uld3d::phys

@@ -1,0 +1,47 @@
+// 2-D geometry primitives for floorplanning.  Axis-aligned, micrometres.
+#pragma once
+
+#include <algorithm>
+
+namespace uld3d::phys {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Axis-aligned rectangle [x0, x1) x [y0, y1).
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  [[nodiscard]] double width() const { return x1 - x0; }
+  [[nodiscard]] double height() const { return y1 - y0; }
+  [[nodiscard]] double area() const { return width() * height(); }
+  [[nodiscard]] Point center() const { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+  [[nodiscard]] bool valid() const { return x1 > x0 && y1 > y0; }
+
+  [[nodiscard]] bool overlaps(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+  [[nodiscard]] bool contains(const Rect& o) const {
+    return x0 <= o.x0 && o.x1 <= x1 && y0 <= o.y0 && o.y1 <= y1;
+  }
+  [[nodiscard]] bool contains(const Point& p) const {
+    return x0 <= p.x && p.x < x1 && y0 <= p.y && p.y < y1;
+  }
+
+  [[nodiscard]] static Rect at(double x, double y, double w, double h) {
+    return {x, y, x + w, y + h};
+  }
+};
+
+/// Overlap area of two rectangles (0 when disjoint).
+[[nodiscard]] double overlap_area(const Rect& a, const Rect& b);
+
+/// Manhattan distance between rectangle centers.
+[[nodiscard]] double center_distance(const Rect& a, const Rect& b);
+
+}  // namespace uld3d::phys

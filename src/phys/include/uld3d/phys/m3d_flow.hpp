@@ -1,0 +1,108 @@
+// The RTL-to-GDS-style flow driver (paper Fig. 4b), at block granularity:
+// floorplan (macros + blockages) -> place (greedy + annealing) -> route
+// estimate (Donath + HPWL) -> timing -> power/density report.
+//
+// Running the same input once as a 2D baseline (Si access FETs, CNFET tier
+// blocked for placement) and once as M3D (CNFET access FETs, Si freed under
+// the arrays, N parallel CSs) reproduces the paper's Fig. 2 comparison and
+// Observation 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/congestion.hpp"
+#include "uld3d/phys/floorplan.hpp"
+#include "uld3d/phys/placer.hpp"
+#include "uld3d/phys/power.hpp"
+#include "uld3d/phys/timing.hpp"
+#include "uld3d/phys/wirelength.hpp"
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::phys {
+
+/// Everything the flow needs about the design (no dependency on the
+/// higher-level accelerator modules; they populate this struct).
+struct FlowInput {
+  tech::FoundryM3dPdk pdk = tech::FoundryM3dPdk::make_130nm();
+  double rram_capacity_bits = 0.0;
+  double cs_logic_area_um2 = 0.0;   ///< std-cell part of one CS
+  double cs_sram_area_um2 = 0.0;    ///< buffer macro of one CS
+  std::int64_t cs_logic_gates = 0;  ///< for the Donath wire model
+  // Average power at the target frequency (the accel layer derives these
+  // from simulation results; defaults are representative).
+  double cs_dynamic_mw_each = 4.0;     ///< one busy CS
+  double mem_periph_dynamic_mw = 2.0;  ///< sense amps/controllers (Si tier)
+  double mem_cell_access_mw = 0.25;    ///< in-array access power (RRAM tier)
+  double cnfet_selector_mw = 0.05;     ///< access-FET switching (CNFET tier)
+  double target_frequency_mhz = 20.0;
+};
+
+/// Post-"route" report for one design.
+struct DesignReport {
+  std::string name;
+  bool feasible = false;           ///< all macros and CSs placed legally
+  std::vector<std::string> unplaced;  ///< blocks that found no legal spot
+  std::vector<PlacedMacro> placed_macros;  ///< fixed macros, placement order
+  std::vector<PlacedMacro> placed_blocks;  ///< soft blocks after refinement
+  double die_width_um = 0.0;
+  double die_height_um = 0.0;
+  double footprint_mm2 = 0.0;
+  double si_utilization = 0.0;
+  std::int64_t cs_placed = 0;
+  double intra_cs_wirelength_um = 0.0;   ///< Donath, all CSs
+  double inter_block_wirelength_um = 0.0;  ///< placement HPWL (memory buses)
+  double total_wirelength_um = 0.0;
+  std::int64_t buffers = 0;
+  std::int64_t ilv_count = 0;      ///< vertical ILVs (M3D only)
+  double congestion_peak = 0.0;      ///< worst-bin routing utilization
+  double congestion_overflow = 0.0;  ///< fraction of over-capacity bins
+  TimingReport timing;
+  double total_power_mw = 0.0;
+  PowerModel power;               ///< full component list (thermal maps etc.)
+  std::vector<TierPower> tier_power;
+  double upper_tier_power_fraction = 0.0;
+  double peak_density_mw_per_mm2 = 0.0;
+};
+
+/// Side-by-side 2D-vs-M3D outcome (the Fig. 2 summary).
+struct FlowComparison {
+  DesignReport design_2d;
+  DesignReport design_3d;
+  bool iso_footprint = false;
+  /// M3D / 2D total wirelength divided by the CS-count ratio: wire spent per
+  /// computing sub-system (the M3D chip holds N times the logic, so raw
+  /// totals are not comparable).
+  double wirelength_per_cs_ratio = 0.0;
+  double peak_density_ratio = 0.0;     ///< M3D / 2D peak power density
+};
+
+class M3dFlow {
+ public:
+  explicit M3dFlow(PlacerOptions placer_options = {}, std::uint64_t seed = 1);
+
+  /// Run one design.  `m3d` selects the technology variant; `cs_count` is 1
+  /// for the baseline.  If `die_width/height_um` are positive the die size
+  /// is fixed (used to hold the M3D design to the 2D footprint).
+  [[nodiscard]] DesignReport run_design(const FlowInput& input, bool m3d,
+                                        std::int64_t cs_count,
+                                        double die_width_um = 0.0,
+                                        double die_height_um = 0.0) const;
+
+  /// The full Sec.-II comparison: size the die for the 2D baseline, then
+  /// place `m3d_cs_count` CSs into the identical M3D footprint.
+  [[nodiscard]] FlowComparison run_comparison(const FlowInput& input,
+                                              std::int64_t m3d_cs_count) const;
+
+ private:
+  [[nodiscard]] DesignReport run_design_once(const FlowInput& input, bool m3d,
+                                             std::int64_t cs_count,
+                                             double die_width_um,
+                                             double die_height_um) const;
+
+  PlacerOptions placer_options_;
+  std::uint64_t seed_;
+};
+
+}  // namespace uld3d::phys

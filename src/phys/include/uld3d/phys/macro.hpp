@@ -1,0 +1,59 @@
+// Hard macros and their per-tier blockages (paper Fig. 3 / Sec. II).
+//
+// The essential physical-design fact the paper exploits: an RRAM cell array
+// with Si access FETs fully blocks the Si CMOS tier underneath it (Fig. 3e),
+// but the same array with CNFET access FETs blocks only the RRAM and CNFET
+// tiers — the Si tier below becomes placeable, with only the memory
+// peripherals remaining as Si blockages.
+#pragma once
+
+#include <string>
+
+#include "uld3d/phys/geometry.hpp"
+#include "uld3d/tech/tier_stack.hpp"
+
+namespace uld3d::phys {
+
+enum class MacroKind {
+  kRramArray,    ///< RRAM cell array (cells + access FETs)
+  kRramPeriph,   ///< sense amps / controllers (always Si CMOS)
+  kSramBuffer,   ///< CS double-buffer SRAM (Si CMOS)
+  kIoRing,       ///< pads and system bus
+};
+
+[[nodiscard]] const char* to_string(MacroKind kind);
+
+/// A hard macro with per-tier-kind blockage flags.
+struct Macro {
+  std::string name;
+  MacroKind kind = MacroKind::kRramArray;
+  double width_um = 0.0;
+  double height_um = 0.0;
+  bool blocks_si = true;     ///< occupies the Si CMOS FEOL tier
+  bool blocks_rram = false;  ///< occupies the RRAM tier
+  bool blocks_cnfet = false; ///< occupies the CNFET tier
+
+  [[nodiscard]] double area_um2() const { return width_um * height_um; }
+  [[nodiscard]] bool blocks(tech::TierKind tier) const;
+
+  /// RRAM cell array with Si access FETs (2D baseline): blocks Si + RRAM.
+  [[nodiscard]] static Macro rram_array_2d(std::string name, double area_um2,
+                                           double aspect = 1.0);
+  /// RRAM cell array with CNFET access FETs (M3D): blocks RRAM + CNFET only;
+  /// the Si tier underneath is free for placement.
+  [[nodiscard]] static Macro rram_array_m3d(std::string name, double area_um2,
+                                            double aspect = 1.0);
+  /// Memory peripherals: Si blockage in both designs.
+  [[nodiscard]] static Macro rram_periph(std::string name, double area_um2,
+                                         double aspect = 4.0);
+  /// CS SRAM buffer macro (Si).
+  [[nodiscard]] static Macro sram_buffer(std::string name, double area_um2);
+};
+
+/// A macro at a fixed location.
+struct PlacedMacro {
+  Macro macro;
+  Rect rect;
+};
+
+}  // namespace uld3d::phys

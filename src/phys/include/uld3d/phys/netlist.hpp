@@ -1,0 +1,69 @@
+// Gate-level structural netlist abstraction — the "synthesized netlist" the
+// Fig.-4b flow starts from.  Cells are instances of standard-library types;
+// nets connect cell pins.  The netlist supports area/energy/leakage rollups
+// against a StdCellLibrary, type histograms (synthesis reports), and HPWL
+// evaluation under a placement, so the statistical Donath wire model can be
+// cross-checked against a real structural design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/geometry.hpp"
+#include "uld3d/tech/std_cell_library.hpp"
+
+namespace uld3d::phys {
+
+/// One placed-instance record.
+struct NetlistCell {
+  std::string name;  ///< hierarchical instance name
+  std::string type;  ///< library cell type, e.g. "FA_X1"
+};
+
+/// One multi-pin net (cell indices into the netlist).
+struct NetlistNet {
+  std::string name;
+  std::vector<std::int32_t> cells;
+};
+
+class Netlist {
+ public:
+  /// Add an instance; returns its index.
+  std::int32_t add_cell(std::string name, std::string type);
+  /// Add a net over existing cell indices (>= 2 pins).
+  void add_net(std::string name, std::vector<std::int32_t> cells);
+
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+  [[nodiscard]] const std::vector<NetlistCell>& cells() const { return cells_; }
+  [[nodiscard]] const std::vector<NetlistNet>& nets() const { return nets_; }
+
+  /// Total placed area against `lib`; throws if a type is unknown.
+  [[nodiscard]] double area_um2(const tech::StdCellLibrary& lib) const;
+  /// Total leakage (nW) against `lib`.
+  [[nodiscard]] double leakage_nw(const tech::StdCellLibrary& lib) const;
+  /// Gate-equivalents against `lib`.
+  [[nodiscard]] std::int64_t gate_equivalents(
+      const tech::StdCellLibrary& lib) const;
+  /// Instance-count histogram by cell type (a synthesis report).
+  [[nodiscard]] std::map<std::string, std::int64_t> type_histogram() const;
+
+  /// Sum of per-net half-perimeter wirelength under `positions` (one point
+  /// per cell, same indexing).
+  [[nodiscard]] double hpwl_um(const std::vector<Point>& positions) const;
+
+ private:
+  std::vector<NetlistCell> cells_;
+  std::vector<NetlistNet> nets_;
+};
+
+/// Row-major placement of all cells into `region`, in index order, at the
+/// library's average cell pitch.  Generators that emit cells in spatial
+/// order (e.g. PE-by-PE) therefore get a topology-faithful placement.
+[[nodiscard]] std::vector<Point> place_row_major(
+    const Netlist& netlist, const Rect& region,
+    const tech::StdCellLibrary& lib);
+
+}  // namespace uld3d::phys

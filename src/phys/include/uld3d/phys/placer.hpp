@@ -1,0 +1,62 @@
+// Block-level placer: greedy constructive placement plus simulated-annealing
+// refinement, minimizing weighted HPWL to fixed macros.  This is the
+// "custom monolithic 3D place" step of the paper's Fig.-4b flow at block
+// granularity: computing sub-systems and their buffers are soft blocks that
+// must land in the Si free space left by the (partial) RRAM blockages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "uld3d/phys/floorplan.hpp"
+#include "uld3d/util/rng.hpp"
+
+namespace uld3d::phys {
+
+/// A rectangular soft block to be placed on one tier.
+struct SoftBlock {
+  std::string name;
+  double area_um2 = 0.0;
+  double aspect = 1.0;           ///< width/height ratio
+  tech::TierKind tier = tech::TierKind::kSiCmosFeol;
+  /// (fixed-macro index in the floorplan, connection weight) pairs; the
+  /// placer pulls the block toward these anchors.
+  std::vector<std::pair<std::size_t, double>> affinities;
+
+  [[nodiscard]] double width_um() const;
+  [[nodiscard]] double height_um() const;
+};
+
+struct PlacerOptions {
+  double grid_step_um = 100.0;    ///< candidate-position granularity
+  int anneal_moves = 2000;        ///< refinement move attempts
+  /// Starting temperature in um of HPWL.  Kept near the typical single-move
+  /// delta so refinement polishes the constructive result instead of
+  /// scrambling it.
+  double initial_temperature = 400.0;
+  double cooling = 0.997;
+};
+
+struct PlacementResult {
+  bool success = false;           ///< every block found a legal spot
+  std::vector<PlacedMacro> blocks;  ///< placed soft blocks (as macros)
+  double total_hpwl_um = 0.0;     ///< weighted anchor HPWL after refinement
+  std::vector<std::string> unplaced;  ///< names of blocks that did not fit
+};
+
+class Placer {
+ public:
+  explicit Placer(PlacerOptions options = {});
+
+  /// Place `blocks` into `fp` (which already contains the fixed macros).
+  /// On success the blocks' regions are allocated in the floorplan.
+  PlacementResult place(Floorplan& fp, const std::vector<SoftBlock>& blocks,
+                        Rng& rng) const;
+
+ private:
+  PlacerOptions options_;
+};
+
+}  // namespace uld3d::phys

@@ -1,0 +1,52 @@
+// Power accounting with per-tier breakdown and a spatial density map
+// (paper Observation 2: M3D upper-tier power <1% of chip power, so peak
+// power density rises by just ~1% vs. the 2D design).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/geometry.hpp"
+#include "uld3d/tech/tier_stack.hpp"
+
+namespace uld3d::phys {
+
+/// One power-dissipating block.
+struct PowerComponent {
+  std::string name;
+  tech::TierKind tier = tech::TierKind::kSiCmosFeol;
+  Rect rect;           ///< footprint over which the power spreads
+  double power_mw = 0.0;
+};
+
+/// Per-tier total.
+struct TierPower {
+  tech::TierKind tier;
+  double power_mw = 0.0;
+};
+
+class PowerModel {
+ public:
+  void add(PowerComponent component);
+
+  [[nodiscard]] double total_mw() const;
+  [[nodiscard]] double tier_mw(tech::TierKind tier) const;
+  [[nodiscard]] std::vector<TierPower> per_tier() const;
+  [[nodiscard]] const std::vector<PowerComponent>& components() const {
+    return components_;
+  }
+
+  /// Fraction of total power above the Si CMOS tier (RRAM + CNFET tiers).
+  [[nodiscard]] double upper_tier_fraction() const;
+
+  /// Peak areal power density (mW/mm^2) over a `bin_um` grid covering
+  /// `width_um` x `height_um`; all tiers stack into the same areal bin.
+  [[nodiscard]] double peak_density_mw_per_mm2(double width_um,
+                                               double height_um,
+                                               double bin_um = 250.0) const;
+
+ private:
+  std::vector<PowerComponent> components_;
+};
+
+}  // namespace uld3d::phys

@@ -1,0 +1,30 @@
+// Human-readable exports of a placed design: an ASCII floorplan sketch
+// (the poor engineer's GDS screenshot, Fig. 2b/2d style) and a DEF-like
+// textual dump for downstream tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/macro.hpp"
+
+namespace uld3d::phys {
+
+/// Render placed macros/blocks into a character grid of `width_chars`
+/// columns (rows follow from the aspect ratio).  Each macro is filled with
+/// a letter derived from its kind/name; later entries draw over earlier
+/// ones; '.' is empty die.
+[[nodiscard]] std::string render_ascii_floorplan(
+    double die_width_um, double die_height_um,
+    const std::vector<PlacedMacro>& macros,
+    const std::vector<PlacedMacro>& blocks, int width_chars = 64);
+
+/// A minimal DEF-flavoured dump: DIEAREA in database units (1 DBU = 1 um)
+/// plus one COMPONENTS entry per placed macro/block with FIXED placement.
+[[nodiscard]] std::string export_def(const std::string& design_name,
+                                     double die_width_um,
+                                     double die_height_um,
+                                     const std::vector<PlacedMacro>& macros,
+                                     const std::vector<PlacedMacro>& blocks);
+
+}  // namespace uld3d::phys

@@ -1,0 +1,44 @@
+// Spatial thermal estimate: per-bin temperature rise from the power model
+// and the vertical tier-stack resistance (the 2-D refinement of Eq. 17 —
+// each bin column conducts its own power to the sink, plus a neighbor-
+// smoothing pass standing in for lateral spreading in the substrate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uld3d/phys/power.hpp"
+#include "uld3d/tech/tier_stack.hpp"
+
+namespace uld3d::phys {
+
+class ThermalMap {
+ public:
+  /// Build from dissipating components: each bin's rise is
+  /// (stack resistance above the sink for that bin's area) * (bin power),
+  /// then laterally smoothed with `smoothing_passes` of 4-neighbor
+  /// averaging.  `sink_resistance_mm2_k_per_w` is the heat-sink resistance
+  /// normalised per mm^2.
+  ThermalMap(const PowerModel& power, const tech::TierStack& stack,
+             double die_width_um, double die_height_um,
+             double sink_resistance_mm2_k_per_w, double bin_um = 250.0,
+             int smoothing_passes = 2);
+
+  [[nodiscard]] double max_rise_k() const;
+  [[nodiscard]] double mean_rise_k() const;
+  /// Rise at the bin containing (x, y).
+  [[nodiscard]] double rise_at(double x_um, double y_um) const;
+  [[nodiscard]] std::int64_t bins_x() const { return nx_; }
+  [[nodiscard]] std::int64_t bins_y() const { return ny_; }
+
+  /// Coarse ASCII heat map (space . : - = + * # @ from cold to hot).
+  [[nodiscard]] std::string to_ascii() const;
+
+ private:
+  std::int64_t nx_;
+  std::int64_t ny_;
+  double bin_um_;
+  std::vector<double> rise_k_;  // nx * ny
+};
+
+}  // namespace uld3d::phys

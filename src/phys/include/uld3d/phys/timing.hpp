@@ -1,0 +1,37 @@
+// Static timing estimate: logic depth at library FO4 delay plus buffered
+// global-wire delay, checked against the design's target frequency (the
+// paper's relaxed 20 MHz target at the 130 nm node).
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/tech/std_cell_library.hpp"
+
+namespace uld3d::phys {
+
+struct TimingParams {
+  int logic_depth = 24;              ///< gate stages on the critical path
+  double wire_r_ohm_per_um = 0.8;    ///< unit resistance (intermediate metal)
+  double wire_c_ff_per_um = 0.2;     ///< unit capacitance
+  double clock_uncertainty_ns = 2.0; ///< skew + jitter margin
+  double derate = 1.15;              ///< OCV-style pessimism
+};
+
+struct TimingReport {
+  double logic_delay_ns = 0.0;
+  double wire_delay_ns = 0.0;
+  double critical_path_ns = 0.0;
+  double achieved_frequency_mhz = 0.0;
+  bool meets_target = false;
+  double slack_ns = 0.0;
+};
+
+/// Estimate the critical path of a block with `critical_wire_um` of global
+/// wire (buffered every `buffer_interval_um`) and check the target.
+[[nodiscard]] TimingReport estimate_timing(const tech::StdCellLibrary& lib,
+                                           const TimingParams& params,
+                                           double critical_wire_um,
+                                           double buffer_interval_um,
+                                           double target_frequency_mhz);
+
+}  // namespace uld3d::phys

@@ -1,0 +1,39 @@
+// Wirelength and buffering estimation.
+//
+// Intra-block wiring uses the Donath/Rent statistical model; inter-block
+// wiring uses the placer's HPWL.  Folding a block across two device tiers
+// (the M3D benefit reported by the RTL-to-GDS studies [3-4] the paper builds
+// on) halves its footprint and shortens average wires by ~1/sqrt(2).
+#pragma once
+
+#include <cstdint>
+
+namespace uld3d::phys {
+
+struct WirelengthParams {
+  double rent_exponent = 0.6;      ///< p for random logic
+  double wires_per_gate = 1.4;     ///< average two-pin-equivalent nets/gate
+  double buffer_interval_um = 1500.0;  ///< optimal repeater spacing @130nm
+};
+
+/// Donath estimate of the average wire length (um) in a placed block of
+/// `gates` cells covering `area_um2`.
+[[nodiscard]] double donath_average_wirelength_um(std::int64_t gates,
+                                                  double area_um2,
+                                                  const WirelengthParams& p);
+
+/// Total intra-block wirelength (um).
+[[nodiscard]] double donath_total_wirelength_um(std::int64_t gates,
+                                                double area_um2,
+                                                const WirelengthParams& p);
+
+/// Wirelength scale factor when a block folds across `tiers` device tiers
+/// with ultra-dense ILVs: footprint divides by `tiers`, average Manhattan
+/// length scales ~ 1/sqrt(tiers).
+[[nodiscard]] double folding_scale(int tiers);
+
+/// Repeater count for `total_wirelength_um` of routed wire.
+[[nodiscard]] std::int64_t estimate_buffers(double total_wirelength_um,
+                                            const WirelengthParams& p);
+
+}  // namespace uld3d::phys

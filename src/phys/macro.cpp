@@ -1,0 +1,72 @@
+#include "uld3d/phys/macro.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+
+const char* to_string(MacroKind kind) {
+  switch (kind) {
+    case MacroKind::kRramArray: return "RramArray";
+    case MacroKind::kRramPeriph: return "RramPeriph";
+    case MacroKind::kSramBuffer: return "SramBuffer";
+    case MacroKind::kIoRing: return "IoRing";
+  }
+  return "?";
+}
+
+bool Macro::blocks(tech::TierKind tier) const {
+  switch (tier) {
+    case tech::TierKind::kSiCmosFeol: return blocks_si;
+    case tech::TierKind::kRram: return blocks_rram;
+    case tech::TierKind::kCnfetFeol: return blocks_cnfet;
+    case tech::TierKind::kBeolMetal: return false;  // routing stays legal
+  }
+  return false;
+}
+
+namespace {
+
+Macro sized(std::string name, MacroKind kind, double area_um2, double aspect) {
+  expects(area_um2 > 0.0, "macro area must be positive: " + name);
+  expects(aspect > 0.0, "macro aspect must be positive: " + name);
+  Macro m;
+  m.name = std::move(name);
+  m.kind = kind;
+  m.width_um = std::sqrt(area_um2 * aspect);
+  m.height_um = std::sqrt(area_um2 / aspect);
+  return m;
+}
+
+}  // namespace
+
+Macro Macro::rram_array_2d(std::string name, double area_um2, double aspect) {
+  Macro m = sized(std::move(name), MacroKind::kRramArray, area_um2, aspect);
+  m.blocks_si = true;   // Si access FETs underneath (Fig. 3e)
+  m.blocks_rram = true;
+  m.blocks_cnfet = false;
+  return m;
+}
+
+Macro Macro::rram_array_m3d(std::string name, double area_um2, double aspect) {
+  Macro m = sized(std::move(name), MacroKind::kRramArray, area_um2, aspect);
+  m.blocks_si = false;  // access FETs moved to the CNFET tier
+  m.blocks_rram = true;
+  m.blocks_cnfet = true;
+  return m;
+}
+
+Macro Macro::rram_periph(std::string name, double area_um2, double aspect) {
+  Macro m = sized(std::move(name), MacroKind::kRramPeriph, area_um2, aspect);
+  m.blocks_si = true;
+  return m;
+}
+
+Macro Macro::sram_buffer(std::string name, double area_um2) {
+  Macro m = sized(std::move(name), MacroKind::kSramBuffer, area_um2, 2.0);
+  m.blocks_si = true;
+  return m;
+}
+
+}  // namespace uld3d::phys

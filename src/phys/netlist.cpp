@@ -1,0 +1,90 @@
+#include "uld3d/phys/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+
+std::int32_t Netlist::add_cell(std::string name, std::string type) {
+  expects(!type.empty(), "cell type required");
+  cells_.push_back({std::move(name), std::move(type)});
+  return static_cast<std::int32_t>(cells_.size() - 1);
+}
+
+void Netlist::add_net(std::string name, std::vector<std::int32_t> cells) {
+  expects(cells.size() >= 2, "a net connects at least two pins: " + name);
+  for (const std::int32_t c : cells) {
+    expects(c >= 0 && static_cast<std::size_t>(c) < cells_.size(),
+            "net references unknown cell: " + name);
+  }
+  nets_.push_back({std::move(name), std::move(cells)});
+}
+
+double Netlist::area_um2(const tech::StdCellLibrary& lib) const {
+  double area = 0.0;
+  for (const auto& cell : cells_) area += lib.cell(cell.type).area_um2;
+  return area;
+}
+
+double Netlist::leakage_nw(const tech::StdCellLibrary& lib) const {
+  double leak = 0.0;
+  for (const auto& cell : cells_) leak += lib.cell(cell.type).leakage_nw;
+  return leak;
+}
+
+std::int64_t Netlist::gate_equivalents(const tech::StdCellLibrary& lib) const {
+  std::int64_t ge = 0;
+  for (const auto& cell : cells_) ge += lib.cell(cell.type).gate_equivalents;
+  return ge;
+}
+
+std::map<std::string, std::int64_t> Netlist::type_histogram() const {
+  std::map<std::string, std::int64_t> histogram;
+  for (const auto& cell : cells_) ++histogram[cell.type];
+  return histogram;
+}
+
+double Netlist::hpwl_um(const std::vector<Point>& positions) const {
+  expects(positions.size() == cells_.size(),
+          "one position per cell required");
+  double total = 0.0;
+  for (const auto& net : nets_) {
+    double x0 = 1.0e300;
+    double x1 = -1.0e300;
+    double y0 = 1.0e300;
+    double y1 = -1.0e300;
+    for (const std::int32_t c : net.cells) {
+      const Point& p = positions[static_cast<std::size_t>(c)];
+      x0 = std::min(x0, p.x);
+      x1 = std::max(x1, p.x);
+      y0 = std::min(y0, p.y);
+      y1 = std::max(y1, p.y);
+    }
+    total += (x1 - x0) + (y1 - y0);
+  }
+  return total;
+}
+
+std::vector<Point> place_row_major(const Netlist& netlist, const Rect& region,
+                                   const tech::StdCellLibrary& lib) {
+  expects(region.valid(), "placement region must be valid");
+  expects(netlist.cell_count() > 0, "netlist is empty");
+  // Average cell footprint sets a square pseudo-pitch.
+  const double pitch = std::sqrt(netlist.area_um2(lib) /
+                                 static_cast<double>(netlist.cell_count()));
+  const auto columns = static_cast<std::int64_t>(
+      std::max(1.0, std::floor(region.width() / pitch)));
+  std::vector<Point> positions;
+  positions.reserve(netlist.cell_count());
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto col = static_cast<std::int64_t>(i) % columns;
+    const auto row = static_cast<std::int64_t>(i) / columns;
+    positions.push_back({region.x0 + (static_cast<double>(col) + 0.5) * pitch,
+                         region.y0 + (static_cast<double>(row) + 0.5) * pitch});
+  }
+  return positions;
+}
+
+}  // namespace uld3d::phys

@@ -1,0 +1,195 @@
+#include "uld3d/phys/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+
+double SoftBlock::width_um() const { return std::sqrt(area_um2 * aspect); }
+double SoftBlock::height_um() const { return std::sqrt(area_um2 / aspect); }
+
+Placer::Placer(PlacerOptions options) : options_(options) {
+  expects(options_.grid_step_um > 0.0, "grid step must be positive");
+  expects(options_.anneal_moves >= 0, "anneal moves must be non-negative");
+  expects(options_.cooling > 0.0 && options_.cooling < 1.0,
+          "cooling factor must be in (0, 1)");
+}
+
+namespace {
+
+/// Weighted HPWL of one block at `rect` toward its anchors.
+double block_cost(const SoftBlock& block, const Rect& rect,
+                  const std::vector<PlacedMacro>& fixed) {
+  double cost = 0.0;
+  for (const auto& [index, weight] : block.affinities) {
+    if (index < fixed.size()) {
+      cost += weight * center_distance(rect, fixed[index].rect);
+    }
+  }
+  return cost;
+}
+
+/// Expand a rectangle to the floorplan's bin boundaries — occupancy is
+/// committed at bin granularity, so legality must be checked on the
+/// bin-expanded footprint or adjacent blocks could collide at commit time.
+Rect bin_expand(const Rect& rect, double bin) {
+  return {std::floor(rect.x0 / bin) * bin, std::floor(rect.y0 / bin) * bin,
+          std::ceil(rect.x1 / bin - 1e-9) * bin,
+          std::ceil(rect.y1 / bin - 1e-9) * bin};
+}
+
+/// Legal = inside the die, free of fixed blockages, disjoint from siblings.
+bool legal(const Floorplan& fp, const SoftBlock& block, const Rect& rect,
+           const std::vector<Rect>& placed, std::size_t self) {
+  const Rect q = bin_expand(rect, fp.bin_um());
+  if (q.x0 < 0.0 || q.y0 < 0.0 || q.x1 > fp.width_um() + 1e-6 ||
+      q.y1 > fp.height_um() + 1e-6) {
+    return false;
+  }
+  if (!fp.region_free(block.tier, q)) return false;
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    if (i == self || !placed[i].valid()) continue;
+    if (bin_expand(placed[i], fp.bin_um()).overlaps(q)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PlacementResult Placer::place(Floorplan& fp,
+                              const std::vector<SoftBlock>& blocks,
+                              Rng& rng) const {
+  PlacementResult result;
+  const auto& fixed = fp.macros();
+
+  // Constructive pass: biggest blocks first, best legal candidate position.
+  std::vector<std::size_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return blocks[a].area_um2 > blocks[b].area_um2;
+  });
+
+  std::vector<Rect> rects(blocks.size());  // invalid until placed
+  const double step = options_.grid_step_um;
+
+  // Soft blocks may reshape: each aspect candidate is scanned and the best
+  // legal (position, shape) wins.  Mild aspect distortion is slightly
+  // penalized so square shapes are preferred when space allows.
+  constexpr double kAspects[] = {1.0, 2.0, 0.5, 3.0, 1.0 / 3.0, 4.0, 0.25};
+
+  const auto try_place = [&](std::size_t bi, double scan_step,
+                             double penalty_weight) -> Rect {
+    const SoftBlock& block = blocks[bi];
+    double best_cost = std::numeric_limits<double>::infinity();
+    Rect best{};
+    for (const double aspect_scale : kAspects) {
+      const double aspect = block.aspect * aspect_scale;
+      const double w = std::sqrt(block.area_um2 * aspect);
+      const double h = std::sqrt(block.area_um2 / aspect);
+      const double distortion_penalty =
+          penalty_weight * fp.width_um() * std::abs(std::log(aspect_scale));
+      for (double y = 0.0; y + h <= fp.height_um() + 1e-6; y += scan_step) {
+        for (double x = 0.0; x + w <= fp.width_um() + 1e-6; x += scan_step) {
+          const Rect rect = Rect::at(x, y, w, h);
+          if (!legal(fp, block, rect, rects, bi)) continue;
+          const double cost = block_cost(block, rect, fixed) + distortion_penalty;
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = rect;
+          }
+        }
+      }
+    }
+    return best;
+  };
+
+  // First-fit bottom-left scan, ignoring affinities — the dense-packing
+  // fallback when affinity-driven placement fragments the free space.
+  const auto shelf_place = [&](std::size_t bi) -> Rect {
+    const SoftBlock& block = blocks[bi];
+    for (const double aspect_scale : kAspects) {
+      const double aspect = block.aspect * aspect_scale;
+      const double w = std::sqrt(block.area_um2 * aspect);
+      const double h = std::sqrt(block.area_um2 / aspect);
+      for (double y = 0.0; y + h <= fp.height_um() + 1e-6; y += fp.bin_um()) {
+        for (double x = 0.0; x + w <= fp.width_um() + 1e-6; x += fp.bin_um()) {
+          const Rect rect = Rect::at(x, y, w, h);
+          if (legal(fp, block, rect, rects, bi)) return rect;
+        }
+      }
+    }
+    return {};
+  };
+
+  bool any_failed = false;
+  for (const std::size_t bi : order) {
+    expects(blocks[bi].area_um2 > 0.0,
+            "soft block area must be positive: " + blocks[bi].name);
+    Rect best = try_place(bi, step, 0.02);
+    if (!best.valid()) {
+      // Second chance: finer scan, any shape accepted.
+      best = try_place(bi, step / 2.0, 0.0);
+    }
+    if (!best.valid()) any_failed = true;
+    rects[bi] = best;
+  }
+
+  if (any_failed) {
+    // Affinity-driven placement fragmented the free space; redo the whole
+    // placement as a dense bottom-left shelf packing (feasibility first,
+    // wirelength second), then let annealing recover locality.
+    std::fill(rects.begin(), rects.end(), Rect{});
+    for (const std::size_t bi : order) {
+      rects[bi] = shelf_place(bi);
+      if (!rects[bi].valid()) result.unplaced.push_back(blocks[bi].name);
+    }
+  }
+
+  // Annealing refinement: random relocations, accept downhill (or uphill
+  // with Boltzmann probability).
+  double temperature = options_.initial_temperature;
+  const std::int64_t cols =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(fp.width_um() / step));
+  const std::int64_t rows =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(fp.height_um() / step));
+  for (int move = 0; move < options_.anneal_moves && !blocks.empty(); ++move) {
+    const std::size_t bi = static_cast<std::size_t>(rng.below(blocks.size()));
+    if (!rects[bi].valid()) continue;
+    const SoftBlock& block = blocks[bi];
+    const double x = static_cast<double>(rng.below(static_cast<std::uint64_t>(cols))) * step;
+    const double y = static_cast<double>(rng.below(static_cast<std::uint64_t>(rows))) * step;
+    // Keep the shape chosen by the constructive pass.
+    const Rect candidate =
+        Rect::at(x, y, rects[bi].width(), rects[bi].height());
+    if (!legal(fp, block, candidate, rects, bi)) continue;
+    const double old_cost = block_cost(block, rects[bi], fixed);
+    const double new_cost = block_cost(block, candidate, fixed);
+    const double delta = new_cost - old_cost;
+    if (delta < 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      rects[bi] = candidate;
+    }
+    temperature *= options_.cooling;
+  }
+
+  // Commit to the floorplan.
+  result.success = result.unplaced.empty();
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    if (!rects[bi].valid()) continue;
+    const bool ok = fp.allocate_region(blocks[bi].tier, rects[bi]);
+    ensures(ok, "placement committed an illegal region: " + blocks[bi].name);
+    Macro m;
+    m.name = blocks[bi].name;
+    m.kind = MacroKind::kSramBuffer;  // generic soft block marker
+    m.width_um = rects[bi].width();
+    m.height_um = rects[bi].height();
+    result.blocks.push_back({m, rects[bi]});
+    result.total_hpwl_um += block_cost(blocks[bi], rects[bi], fixed);
+  }
+  return result;
+}
+
+}  // namespace uld3d::phys

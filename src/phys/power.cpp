@@ -1,0 +1,83 @@
+#include "uld3d/phys/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::phys {
+
+void PowerModel::add(PowerComponent component) {
+  expects(component.power_mw >= 0.0, "power must be non-negative: " + component.name);
+  expects(component.rect.valid(), "component footprint must be valid: " + component.name);
+  components_.push_back(std::move(component));
+}
+
+double PowerModel::total_mw() const {
+  double total = 0.0;
+  for (const auto& c : components_) total += c.power_mw;
+  return total;
+}
+
+double PowerModel::tier_mw(tech::TierKind tier) const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    if (c.tier == tier) total += c.power_mw;
+  }
+  return total;
+}
+
+std::vector<TierPower> PowerModel::per_tier() const {
+  std::vector<TierPower> tiers;
+  for (const tech::TierKind kind :
+       {tech::TierKind::kSiCmosFeol, tech::TierKind::kRram,
+        tech::TierKind::kCnfetFeol}) {
+    tiers.push_back({kind, tier_mw(kind)});
+  }
+  return tiers;
+}
+
+double PowerModel::upper_tier_fraction() const {
+  const double total = total_mw();
+  if (total <= 0.0) return 0.0;
+  return (tier_mw(tech::TierKind::kRram) + tier_mw(tech::TierKind::kCnfetFeol)) /
+         total;
+}
+
+double PowerModel::peak_density_mw_per_mm2(double width_um, double height_um,
+                                           double bin_um) const {
+  expects(width_um > 0.0 && height_um > 0.0, "die dimensions must be positive");
+  expects(bin_um > 0.0, "bin size must be positive");
+  const std::int64_t nx = ceil_to_int(width_um / bin_um);
+  const std::int64_t ny = ceil_to_int(height_um / bin_um);
+  std::vector<double> bins(static_cast<std::size_t>(nx * ny), 0.0);
+
+  for (const auto& c : components_) {
+    const double density = c.power_mw / c.rect.area();  // mW per um^2
+    const std::int64_t bx0 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(c.rect.x0 / bin_um)), 0, nx - 1);
+    const std::int64_t by0 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(c.rect.y0 / bin_um)), 0, ny - 1);
+    const std::int64_t bx1 =
+        std::clamp<std::int64_t>(ceil_to_int(c.rect.x1 / bin_um), 1, nx);
+    const std::int64_t by1 =
+        std::clamp<std::int64_t>(ceil_to_int(c.rect.y1 / bin_um), 1, ny);
+    for (std::int64_t y = by0; y < by1; ++y) {
+      for (std::int64_t x = bx0; x < bx1; ++x) {
+        const Rect bin = Rect::at(static_cast<double>(x) * bin_um,
+                                  static_cast<double>(y) * bin_um, bin_um,
+                                  bin_um);
+        bins[static_cast<std::size_t>(y * nx + x)] +=
+            density * overlap_area(bin, c.rect);
+      }
+    }
+  }
+
+  const double bin_mm2 = bin_um * bin_um / 1.0e6;
+  double peak = 0.0;
+  for (const double p : bins) peak = std::max(peak, p / bin_mm2);
+  return peak;
+}
+
+}  // namespace uld3d::phys

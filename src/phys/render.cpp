@@ -1,0 +1,94 @@
+#include "uld3d/phys/render.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+
+namespace {
+
+char glyph_for(const PlacedMacro& placed) {
+  switch (placed.macro.kind) {
+    case MacroKind::kRramArray: return 'R';
+    case MacroKind::kRramPeriph: return 'p';
+    case MacroKind::kIoRing: return 'i';
+    case MacroKind::kSramBuffer: break;  // soft blocks: name-derived below
+  }
+  // Soft blocks: 'L' for CS logic, 's' for SRAM halves, else 'b'.
+  if (placed.macro.name.find("logic") != std::string::npos) return 'L';
+  if (placed.macro.name.find("sram") != std::string::npos) return 's';
+  return 'b';
+}
+
+void paint(std::vector<std::string>& grid, const Rect& rect, char glyph,
+           double ux, double uy) {
+  const int rows = static_cast<int>(grid.size());
+  const int cols = rows > 0 ? static_cast<int>(grid[0].size()) : 0;
+  const int x0 = std::clamp(static_cast<int>(rect.x0 / ux), 0, cols);
+  const int x1 = std::clamp(static_cast<int>(rect.x1 / ux + 0.5), 0, cols);
+  const int y0 = std::clamp(static_cast<int>(rect.y0 / uy), 0, rows);
+  const int y1 = std::clamp(static_cast<int>(rect.y1 / uy + 0.5), 0, rows);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = glyph;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_ascii_floorplan(double die_width_um, double die_height_um,
+                                   const std::vector<PlacedMacro>& macros,
+                                   const std::vector<PlacedMacro>& blocks,
+                                   int width_chars) {
+  expects(die_width_um > 0.0 && die_height_um > 0.0,
+          "die dimensions must be positive");
+  expects(width_chars >= 8, "need at least 8 columns");
+  // Terminal characters are ~2x taller than wide; halve the row count.
+  const int height_chars = std::max(
+      4, static_cast<int>(width_chars * die_height_um / die_width_um / 2.0));
+  const double ux = die_width_um / width_chars;
+  const double uy = die_height_um / height_chars;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_chars),
+                                std::string(static_cast<std::size_t>(width_chars), '.'));
+  for (const auto& m : macros) paint(grid, m.rect, glyph_for(m), ux, uy);
+  for (const auto& b : blocks) paint(grid, b.rect, glyph_for(b), ux, uy);
+
+  std::ostringstream os;
+  os << '+' << std::string(static_cast<std::size_t>(width_chars), '-') << "+\n";
+  // y grows upward: print top row first.
+  for (int y = height_chars - 1; y >= 0; --y) {
+    os << '|' << grid[static_cast<std::size_t>(y)] << "|\n";
+  }
+  os << '+' << std::string(static_cast<std::size_t>(width_chars), '-') << "+\n";
+  os << "R=RRAM array  p=peripherals  L=CS logic  s=CS SRAM  .=free\n";
+  return os.str();
+}
+
+std::string export_def(const std::string& design_name, double die_width_um,
+                       double die_height_um,
+                       const std::vector<PlacedMacro>& macros,
+                       const std::vector<PlacedMacro>& blocks) {
+  expects(!design_name.empty(), "design name required");
+  std::ostringstream os;
+  os << "VERSION 5.8 ;\nDESIGN " << design_name << " ;\nUNITS DISTANCE MICRONS 1 ;\n";
+  os << "DIEAREA ( 0 0 ) ( " << static_cast<long long>(die_width_um) << " "
+     << static_cast<long long>(die_height_um) << " ) ;\n";
+  const std::size_t total = macros.size() + blocks.size();
+  os << "COMPONENTS " << total << " ;\n";
+  const auto emit = [&os](const PlacedMacro& p) {
+    os << "- " << p.macro.name << " " << to_string(p.macro.kind) << " + FIXED ( "
+       << static_cast<long long>(p.rect.x0) << " "
+       << static_cast<long long>(p.rect.y0) << " ) N ;\n";
+  };
+  for (const auto& m : macros) emit(m);
+  for (const auto& b : blocks) emit(b);
+  os << "END COMPONENTS\nEND DESIGN\n";
+  return os.str();
+}
+
+}  // namespace uld3d::phys

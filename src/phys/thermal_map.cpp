@@ -1,0 +1,116 @@
+#include "uld3d/phys/thermal_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::phys {
+
+ThermalMap::ThermalMap(const PowerModel& power, const tech::TierStack& stack,
+                       double die_width_um, double die_height_um,
+                       double sink_resistance_mm2_k_per_w, double bin_um,
+                       int smoothing_passes)
+    : nx_(0), ny_(0), bin_um_(bin_um) {
+  expects(die_width_um > 0.0 && die_height_um > 0.0,
+          "die dimensions must be positive");
+  expects(bin_um > 0.0, "bin size must be positive");
+  expects(sink_resistance_mm2_k_per_w >= 0.0,
+          "sink resistance must be non-negative");
+  expects(smoothing_passes >= 0, "smoothing passes must be non-negative");
+  nx_ = ceil_to_int(die_width_um / bin_um);
+  ny_ = ceil_to_int(die_height_um / bin_um);
+  rise_k_.assign(static_cast<std::size_t>(nx_ * ny_), 0.0);
+
+  // Vertical resistance of one bin column: the full stack plus the sink,
+  // normalised to the bin's area.
+  const double bin_mm2 = bin_um * bin_um / 1.0e6;
+  double stack_r_mm2 = 0.0;
+  for (const auto& tier : stack.tiers()) {
+    stack_r_mm2 += tier.thermal_resistance_mm2_k_per_w;
+  }
+  const double column_r = (stack_r_mm2 + sink_resistance_mm2_k_per_w) / bin_mm2;
+
+  // Deposit each component's power into the bins it covers (W per bin).
+  for (const auto& c : power.components()) {
+    const double density_mw_per_um2 = c.power_mw / c.rect.area();
+    const std::int64_t bx0 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(c.rect.x0 / bin_um)), 0, nx_ - 1);
+    const std::int64_t by0 = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(c.rect.y0 / bin_um)), 0, ny_ - 1);
+    const std::int64_t bx1 =
+        std::clamp<std::int64_t>(ceil_to_int(c.rect.x1 / bin_um), 1, nx_);
+    const std::int64_t by1 =
+        std::clamp<std::int64_t>(ceil_to_int(c.rect.y1 / bin_um), 1, ny_);
+    for (std::int64_t y = by0; y < by1; ++y) {
+      for (std::int64_t x = bx0; x < bx1; ++x) {
+        const Rect bin = Rect::at(static_cast<double>(x) * bin_um,
+                                  static_cast<double>(y) * bin_um, bin_um,
+                                  bin_um);
+        const double power_w =
+            density_mw_per_um2 * overlap_area(bin, c.rect) * 1.0e-3;
+        rise_k_[static_cast<std::size_t>(y * nx_ + x)] += power_w * column_r;
+      }
+    }
+  }
+
+  // Lateral spreading: simple 4-neighbor diffusion passes.
+  std::vector<double> next(rise_k_.size());
+  for (int pass = 0; pass < smoothing_passes; ++pass) {
+    for (std::int64_t y = 0; y < ny_; ++y) {
+      for (std::int64_t x = 0; x < nx_; ++x) {
+        const auto at = [&](std::int64_t xx, std::int64_t yy) {
+          xx = std::clamp<std::int64_t>(xx, 0, nx_ - 1);
+          yy = std::clamp<std::int64_t>(yy, 0, ny_ - 1);
+          return rise_k_[static_cast<std::size_t>(yy * nx_ + xx)];
+        };
+        next[static_cast<std::size_t>(y * nx_ + x)] =
+            0.5 * at(x, y) + 0.125 * (at(x - 1, y) + at(x + 1, y) +
+                                      at(x, y - 1) + at(x, y + 1));
+      }
+    }
+    rise_k_.swap(next);
+  }
+}
+
+double ThermalMap::max_rise_k() const {
+  double peak = 0.0;
+  for (const double r : rise_k_) peak = std::max(peak, r);
+  return peak;
+}
+
+double ThermalMap::mean_rise_k() const {
+  if (rise_k_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double r : rise_k_) sum += r;
+  return sum / static_cast<double>(rise_k_.size());
+}
+
+double ThermalMap::rise_at(double x_um, double y_um) const {
+  const std::int64_t x = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(x_um / bin_um_), 0, nx_ - 1);
+  const std::int64_t y = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(y_um / bin_um_), 0, ny_ - 1);
+  return rise_k_[static_cast<std::size_t>(y * nx_ + x)];
+}
+
+std::string ThermalMap::to_ascii() const {
+  static constexpr char kRamp[] = " .:-=+*#@";
+  const double peak = max_rise_k();
+  std::ostringstream os;
+  for (std::int64_t y = ny_ - 1; y >= 0; --y) {
+    for (std::int64_t x = 0; x < nx_; ++x) {
+      const double r = rise_k_[static_cast<std::size_t>(y * nx_ + x)];
+      const int level =
+          peak > 0.0 ? std::min(8, static_cast<int>(r / peak * 8.999)) : 0;
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  os << "peak rise " << max_rise_k() << " K, mean " << mean_rise_k() << " K\n";
+  return os.str();
+}
+
+}  // namespace uld3d::phys

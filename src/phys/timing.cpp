@@ -1,0 +1,46 @@
+#include "uld3d/phys/timing.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::phys {
+
+TimingReport estimate_timing(const tech::StdCellLibrary& lib,
+                             const TimingParams& params,
+                             double critical_wire_um,
+                             double buffer_interval_um,
+                             double target_frequency_mhz) {
+  expects(params.logic_depth > 0, "logic depth must be positive");
+  expects(critical_wire_um >= 0.0, "wire length must be non-negative");
+  expects(buffer_interval_um > 0.0, "buffer interval must be positive");
+  expects(target_frequency_mhz > 0.0, "target frequency must be positive");
+
+  TimingReport r;
+  r.logic_delay_ns = static_cast<double>(params.logic_depth) *
+                     lib.fo4_delay_ps() * 1.0e-3;
+
+  // Buffered wire: quadratic Elmore delay per segment, linear in segments.
+  const double segments = std::max(1.0, critical_wire_um / buffer_interval_um);
+  const double seg_len = critical_wire_um / segments;
+  const double seg_delay_ps =
+      0.5 * params.wire_r_ohm_per_um * params.wire_c_ff_per_um * seg_len *
+          seg_len * 1.0e-3 +           // RC in ohm*fF = 1e-3 ps
+      lib.cell("BUF_X8").delay_ps;     // repeater
+  r.wire_delay_ns = segments * seg_delay_ps * 1.0e-3;
+
+  r.critical_path_ns = (r.logic_delay_ns + r.wire_delay_ns) * params.derate +
+                       params.clock_uncertainty_ns;
+  r.achieved_frequency_mhz = units::period_ns_to_mhz(r.critical_path_ns);
+  const double target_period = units::mhz_to_period_ns(target_frequency_mhz);
+  r.slack_ns = target_period - r.critical_path_ns;
+  r.meets_target = r.slack_ns >= 0.0;
+  if (r.meets_target) {
+    // Designs are clocked at the (common) target, not faster (Sec. II).
+    r.achieved_frequency_mhz = target_frequency_mhz;
+  }
+  return r;
+}
+
+}  // namespace uld3d::phys

@@ -1,0 +1,43 @@
+#include "uld3d/phys/wirelength.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+
+double donath_average_wirelength_um(std::int64_t gates, double area_um2,
+                                    const WirelengthParams& p) {
+  expects(gates > 0, "gate count must be positive");
+  expects(area_um2 > 0.0, "area must be positive");
+  expects(p.rent_exponent > 0.0 && p.rent_exponent < 1.0,
+          "Rent exponent must be in (0, 1)");
+  const double pitch = std::sqrt(area_um2 / static_cast<double>(gates));
+  if (p.rent_exponent > 0.5) {
+    // Donath: L_avg ~ pitch * N^(p - 0.5) (up to a dataflow constant ~0.9).
+    const double n = static_cast<double>(gates);
+    return 0.9 * pitch * std::pow(n, p.rent_exponent - 0.5);
+  }
+  // p <= 0.5: locality dominates; average length is a few pitches.
+  return 2.0 * pitch;
+}
+
+double donath_total_wirelength_um(std::int64_t gates, double area_um2,
+                                  const WirelengthParams& p) {
+  return donath_average_wirelength_um(gates, area_um2, p) *
+         p.wires_per_gate * static_cast<double>(gates);
+}
+
+double folding_scale(int tiers) {
+  expects(tiers >= 1, "tier count must be >= 1");
+  return 1.0 / std::sqrt(static_cast<double>(tiers));
+}
+
+std::int64_t estimate_buffers(double total_wirelength_um,
+                              const WirelengthParams& p) {
+  expects(total_wirelength_um >= 0.0, "wirelength must be non-negative");
+  expects(p.buffer_interval_um > 0.0, "buffer interval must be positive");
+  return static_cast<std::int64_t>(total_wirelength_um / p.buffer_interval_um);
+}
+
+}  // namespace uld3d::phys

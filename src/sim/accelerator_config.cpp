@@ -1,0 +1,53 @@
+#include "uld3d/sim/accelerator_config.hpp"
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::sim {
+
+namespace {
+
+AcceleratorConfig from_pdk(const tech::FoundryM3dPdk& pdk) {
+  AcceleratorConfig cfg;
+  cfg.memory.bank_read_bits_per_cycle = pdk.bank_bandwidth_bits_per_cycle();
+  cfg.memory.read_energy_pj_per_bit = pdk.rram().read_energy_pj_per_bit;
+  cfg.memory.write_energy_pj_per_bit = pdk.rram().write_energy_pj_per_bit;
+  cfg.memory.m3d_access_energy_scale = pdk.cnfet().access_energy_ratio;
+  return cfg;
+}
+
+}  // namespace
+
+AcceleratorConfig AcceleratorConfig::baseline_2d(const tech::FoundryM3dPdk& pdk) {
+  AcceleratorConfig cfg = from_pdk(pdk);
+  cfg.n_cs = 1;
+  cfg.n_banks = 1;
+  cfg.m3d = false;
+  cfg.validate();
+  return cfg;
+}
+
+AcceleratorConfig AcceleratorConfig::m3d_design(const tech::FoundryM3dPdk& pdk,
+                                                std::int64_t n_cs) {
+  AcceleratorConfig cfg = from_pdk(pdk);
+  cfg.n_cs = n_cs;
+  cfg.n_banks = n_cs;
+  cfg.m3d = true;
+  cfg.validate();
+  return cfg;
+}
+
+void AcceleratorConfig::validate() const {
+  expects(array.rows > 0 && array.cols > 0, "array dimensions must be positive");
+  expects(array.weight_bits > 0 && array.activation_bits > 0,
+          "precisions must be positive");
+  expects(array.tile_sync_cycles >= 0, "sync cycles must be non-negative");
+  expects(array.vector_ops_per_cycle > 0, "vector throughput must be positive");
+  expects(memory.bank_read_bits_per_cycle > 0.0,
+          "bank bandwidth must be positive");
+  expects(memory.write_bandwidth_divisor >= 1.0,
+          "write divisor must be >= 1");
+  expects(n_cs >= 1 && n_banks >= 1, "need at least one CS and one bank");
+  expects(layer_launch_cycles >= 0, "launch cycles must be non-negative");
+}
+
+}  // namespace uld3d::sim

@@ -1,0 +1,77 @@
+#include "uld3d/sim/buffer_analysis.hpp"
+
+#include <algorithm>
+
+#include "uld3d/sim/tiling.hpp"
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::sim {
+
+BufferRequirement analyze_layer_buffers(const nn::Layer& layer,
+                                        const AcceleratorConfig& cfg,
+                                        double budget_bits) {
+  expects(budget_bits > 0.0, "buffer budget must be positive");
+  BufferRequirement req;
+  req.layer = layer.name();
+  if (!layer.is_conv()) {
+    // Vector layers stream element-wise through small FIFOs: a few rows of
+    // the activation map at activation precision.
+    const std::int64_t channels =
+        layer.is_pool() ? layer.pool().channels : layer.eltwise().channels;
+    req.input_bits =
+        static_cast<double>(4 * channels * cfg.array.activation_bits);
+    return req;
+  }
+
+  const auto& conv = layer.conv();
+  const auto& arr = cfg.array;
+
+  // Ping/pong weight images.
+  req.weight_bits = 2.0 * tile_weight_bits(arr);
+
+  // Input slice streamed against one weight tile: the rows of channels the
+  // tile consumes over the layer's input window.
+  const TilePlan plan = plan_tiles(conv, arr);
+  const double slice_channels = std::min<double>(
+      static_cast<double>(arr.rows),
+      static_cast<double>(conv.c * plan.taps_packed));
+  const double full_slice = slice_channels *
+                            static_cast<double>(conv.input_x()) *
+                            static_cast<double>(conv.input_y()) *
+                            static_cast<double>(arr.activation_bits);
+  const double weight_and_output_floor =
+      req.weight_bits +
+      static_cast<double>(arr.cols * conv.ox * 24);  // see below
+  if (full_slice + weight_and_output_floor > budget_bits) {
+    // Row-chunked streaming: hold fy+1 input rows instead of the whole map.
+    req.row_streamed = true;
+    req.input_bits = slice_channels *
+                     static_cast<double>(conv.input_x()) *
+                     static_cast<double>(conv.fy + 1) *
+                     static_cast<double>(arr.activation_bits);
+  } else {
+    req.input_bits = full_slice;
+  }
+
+  // One K-tile's partial sums for one output row band at 24-bit precision.
+  req.output_bits = static_cast<double>(arr.cols * conv.ox * 24);
+  return req;
+}
+
+BufferReport analyze_network_buffers(const nn::Network& net,
+                                     const AcceleratorConfig& cfg,
+                                     double budget_bits) {
+  BufferReport report;
+  for (const auto& layer : net.layers()) {
+    BufferRequirement req = analyze_layer_buffers(layer, cfg, budget_bits);
+    if (req.row_streamed) ++report.row_streamed_layers;
+    if (req.total_bits() > report.peak_bits) {
+      report.peak_bits = req.total_bits();
+      report.peak_layer = req.layer;
+    }
+    report.layers.push_back(std::move(req));
+  }
+  return report;
+}
+
+}  // namespace uld3d::sim

@@ -1,0 +1,72 @@
+// Configuration of the Sec.-II accelerator: a weight-stationary systolic
+// array (the Chimera-style computing sub-system, CS) fed by banked on-chip
+// RRAM.  The M3D design instantiates N parallel CSs with N-way banked RRAM;
+// the 2D baseline is the same configuration with n_cs = 1.
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::sim {
+
+/// The systolic processing-element array inside one CS.
+struct ArrayConfig {
+  std::int64_t rows = 16;   ///< input-channel (C) dimension
+  std::int64_t cols = 16;   ///< output-channel (K) dimension
+  int weight_bits = 8;
+  int activation_bits = 8;
+  /// Per-weight-tile synchronization overhead (pipeline drain + swap).
+  std::int64_t tile_sync_cycles = 16;
+  /// Throughput of the vector/SIMD unit handling pooling and eltwise ops.
+  std::int64_t vector_ops_per_cycle = 64;
+  /// The Sec.-II SoC has ONE shared vector unit (as in the Chimera SoC it
+  /// refines), so pooling/eltwise work does not scale with the CS count.
+  /// Set true to model per-CS vector units instead.
+  bool per_cs_vector_units = false;
+  /// Downsample-style convolutions (1x1, strided) are partitioned over input
+  /// channels so their outputs colocate with the residual add; the shared
+  /// vector unit then serially accumulates the partial-sum maps.
+  bool ds_input_channel_partition = true;
+  double mac_energy_pj = 2.0;        ///< energy per 8-bit MAC incl. local regs
+  double vector_op_energy_pj = 0.5;  ///< energy per pooling/eltwise op
+
+  /// Peak ops per cycle (a MAC counts as 2 ops).
+  [[nodiscard]] double peak_ops_per_cycle() const {
+    return 2.0 * static_cast<double>(rows * cols);
+  }
+};
+
+/// The on-chip RRAM memory system seen by the CSs.
+struct MemoryConfig {
+  double bank_read_bits_per_cycle = 256.0;  ///< per-bank (= per-CS) read port
+  double write_bandwidth_divisor = 4.0;     ///< RRAM writes are this much slower
+  double read_energy_pj_per_bit = 1.5;      ///< alpha (2D)
+  double write_energy_pj_per_bit = 8.0;
+  double m3d_access_energy_scale = 0.97;    ///< alpha_3D / alpha_2D
+  double mem_idle_pj_per_cycle = 10.0;      ///< peripheral idle, whole memory
+  double extra_bank_idle_fraction = 0.30;   ///< added idle per extra bank group
+  double cs_idle_pj_per_cycle = 2.0;        ///< clock-gated CS leakage
+};
+
+/// A full accelerator system (one 2D chip or one M3D chip).
+struct AcceleratorConfig {
+  ArrayConfig array;
+  MemoryConfig memory;
+  std::int64_t n_cs = 1;    ///< parallel computing sub-systems (N)
+  std::int64_t n_banks = 1; ///< RRAM bank groups (one per CS in M3D)
+  std::int64_t layer_launch_cycles = 200;  ///< per-layer control overhead
+  bool m3d = false;         ///< true: CNFET memory selectors (M3D design)
+
+  /// The Sec.-II 2D baseline: one CS, single-ported 64 MB RRAM.
+  [[nodiscard]] static AcceleratorConfig baseline_2d(
+      const tech::FoundryM3dPdk& pdk);
+
+  /// The Sec.-II M3D design: `n_cs` parallel CSs with per-CS bank groups.
+  [[nodiscard]] static AcceleratorConfig m3d_design(
+      const tech::FoundryM3dPdk& pdk, std::int64_t n_cs);
+
+  void validate() const;
+};
+
+}  // namespace uld3d::sim

@@ -1,0 +1,55 @@
+// Double-buffer sizing analysis: how much SRAM does one CS actually need to
+// sustain the weight-stationary schedule on a given layer?
+//
+//   weight buffer : two array images (ping/pong across tiles)
+//   input buffer  : the streamed input slice for one tile pass, bounded by
+//                   row-chunked streaming when the full slice exceeds it
+//   output buffer : one K-tile of partial sums at accumulator precision
+//
+// This validates the CsDesign's sram_buffer_kb (the Chimera-style ~1/20th
+// SRAM claim of the paper) against every layer in the zoo.
+#pragma once
+
+#include "uld3d/nn/layer.hpp"
+#include "uld3d/nn/network.hpp"
+#include "uld3d/sim/accelerator_config.hpp"
+
+namespace uld3d::sim {
+
+/// Per-layer buffer requirement breakdown (bits, for ONE CS).
+struct BufferRequirement {
+  std::string layer;
+  double weight_bits = 0.0;   ///< double-buffered tile weights
+  double input_bits = 0.0;    ///< streamed input slice (or row chunk)
+  double output_bits = 0.0;   ///< one K-tile of partial sums
+  bool row_streamed = false;  ///< input slice exceeded budget; row-chunked
+
+  [[nodiscard]] double total_bits() const {
+    return weight_bits + input_bits + output_bits;
+  }
+};
+
+/// Requirement of one layer on `cfg`'s array, against a per-CS buffer
+/// budget of `budget_bits` (sets the row-streaming decision).
+[[nodiscard]] BufferRequirement analyze_layer_buffers(const nn::Layer& layer,
+                                                      const AcceleratorConfig& cfg,
+                                                      double budget_bits);
+
+/// Largest per-layer requirement over a network.
+struct BufferReport {
+  std::vector<BufferRequirement> layers;
+  double peak_bits = 0.0;
+  std::string peak_layer;
+  std::size_t row_streamed_layers = 0;
+
+  /// True when every layer fits within `budget_bits`.
+  [[nodiscard]] bool fits(double budget_bits) const {
+    return peak_bits <= budget_bits;
+  }
+};
+
+[[nodiscard]] BufferReport analyze_network_buffers(const nn::Network& net,
+                                                   const AcceleratorConfig& cfg,
+                                                   double budget_bits);
+
+}  // namespace uld3d::sim

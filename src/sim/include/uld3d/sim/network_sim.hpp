@@ -1,0 +1,62 @@
+// Whole-network simulation and 2D-vs-M3D comparison (drives Fig. 5 and
+// Table I of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uld3d/nn/network.hpp"
+#include "uld3d/sim/layer_sim.hpp"
+
+namespace uld3d::sim {
+
+/// One full inference on one configuration.
+struct NetworkResult {
+  std::string network;
+  std::vector<LayerResult> layers;
+  std::int64_t total_cycles = 0;
+  double total_energy_pj = 0.0;
+
+  /// EDP in pJ * cycles (frequency-independent comparisons divide out).
+  [[nodiscard]] double edp() const {
+    return total_energy_pj * static_cast<double>(total_cycles);
+  }
+};
+
+/// Per-layer 2D-vs-M3D comparison row (a Table-I row).
+struct LayerComparison {
+  std::string name;
+  std::int64_t cycles_2d = 0;
+  std::int64_t cycles_3d = 0;
+  double speedup = 0.0;
+  double energy_ratio = 0.0;   ///< E_3D / E_2D (paper's "Energy" column)
+  double edp_benefit = 0.0;
+};
+
+/// Full comparison: per-layer rows plus network totals.
+struct DesignComparison {
+  std::string network;
+  std::vector<LayerComparison> layers;
+  NetworkResult run_2d;
+  NetworkResult run_3d;
+  double speedup = 0.0;
+  double energy_ratio = 0.0;   ///< E_3D / E_2D
+  double edp_benefit = 0.0;
+};
+
+/// Simulate one inference of `net` on `cfg`.
+[[nodiscard]] NetworkResult simulate_network(const nn::Network& net,
+                                             const AcceleratorConfig& cfg);
+
+/// Simulate both designs and build the per-layer comparison.
+[[nodiscard]] DesignComparison compare_designs(const nn::Network& net,
+                                               const AcceleratorConfig& cfg_2d,
+                                               const AcceleratorConfig& cfg_3d);
+
+/// Merge comparison rows whose layer names share a prefix group (used to
+/// present "CONV1+POOL" as one row, as Table I does).  Rows whose names match
+/// `first` and `second` are merged into one named `merged_name`.
+void merge_rows(DesignComparison& cmp, const std::string& first,
+                const std::string& second, const std::string& merged_name);
+
+}  // namespace uld3d::sim

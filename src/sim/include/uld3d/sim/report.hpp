@@ -1,0 +1,22 @@
+// Tabular reporting of simulation results: per-layer breakdowns (cycles,
+// boundedness, energy split, utilization) and 2D-vs-M3D comparison tables,
+// all exportable to CSV through uld3d::Table.
+#pragma once
+
+#include "uld3d/sim/network_sim.hpp"
+#include "uld3d/util/table.hpp"
+
+namespace uld3d::sim {
+
+/// Per-layer execution breakdown of one run: cycles, compute/memory
+/// occupancy, bound classification, CSs used, energy split, utilization.
+[[nodiscard]] Table layer_breakdown_table(const NetworkResult& result);
+
+/// Table-I-style comparison rows (layer, speedup, energy, EDP benefit).
+[[nodiscard]] Table comparison_table(const DesignComparison& comparison,
+                                     bool include_totals = true);
+
+/// One-line summary of a comparison: "5.42x speedup, 0.99x energy, ...".
+[[nodiscard]] std::string summary_line(const DesignComparison& comparison);
+
+}  // namespace uld3d::sim

@@ -1,0 +1,51 @@
+// Cycle-by-cycle micro-simulation of one weight tile on the systolic array.
+//
+// The network-level simulator (layer_sim) uses a closed-form cycle count per
+// tile: max(load, stream) + sync.  This module *derives* that count by
+// actually marching the dataflow wavefront through an R x C PE grid —
+// weight-stationary, inputs entering column 0 one row-vector per cycle and
+// skewing right, partial sums accumulating down each column — and checks
+// functional correctness against a reference convolution.  It exists to
+// validate the analytical tile model and to let users inspect the pipeline
+// behaviour at single-cycle granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uld3d::sim {
+
+/// A small dense weight tile and input stream for micro-simulation.
+struct TileProblem {
+  std::int64_t rows = 4;       ///< input-channel dimension (C)
+  std::int64_t cols = 4;       ///< output-channel dimension (K)
+  std::int64_t vectors = 16;   ///< input vectors streamed (OX*OY)
+  std::vector<double> weights; ///< rows x cols, row-major
+  std::vector<double> inputs;  ///< vectors x rows, row-major
+
+  /// A deterministic problem with small integer values.
+  [[nodiscard]] static TileProblem make_example(std::int64_t rows,
+                                                std::int64_t cols,
+                                                std::int64_t vectors);
+};
+
+/// Outcome of the micro-simulation.
+struct TileTrace {
+  std::int64_t total_cycles = 0;    ///< first input in -> last output out
+  std::int64_t fill_cycles = 0;     ///< pipeline fill before first output
+  std::int64_t drain_cycles = 0;    ///< after last input enters
+  std::vector<double> outputs;      ///< vectors x cols, row-major
+  std::int64_t mac_operations = 0;  ///< MACs actually executed
+};
+
+/// March the wavefront cycle by cycle and return the trace.
+[[nodiscard]] TileTrace simulate_tile(const TileProblem& problem);
+
+/// Reference result: outputs[v][k] = sum_r inputs[v][r] * weights[r][k].
+[[nodiscard]] std::vector<double> reference_outputs(const TileProblem& problem);
+
+/// The closed-form cycle count layer_sim assumes for a tile of this shape:
+/// streaming `vectors` cycles plus (rows + cols) skew fill/drain.
+[[nodiscard]] std::int64_t closed_form_cycles(const TileProblem& problem);
+
+}  // namespace uld3d::sim

@@ -1,0 +1,45 @@
+// Weight-tile decomposition of a convolution onto the systolic array.
+//
+// A weight tile maps up to `rows` input channels x `cols` output channels of
+// one (or several packed) filter taps onto the PE array; the tile then stays
+// stationary while OX*OY input vectors stream through.  Small-C layers
+// (e.g. the 3-channel first conv) pack multiple filter taps into the row
+// dimension so the array is not left mostly idle — the Chimera-style
+// channel-packing optimization.
+#pragma once
+
+#include <cstdint>
+
+#include "uld3d/nn/layer.hpp"
+#include "uld3d/sim/accelerator_config.hpp"
+
+namespace uld3d::sim {
+
+/// Decomposition of one conv layer into weight tiles.
+struct TilePlan {
+  std::int64_t k_tiles = 1;       ///< ceil(K / cols)
+  std::int64_t c_tiles = 1;       ///< ceil(C / rows) (1 when taps are packed)
+  std::int64_t taps_packed = 1;   ///< filter taps sharing one tile (small C)
+  std::int64_t tap_groups = 1;    ///< ceil(FX*FY / taps_packed)
+  std::int64_t stream_cycles = 0; ///< OX*OY input vectors per tile
+  std::int64_t total_tiles = 1;   ///< k_tiles * c_tiles * tap_groups
+  double array_utilization = 1.0; ///< fraction of PEs holding live weights
+
+  /// Cycles one tile occupies the array, given the per-tile weight-load time
+  /// (overlapped via double buffering) and the sync overhead.
+  [[nodiscard]] std::int64_t cycles_per_tile(double load_cycles,
+                                             std::int64_t sync_cycles) const;
+};
+
+/// Plan the tiling of `conv` onto `array`.
+[[nodiscard]] TilePlan plan_tiles(const nn::ConvSpec& conv,
+                                  const ArrayConfig& array);
+
+/// Weight bits loaded per tile (the full array image is always shifted in).
+[[nodiscard]] double tile_weight_bits(const ArrayConfig& array);
+
+/// Upper bound on useful K-partitioning of this conv across parallel CSs.
+[[nodiscard]] std::int64_t max_partitions(const nn::ConvSpec& conv,
+                                          const ArrayConfig& array);
+
+}  // namespace uld3d::sim

@@ -1,0 +1,53 @@
+#include "uld3d/sim/report.hpp"
+
+#include <sstream>
+
+namespace uld3d::sim {
+
+Table layer_breakdown_table(const NetworkResult& result) {
+  Table table({"Layer", "Cycles", "Compute cyc", "Memory cyc", "Bound", "CSs",
+               "Energy (nJ)", "Compute %", "Memory %", "Idle %", "Util"});
+  for (const auto& l : result.layers) {
+    const double e = l.energy_pj > 0.0 ? l.energy_pj : 1.0;
+    table.add_row({l.name, std::to_string(l.cycles),
+                   format_double(l.compute_cycles, 0),
+                   format_double(l.memory_cycles, 0),
+                   l.memory_bound ? "memory" : "compute",
+                   std::to_string(l.cs_used),
+                   format_double(l.energy_pj / 1000.0, 2),
+                   format_double(100.0 * l.compute_energy_pj / e, 1),
+                   format_double(100.0 * l.memory_energy_pj / e, 1),
+                   format_double(100.0 * l.idle_energy_pj / e, 1),
+                   format_double(l.utilization, 3)});
+  }
+  table.add_row({"Total", std::to_string(result.total_cycles), "", "", "", "",
+                 format_double(result.total_energy_pj / 1000.0, 2), "", "", "",
+                 ""});
+  return table;
+}
+
+Table comparison_table(const DesignComparison& comparison,
+                       bool include_totals) {
+  Table table({"Layer", "Speedup", "Energy", "EDP benefit"});
+  for (const auto& row : comparison.layers) {
+    table.add_row({row.name, format_ratio(row.speedup),
+                   format_ratio(row.energy_ratio),
+                   format_ratio(row.edp_benefit)});
+  }
+  if (include_totals) {
+    table.add_row({"Total", format_ratio(comparison.speedup),
+                   format_ratio(comparison.energy_ratio),
+                   format_ratio(comparison.edp_benefit)});
+  }
+  return table;
+}
+
+std::string summary_line(const DesignComparison& comparison) {
+  std::ostringstream os;
+  os << comparison.network << ": " << format_ratio(comparison.speedup)
+     << " speedup, " << format_ratio(comparison.energy_ratio, 3)
+     << " energy, " << format_ratio(comparison.edp_benefit) << " EDP benefit";
+  return os.str();
+}
+
+}  // namespace uld3d::sim

@@ -1,0 +1,140 @@
+#include "uld3d/sim/systolic_trace.hpp"
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::sim {
+
+TileProblem TileProblem::make_example(std::int64_t rows, std::int64_t cols,
+                                      std::int64_t vectors) {
+  expects(rows > 0 && cols > 0 && vectors > 0,
+          "tile dimensions must be positive");
+  TileProblem p;
+  p.rows = rows;
+  p.cols = cols;
+  p.vectors = vectors;
+  p.weights.resize(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t k = 0; k < cols; ++k) {
+      // Small distinct integers keep double arithmetic exact.
+      p.weights[static_cast<std::size_t>(r * cols + k)] =
+          static_cast<double>((r * 7 + k * 3) % 11 - 5);
+    }
+  }
+  p.inputs.resize(static_cast<std::size_t>(vectors * rows));
+  for (std::int64_t v = 0; v < vectors; ++v) {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      p.inputs[static_cast<std::size_t>(v * rows + r)] =
+          static_cast<double>((v * 5 + r * 2) % 13 - 6);
+    }
+  }
+  return p;
+}
+
+std::vector<double> reference_outputs(const TileProblem& p) {
+  std::vector<double> out(static_cast<std::size_t>(p.vectors * p.cols), 0.0);
+  for (std::int64_t v = 0; v < p.vectors; ++v) {
+    for (std::int64_t k = 0; k < p.cols; ++k) {
+      double acc = 0.0;
+      for (std::int64_t r = 0; r < p.rows; ++r) {
+        acc += p.inputs[static_cast<std::size_t>(v * p.rows + r)] *
+               p.weights[static_cast<std::size_t>(r * p.cols + k)];
+      }
+      out[static_cast<std::size_t>(v * p.cols + k)] = acc;
+    }
+  }
+  return out;
+}
+
+std::int64_t closed_form_cycles(const TileProblem& p) {
+  // Last output (v = V-1, k = C-1) leaves the bottom of its column at cycle
+  // (V-1) + (R-1) + (C-1); counting that cycle gives V + R + C - 2.
+  return p.vectors + p.rows + p.cols - 2;
+}
+
+TileTrace simulate_tile(const TileProblem& p) {
+  expects(p.rows > 0 && p.cols > 0 && p.vectors > 0,
+          "tile dimensions must be positive");
+  expects(p.weights.size() ==
+              static_cast<std::size_t>(p.rows * p.cols),
+          "weight count must match the tile shape");
+  expects(p.inputs.size() ==
+              static_cast<std::size_t>(p.vectors * p.rows),
+          "input count must match the stream shape");
+
+  struct Lane {
+    double value = 0.0;
+    std::int64_t vector_id = -1;  // -1 = no data
+  };
+  const auto idx = [&](std::int64_t r, std::int64_t k) {
+    return static_cast<std::size_t>(r * p.cols + k);
+  };
+  // x lanes move right; psum lanes move down.  Double-buffered per cycle.
+  std::vector<Lane> x(idx(p.rows - 1, p.cols - 1) + 1);
+  std::vector<Lane> ps(x.size());
+  std::vector<Lane> x_next(x.size());
+  std::vector<Lane> ps_next(x.size());
+
+  TileTrace trace;
+  trace.outputs.assign(static_cast<std::size_t>(p.vectors * p.cols), 0.0);
+  std::int64_t outputs_seen = 0;
+  std::int64_t first_output_cycle = -1;
+  const std::int64_t last_input_cycle = (p.vectors - 1) + (p.rows - 1);
+
+  for (std::int64_t t = 0;
+       outputs_seen < p.vectors * p.cols && t < closed_form_cycles(p) + 8;
+       ++t) {
+    for (std::int64_t r = 0; r < p.rows; ++r) {
+      for (std::int64_t k = 0; k < p.cols; ++k) {
+        // Input arriving from the left (or the skewed feed at column 0).
+        Lane x_in;
+        if (k == 0) {
+          const std::int64_t v = t - r;  // skew: row r lags by r cycles
+          if (v >= 0 && v < p.vectors) {
+            x_in.value = p.inputs[static_cast<std::size_t>(v * p.rows + r)];
+            x_in.vector_id = v;
+          }
+        } else {
+          x_in = x[idx(r, k - 1)];
+        }
+        // Partial sum arriving from above (or zero at the top row).
+        Lane ps_in;
+        if (r == 0) {
+          ps_in.value = 0.0;
+          ps_in.vector_id = x_in.vector_id;  // new accumulation chain
+        } else {
+          ps_in = ps[idx(r - 1, k)];
+        }
+
+        Lane ps_out;
+        if (x_in.vector_id >= 0) {
+          ensures(ps_in.vector_id == x_in.vector_id,
+                  "systolic wavefront misaligned");
+          ps_out.value = ps_in.value + x_in.value * p.weights[idx(r, k)];
+          ps_out.vector_id = x_in.vector_id;
+          ++trace.mac_operations;
+          if (r == p.rows - 1) {  // completed output leaves the column
+            trace.outputs[static_cast<std::size_t>(ps_out.vector_id * p.cols +
+                                                   k)] = ps_out.value;
+            ++outputs_seen;
+            if (first_output_cycle < 0) first_output_cycle = t;
+            trace.total_cycles = t + 1;
+          }
+        }
+        x_next[idx(r, k)] = x_in;
+        ps_next[idx(r, k)] = ps_out;
+      }
+    }
+    x.swap(x_next);
+    ps.swap(ps_next);
+  }
+
+  ensures(outputs_seen == p.vectors * p.cols,
+          "micro-simulation did not produce every output");
+  trace.fill_cycles = first_output_cycle;
+  trace.drain_cycles = trace.total_cycles - 1 - last_input_cycle;
+  return trace;
+}
+
+}  // namespace uld3d::sim

@@ -1,0 +1,54 @@
+#include "uld3d/sim/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d::sim {
+
+std::int64_t TilePlan::cycles_per_tile(double load_cycles,
+                                       std::int64_t sync_cycles) const {
+  const double busy = std::max(load_cycles, static_cast<double>(stream_cycles));
+  return static_cast<std::int64_t>(std::ceil(busy)) + sync_cycles;
+}
+
+TilePlan plan_tiles(const nn::ConvSpec& conv, const ArrayConfig& array) {
+  TilePlan plan;
+  const std::int64_t taps = conv.fx * conv.fy;
+  plan.k_tiles = ceil_div(conv.k, array.cols);
+  if (conv.c < array.rows) {
+    // Channel packing: several filter taps ride in the row dimension.
+    plan.taps_packed = std::min<std::int64_t>(taps, array.rows / conv.c);
+    plan.c_tiles = 1;
+  } else {
+    plan.taps_packed = 1;
+    plan.c_tiles = ceil_div(conv.c, array.rows);
+  }
+  plan.tap_groups = ceil_div(taps, plan.taps_packed);
+  plan.stream_cycles = conv.ox * conv.oy;
+  plan.total_tiles = plan.k_tiles * plan.c_tiles * plan.tap_groups;
+
+  // Average fraction of the array holding live weights.
+  const double used_rows =
+      std::min<double>(static_cast<double>(array.rows),
+                       static_cast<double>(conv.c * plan.taps_packed));
+  const double avg_cols =
+      static_cast<double>(conv.k) / static_cast<double>(plan.k_tiles);
+  plan.array_utilization = (used_rows / static_cast<double>(array.rows)) *
+                           (avg_cols / static_cast<double>(array.cols));
+  ensures(plan.array_utilization > 0.0 && plan.array_utilization <= 1.0 + 1e-9,
+          "utilization out of range");
+  return plan;
+}
+
+double tile_weight_bits(const ArrayConfig& array) {
+  return static_cast<double>(array.rows * array.cols * array.weight_bits);
+}
+
+std::int64_t max_partitions(const nn::ConvSpec& conv, const ArrayConfig& array) {
+  return std::max<std::int64_t>(1, ceil_div(conv.k, array.cols));
+}
+
+}  // namespace uld3d::sim

@@ -1,0 +1,59 @@
+#include "uld3d/tech/beol_device.hpp"
+
+#include <algorithm>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::tech {
+
+double BeolDeviceTechnology::width_relaxation_for_iso_drive() const {
+  expects(drive_ratio_vs_si > 0.0, "drive ratio must be positive: " + name);
+  // Matching the Si selector's on-current requires 1/drive_ratio the width;
+  // a technology stronger than Si still needs the minimum (1.0) width.
+  return std::max(1.0, 1.0 / drive_ratio_vs_si);
+}
+
+bool BeolDeviceTechnology::beol_compatible(double limit_c) const {
+  return max_process_temp_c <= limit_c;
+}
+
+// Drive ratios follow the published ranges for each family at relaxed
+// (>= 100 nm class) geometries; the exact values matter less than their
+// ordering, which the Case-1 sweep turns into EDP deltas.
+BeolDeviceTechnology make_cnfet() {
+  return {"CNFET", 0.80, 200.0, 0.50, 0.97, "foundry-demonstrated [5]"};
+}
+
+BeolDeviceTechnology make_ltps_si() {
+  return {"CoolCube LT-Si", 0.90, 500.0, 1.00, 1.00, "demonstrated [6-7]"};
+}
+
+BeolDeviceTechnology make_igzo() {
+  return {"IGZO oxide FET", 0.25, 350.0, 0.05, 0.95, "production (display/DRAM)"};
+}
+
+BeolDeviceTechnology make_2d_fet() {
+  return {"MoS2 2D FET", 0.45, 300.0, 0.30, 0.95, "research [8]"};
+}
+
+BeolDeviceTechnology make_fefet() {
+  return {"FeFET selector", 0.70, 400.0, 0.60, 0.90, "research [8]"};
+}
+
+std::vector<BeolDeviceTechnology> beol_technology_catalogue() {
+  return {make_cnfet(), make_ltps_si(), make_igzo(), make_2d_fet(),
+          make_fefet()};
+}
+
+FoundryM3dPdk pdk_with_beol_device(const FoundryM3dPdk& base,
+                                   const BeolDeviceTechnology& device) {
+  expects(device.drive_ratio_vs_si > 0.0,
+          "device drive ratio must be positive: " + device.name);
+  CnfetParams upper;
+  upper.drive_ratio_vs_si = device.drive_ratio_vs_si;
+  upper.width_relaxation = device.width_relaxation_for_iso_drive();
+  upper.access_energy_ratio = device.access_energy_ratio;
+  return FoundryM3dPdk(base.node(), base.rram(), upper, base.ilv());
+}
+
+}  // namespace uld3d::tech

@@ -1,0 +1,59 @@
+// Catalogue of BEOL-compatible (<400 C) upper-tier device technologies.
+//
+// The paper's case study uses CNFETs because a foundry PDK existed for
+// them, but its Sec. II lists the wider menu enabled by low-temperature
+// fabrication [6-8]: CoolCube low-temperature Si, IGZO/oxide-semiconductor
+// FETs, 2D-material FETs.  Each candidate differs mainly in drive strength
+// per um vs. bulk Si — which maps directly onto the paper's Case-1 width
+// relaxation delta — plus leakage and access-energy scaling.  This module
+// lets the analytical framework answer "what if the upper tier used
+// technology X?" (paper conclusion point 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::tech {
+
+/// One BEOL device-technology candidate for the upper FEOL tier.
+struct BeolDeviceTechnology {
+  std::string name;
+  double drive_ratio_vs_si = 1.0;   ///< on-current per um vs. Si nMOS
+  double max_process_temp_c = 400.0;  ///< must stay BEOL-compatible
+  double leakage_ratio_vs_si = 1.0;
+  double access_energy_ratio = 1.0;   ///< alpha_3D / alpha_2D with this selector
+  /// Maturity note shown in reports (demonstrated / research / projected).
+  std::string maturity;
+
+  /// Case-1 delta: the width relaxation needed for an access FET in this
+  /// technology to match the Si selector's drive current.
+  [[nodiscard]] double width_relaxation_for_iso_drive() const;
+
+  /// True if the technology can be sequentially integrated above finished
+  /// lower tiers (max process temperature <= `limit_c`, default 400 C).
+  [[nodiscard]] bool beol_compatible(double limit_c = 400.0) const;
+};
+
+/// The foundry-demonstrated CNFET of the paper's case study [5].
+[[nodiscard]] BeolDeviceTechnology make_cnfet();
+/// CoolCube-style low-temperature silicon [6-7].
+[[nodiscard]] BeolDeviceTechnology make_ltps_si();
+/// Amorphous-oxide (IGZO-class) semiconductor FET [8].
+[[nodiscard]] BeolDeviceTechnology make_igzo();
+/// 2D-material (MoS2-class) FET [8].
+[[nodiscard]] BeolDeviceTechnology make_2d_fet();
+/// Ferroelectric FET selector (FeFET) [8].
+[[nodiscard]] BeolDeviceTechnology make_fefet();
+
+/// All catalogued candidates.
+[[nodiscard]] std::vector<BeolDeviceTechnology> beol_technology_catalogue();
+
+/// A PDK whose upper tier uses `device`: the CNFET parameters are replaced
+/// by the candidate's drive ratio, iso-drive width relaxation, and access
+/// energy, so Case-1 analysis prices the technology directly.
+[[nodiscard]] FoundryM3dPdk pdk_with_beol_device(
+    const FoundryM3dPdk& base, const BeolDeviceTechnology& device);
+
+}  // namespace uld3d::tech

@@ -1,0 +1,34 @@
+// First-order technology-node scaling of the PDK — the paper's conclusion
+// point 2: the demonstrated 130 nm benefits "will grow with further
+// performance optimization", and its flow is "compatible with
+// state-of-the-art technology nodes".  Classic scaling rules project the
+// PDK to a target node so the Eq.-2 machinery can be re-run there:
+//   area        ~ (node/130)^2      (cells, logic, SRAM alike)
+//   energy/bit  ~ (node/130)        (capacitance per wire/device length)
+//   frequency   ~ 130/node          (gate delay)
+// ILV pitch scales with the BEOL metal pitch, i.e. linearly in the node.
+#pragma once
+
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::tech {
+
+/// Scaling factors from 130 nm to `target_nm`.
+struct NodeScaling {
+  double node_nm = 130.0;
+  double area_scale = 1.0;     ///< (target/130)^2
+  double energy_scale = 1.0;   ///< target/130
+  double delay_scale = 1.0;    ///< target/130
+
+  [[nodiscard]] static NodeScaling to(double target_nm);
+};
+
+/// Project the 130 nm PDK to `target_nm` with first-order scaling: feature
+/// size, per-bit energies, sense latency, target frequency, and ILV pitch
+/// all move together; area ratios (gamma) are node-invariant by
+/// construction, which is exactly why the paper's Eq.-2 benefits persist
+/// across nodes.
+[[nodiscard]] FoundryM3dPdk scale_pdk_to_node(const FoundryM3dPdk& base,
+                                              double target_nm);
+
+}  // namespace uld3d::tech

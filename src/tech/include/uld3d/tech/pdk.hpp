@@ -1,0 +1,129 @@
+// Foundry M3D process design kit (PDK) model.
+//
+// This is the repo's substitution for the proprietary foundry 130 nm M3D PDK
+// of the paper (Sec. II, Fig. 4a): every quantity the architectural study
+// actually consumes — RRAM bit-cell geometry, access-FET sizing, ILV pitch,
+// per-access energies, bandwidths — is an explicit, sweepable parameter.
+// Defaults are calibrated so the derived aggregates match the paper's
+// reported ones (gamma_cells ~ 7 at 64 MB, 20 MHz target, <1% upper-tier
+// power, 0.99x energy ratio).
+#pragma once
+
+#include "uld3d/tech/std_cell_library.hpp"
+#include "uld3d/tech/tier_stack.hpp"
+
+namespace uld3d::tech {
+
+/// RRAM cell-array parameters (1TnR array per [11]; the access transistor
+/// sits directly below each cell group — Fig. 3).
+struct RramParams {
+  double bits_per_cell = 4.0;       ///< multi-bit 1T8R storage [11]
+  double cell_area_f2 = 21.0;       ///< layout area of one 1TnR cell, in F^2
+                                    ///< (dominated by the access FET, Fig. 3b-c)
+  double read_energy_pj_per_bit = 1.5;   ///< alpha_2D in the paper's Eq. (6)
+  double write_energy_pj_per_bit = 8.0;
+  double read_latency_ns = 25.0;    ///< sense time at 130 nm
+  double bank_read_bits = 256.0;    ///< sense-amp row width per bank access
+  double periph_area_fraction = 0.26;  ///< peripherals/controllers per bank,
+                                       ///< as a fraction of its cell area
+  double periph_idle_pw_per_bit = 0.12;  ///< peripheral leakage (pW/bit);
+                                         ///< RRAM cells themselves are
+                                         ///< non-volatile and burn none
+};
+
+/// BEOL CNFET device parameters (the upper FEOL tier).
+struct CnfetParams {
+  double drive_ratio_vs_si = 0.8;   ///< on-current per um vs. Si nMOS
+  double width_relaxation = 1.0;    ///< delta in the paper's Case 1: the
+                                    ///< access-FET width multiplier needed to
+                                    ///< match Si drive (1.0 = iso-width)
+  double access_energy_ratio = 0.97;  ///< alpha_3D / alpha_2D: CNFET selector
+                                      ///< has slightly lower junction cap
+};
+
+/// Inter-layer via (ILV) parameters — standard BEOL vias used vertically.
+struct IlvParams {
+  double pitch_nm = 100.0;          ///< beta scales this (the paper's Case 2)
+  double resistance_ohm = 15.0;
+  double capacitance_ff = 0.05;
+  /// m in the paper's Case 2: ILV contacts per 1TnR cell group — WL + SL for
+  /// the shared access FET plus per-RRAM bit-line stubs and redundancy.  At
+  /// the default pitch the via-limited cell area is ~80% of the FET-limited
+  /// area, i.e. the array is nearly via-pitch-limited, which is what makes
+  /// ultra-dense ILVs "key" (paper Obs. 8).
+  double vias_per_rram_cell = 28.0;
+};
+
+/// Technology node scalars.
+struct NodeParams {
+  double feature_nm = 130.0;        ///< F
+  double vdd = 1.2;
+  double target_frequency_mhz = 20.0;  ///< paper's relaxed design target
+};
+
+/// Geometry of an RRAM memory macro derived from the PDK.
+struct RramMacroGeometry {
+  double capacity_bits = 0.0;
+  double cell_array_area_um2 = 0.0;   ///< A_M^cells contribution
+  double periph_area_um2 = 0.0;       ///< A_M^perif contribution (Si CMOS)
+  double total_area_um2 = 0.0;
+};
+
+/// The complete PDK bundle.
+class FoundryM3dPdk {
+ public:
+  FoundryM3dPdk(NodeParams node, RramParams rram, CnfetParams cnfet,
+                IlvParams ilv);
+
+  [[nodiscard]] const NodeParams& node() const { return node_; }
+  [[nodiscard]] const RramParams& rram() const { return rram_; }
+  [[nodiscard]] const CnfetParams& cnfet() const { return cnfet_; }
+  [[nodiscard]] const IlvParams& ilv() const { return ilv_; }
+
+  [[nodiscard]] const StdCellLibrary& si_library() const { return si_lib_; }
+  [[nodiscard]] const StdCellLibrary& cnfet_library() const { return cnfet_lib_; }
+
+  /// Area of one stored bit in the RRAM array (um^2) for the *2D baseline*:
+  /// the Si access FET sits directly below the cell, so the layout is
+  /// FET-limited and needs no ILV.
+  [[nodiscard]] double rram_bit_area_um2() const;
+
+  /// Same, for the M3D design (CNFET access FETs above the array): the
+  /// maximum of the FET-limited area — possibly width-relaxed by
+  /// `cnfet().width_relaxation`, the paper's Case-1 delta — and the
+  /// via-pitch floor m * pitch^2 (the paper's Case 2).
+  [[nodiscard]] double rram_bit_area_m3d_um2() const;
+
+  /// Derive the geometry of an RRAM macro of `capacity_bits` split across
+  /// `banks` banks.  `m3d` selects CNFET (true) or Si (false) access FETs.
+  [[nodiscard]] RramMacroGeometry rram_macro(double capacity_bits, int banks,
+                                             bool m3d) const;
+
+  /// Per-bank read bandwidth in bits per clock cycle at the target frequency.
+  [[nodiscard]] double bank_bandwidth_bits_per_cycle() const;
+
+  /// Peripheral idle energy per clock cycle for `capacity_bits` of RRAM (pJ).
+  [[nodiscard]] double rram_idle_energy_pj_per_cycle(double capacity_bits) const;
+
+  /// Clock period at the target frequency, ns.
+  [[nodiscard]] double clock_period_ns() const;
+
+  /// Returns a copy with the access-FET width relaxed by `delta` (Case 1).
+  [[nodiscard]] FoundryM3dPdk with_fet_width_relaxation(double delta) const;
+
+  /// Returns a copy with the ILV pitch scaled by `beta` (Case 2).
+  [[nodiscard]] FoundryM3dPdk with_ilv_pitch_scale(double beta) const;
+
+  /// The calibrated default: 130 nm Si CMOS + BEOL RRAM + BEOL CNFET.
+  [[nodiscard]] static FoundryM3dPdk make_130nm();
+
+ private:
+  NodeParams node_;
+  RramParams rram_;
+  CnfetParams cnfet_;
+  IlvParams ilv_;
+  StdCellLibrary si_lib_;
+  StdCellLibrary cnfet_lib_;
+};
+
+}  // namespace uld3d::tech

@@ -1,0 +1,70 @@
+// Standard-cell library model.
+//
+// Substitutes for the foundry M3D standard-cell library: per-cell area,
+// switching energy, and leakage at a 130 nm node.  Two variants exist — the
+// Si CMOS FEOL library and the BEOL CNFET library.  Newly-introduced CNFETs
+// have relaxed drive strength, captured by a drive-ratio parameter that
+// scales delay (paper Sec. III-D sweeps the related access-FET width).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uld3d/tech/tier_stack.hpp"
+
+namespace uld3d::tech {
+
+/// One logical standard cell.
+struct StdCell {
+  std::string name;           ///< e.g. "NAND2_X1"
+  double area_um2;            ///< placed footprint
+  double input_cap_ff;        ///< per-input gate capacitance
+  double switch_energy_pj;    ///< average energy per output transition
+  double leakage_nw;          ///< static leakage power
+  double delay_ps;            ///< FO4-loaded propagation delay
+  int gate_equivalents;       ///< size in NAND2-equivalents
+};
+
+/// A characterized library bound to a placement tier.
+class StdCellLibrary {
+ public:
+  StdCellLibrary(std::string name, TierKind tier, std::vector<StdCell> cells);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TierKind tier() const { return tier_; }
+  [[nodiscard]] const std::vector<StdCell>& cells() const { return cells_; }
+
+  /// Lookup by cell name; throws PreconditionError if absent.
+  [[nodiscard]] const StdCell& cell(const std::string& cell_name) const;
+  [[nodiscard]] bool has_cell(const std::string& cell_name) const;
+
+  /// Area of one NAND2-equivalent gate, used for block-level area estimates.
+  [[nodiscard]] double gate_area_um2() const;
+  /// Average switching energy of one gate-equivalent.
+  [[nodiscard]] double gate_energy_pj() const;
+  /// Average leakage of one gate-equivalent.
+  [[nodiscard]] double gate_leakage_nw() const;
+  /// FO4 delay of the reference inverter.
+  [[nodiscard]] double fo4_delay_ps() const;
+
+  /// The Si CMOS FEOL library at 130 nm (calibrated to typical foundry data).
+  [[nodiscard]] static StdCellLibrary make_si_cmos_130nm();
+
+  /// The BEOL CNFET library: same logical cells, relaxed drive strength.
+  /// `drive_ratio` < 1 means slower devices (paper: newly-introduced CNFETs
+  /// reach ~60-100% of Si drive); delay scales as 1/drive_ratio.
+  [[nodiscard]] static StdCellLibrary make_cnfet_130nm(double drive_ratio = 0.8);
+
+  /// A copy with every cell scaled by first-order node rules: areas by
+  /// `area_scale`, energies/caps/leakage by `energy_scale`, delays by
+  /// `delay_scale`.  Used when projecting the PDK to another node.
+  [[nodiscard]] StdCellLibrary scaled(double area_scale, double energy_scale,
+                                      double delay_scale) const;
+
+ private:
+  std::string name_;
+  TierKind tier_;
+  std::vector<StdCell> cells_;
+};
+
+}  // namespace uld3d::tech

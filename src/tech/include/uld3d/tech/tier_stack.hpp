@@ -1,0 +1,74 @@
+// Vertical tier stack of the M3D technology (paper Fig. 4a).
+//
+// The foundry M3D process integrates, bottom to top:
+//   Si CMOS FEOL -> lower BEOL metals (M1..M4) -> RRAM layer -> CNFET layer
+//   -> upper BEOL metals.
+// A 2D baseline uses the same stack but forbids placement on the CNFET layer
+// (only routing is allowed there), mirroring the paper's floorplan placement
+// blockage methodology (Sec. II).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uld3d::tech {
+
+/// Kind of a fabrication tier in the vertical stack.
+enum class TierKind {
+  kSiCmosFeol,   ///< bulk silicon front-end transistors
+  kBeolMetal,    ///< interconnect metal layer (also hosts ILVs)
+  kRram,         ///< BEOL resistive-RAM cell layer
+  kCnfetFeol,    ///< BEOL carbon-nanotube FET layer
+};
+
+[[nodiscard]] const char* to_string(TierKind kind);
+
+/// One tier of the stack.
+struct Tier {
+  std::string name;          ///< e.g. "M2", "RRAM", "CNFET"
+  TierKind kind;
+  bool placement_allowed;    ///< standard cells / devices may be placed here
+  bool routing_allowed;      ///< wires may be routed through this tier
+  double thickness_nm;       ///< physical thickness (for the thermal model)
+  double thermal_resistance_mm2_k_per_w;  ///< vertical thermal resistance
+                                          ///< normalised per mm^2 of die area
+};
+
+/// An ordered bottom-to-top tier stack.
+class TierStack {
+ public:
+  TierStack() = default;
+  explicit TierStack(std::vector<Tier> tiers);
+
+  [[nodiscard]] std::size_t size() const { return tiers_.size(); }
+  [[nodiscard]] const Tier& at(std::size_t index) const;
+  [[nodiscard]] const std::vector<Tier>& tiers() const { return tiers_; }
+
+  /// Index of the first tier of the given kind, if present.
+  [[nodiscard]] std::optional<std::size_t> find(TierKind kind) const;
+
+  /// Number of tiers on which device placement is allowed.
+  [[nodiscard]] std::size_t placement_tier_count() const;
+
+  /// Total vertical thermal resistance (K/W for a die of `area_mm2`) from the
+  /// tier at `from_index` down to the heat sink below tier 0.
+  [[nodiscard]] double thermal_resistance_to_sink(std::size_t from_index,
+                                                  double area_mm2) const;
+
+  /// Append a tier on top of the stack.
+  void push(Tier tier);
+
+  /// The Sec.-II stack: Si CMOS, M1..M4, RRAM, CNFET, M5..M6 (Fig. 4a).
+  [[nodiscard]] static TierStack make_m3d_130nm();
+
+  /// Same stack with the CNFET tier's placement disabled — the 2D baseline
+  /// methodology (CNFET routing tracks remain usable).
+  [[nodiscard]] static TierStack make_2d_baseline_130nm();
+
+ private:
+  std::vector<Tier> tiers_;
+};
+
+}  // namespace uld3d::tech

@@ -1,0 +1,40 @@
+#include "uld3d/tech/node_scaling.hpp"
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::tech {
+
+NodeScaling NodeScaling::to(double target_nm) {
+  expects(target_nm > 0.0 && target_nm <= 1000.0,
+          "target node must be a sensible nanometre value");
+  NodeScaling s;
+  s.node_nm = target_nm;
+  const double linear = target_nm / 130.0;
+  s.area_scale = linear * linear;
+  s.energy_scale = linear;
+  s.delay_scale = linear;
+  return s;
+}
+
+FoundryM3dPdk scale_pdk_to_node(const FoundryM3dPdk& base, double target_nm) {
+  const NodeScaling s = NodeScaling::to(target_nm);
+
+  NodeParams node = base.node();
+  node.feature_nm = target_nm;
+  node.target_frequency_mhz = base.node().target_frequency_mhz / s.delay_scale;
+
+  RramParams rram = base.rram();
+  // Cell area in F^2 is node-invariant (the access FET shrinks with F);
+  // access energy and sense latency follow the linear dimension.
+  rram.read_energy_pj_per_bit *= s.energy_scale;
+  rram.write_energy_pj_per_bit *= s.energy_scale;
+  rram.read_latency_ns *= s.delay_scale;
+
+  IlvParams ilv = base.ilv();
+  ilv.pitch_nm *= target_nm / 130.0;  // ILVs are BEOL vias: pitch tracks metal
+  ilv.capacitance_ff *= s.energy_scale;
+
+  return FoundryM3dPdk(node, rram, base.cnfet(), ilv);
+}
+
+}  // namespace uld3d::tech

@@ -1,0 +1,109 @@
+#include "uld3d/tech/pdk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::tech {
+
+FoundryM3dPdk::FoundryM3dPdk(NodeParams node, RramParams rram, CnfetParams cnfet,
+                             IlvParams ilv)
+    : node_(node),
+      rram_(rram),
+      cnfet_(cnfet),
+      ilv_(ilv),
+      si_lib_(StdCellLibrary::make_si_cmos_130nm().scaled(
+          (node.feature_nm / 130.0) * (node.feature_nm / 130.0),
+          node.feature_nm / 130.0, node.feature_nm / 130.0)),
+      cnfet_lib_(StdCellLibrary::make_cnfet_130nm(cnfet.drive_ratio_vs_si)
+                     .scaled((node.feature_nm / 130.0) *
+                                 (node.feature_nm / 130.0),
+                             node.feature_nm / 130.0,
+                             node.feature_nm / 130.0)) {
+  expects(node_.feature_nm > 0.0, "feature size must be positive");
+  expects(rram_.bits_per_cell >= 1.0, "RRAM stores at least one bit per cell");
+  expects(rram_.cell_area_f2 > 0.0, "RRAM cell area must be positive");
+  expects(cnfet_.width_relaxation >= 1.0,
+          "FET width relaxation delta is >= 1 (1 = iso-width)");
+  expects(ilv_.pitch_nm > 0.0, "ILV pitch must be positive");
+  expects(node_.target_frequency_mhz > 0.0, "target frequency must be positive");
+}
+
+double FoundryM3dPdk::rram_bit_area_um2() const {
+  // 2D baseline: the Si access FET sits directly below the cell (Fig. 3d),
+  // so no ILV is needed and the layout is FET-limited only.
+  const double f_um = units::nm_to_um(node_.feature_nm);
+  return rram_.cell_area_f2 * f_um * f_um / rram_.bits_per_cell;
+}
+
+double FoundryM3dPdk::rram_bit_area_m3d_um2() const {
+  // M3D: the access FET moves to the CNFET tier above, so every cell group
+  // needs `m` ILVs down to the array (Case 2) and the cell can never shrink
+  // below m * pitch^2.  Case 1: a width-relaxed CNFET access FET grows the
+  // cell footprint proportionally (the FET dominates the cell layout).
+  const double f_um = units::nm_to_um(node_.feature_nm);
+  const double fet_limited =
+      rram_.cell_area_f2 * cnfet_.width_relaxation * f_um * f_um;
+  const double p_um = units::nm_to_um(ilv_.pitch_nm);
+  const double via_limited = ilv_.vias_per_rram_cell * p_um * p_um;
+  return std::max(fet_limited, via_limited) / rram_.bits_per_cell;
+}
+
+RramMacroGeometry FoundryM3dPdk::rram_macro(double capacity_bits, int banks,
+                                            bool m3d) const {
+  expects(capacity_bits > 0.0, "macro capacity must be positive");
+  expects(banks >= 1, "a macro has at least one bank");
+  RramMacroGeometry g;
+  g.capacity_bits = capacity_bits;
+  const double bit_area = m3d ? rram_bit_area_m3d_um2() : rram_bit_area_um2();
+  g.cell_array_area_um2 = capacity_bits * bit_area;
+  // Peripheral area scales with the cell array it serves, plus a small fixed
+  // controller cost per bank.
+  const double per_bank_fixed_um2 = 5.0e4;  // sequencer + IO per bank
+  g.periph_area_um2 = rram_.periph_area_fraction * g.cell_array_area_um2 +
+                      per_bank_fixed_um2 * static_cast<double>(banks);
+  g.total_area_um2 = g.cell_array_area_um2 + g.periph_area_um2;
+  return g;
+}
+
+double FoundryM3dPdk::bank_bandwidth_bits_per_cycle() const {
+  // A bank delivers one `bank_read_bits`-wide row per read; the read takes
+  // ceil(latency / period) cycles but is fully pipelined after the first
+  // access, so steady-state bandwidth is width / max(1, latency_cycles_pipe).
+  // At the paper's relaxed 20 MHz target the 25 ns sense fits in one cycle.
+  const double period = clock_period_ns();
+  const double cycles = std::max(1.0, std::ceil(rram_.read_latency_ns / period));
+  return rram_.bank_read_bits / cycles;
+}
+
+double FoundryM3dPdk::rram_idle_energy_pj_per_cycle(double capacity_bits) const {
+  const double idle_pw = rram_.periph_idle_pw_per_bit * capacity_bits;
+  const double idle_mw = idle_pw * 1.0e-9;
+  return idle_mw * clock_period_ns();  // mW * ns == pJ
+}
+
+double FoundryM3dPdk::clock_period_ns() const {
+  return units::mhz_to_period_ns(node_.target_frequency_mhz);
+}
+
+FoundryM3dPdk FoundryM3dPdk::with_fet_width_relaxation(double delta) const {
+  expects(delta >= 1.0, "delta >= 1");
+  CnfetParams c = cnfet_;
+  c.width_relaxation = delta;
+  return FoundryM3dPdk(node_, rram_, c, ilv_);
+}
+
+FoundryM3dPdk FoundryM3dPdk::with_ilv_pitch_scale(double beta) const {
+  expects(beta > 0.0, "beta > 0");
+  IlvParams v = ilv_;
+  v.pitch_nm = ilv_.pitch_nm * beta;
+  return FoundryM3dPdk(node_, rram_, cnfet_, v);
+}
+
+FoundryM3dPdk FoundryM3dPdk::make_130nm() {
+  return FoundryM3dPdk(NodeParams{}, RramParams{}, CnfetParams{}, IlvParams{});
+}
+
+}  // namespace uld3d::tech

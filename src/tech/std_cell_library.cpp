@@ -1,0 +1,97 @@
+#include "uld3d/tech/std_cell_library.hpp"
+
+#include <algorithm>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::tech {
+
+StdCellLibrary::StdCellLibrary(std::string name, TierKind tier,
+                               std::vector<StdCell> cells)
+    : name_(std::move(name)), tier_(tier), cells_(std::move(cells)) {
+  expects(!cells_.empty(), "a standard-cell library needs at least one cell");
+  expects(tier_ == TierKind::kSiCmosFeol || tier_ == TierKind::kCnfetFeol,
+          "standard cells live on a FEOL-like placement tier");
+}
+
+const StdCell& StdCellLibrary::cell(const std::string& cell_name) const {
+  const auto it = std::find_if(cells_.begin(), cells_.end(),
+                               [&](const StdCell& c) { return c.name == cell_name; });
+  expects(it != cells_.end(), "unknown cell: " + cell_name);
+  return *it;
+}
+
+bool StdCellLibrary::has_cell(const std::string& cell_name) const {
+  return std::any_of(cells_.begin(), cells_.end(),
+                     [&](const StdCell& c) { return c.name == cell_name; });
+}
+
+double StdCellLibrary::gate_area_um2() const { return cell("NAND2_X1").area_um2; }
+
+double StdCellLibrary::gate_energy_pj() const {
+  return cell("NAND2_X1").switch_energy_pj;
+}
+
+double StdCellLibrary::gate_leakage_nw() const {
+  return cell("NAND2_X1").leakage_nw;
+}
+
+double StdCellLibrary::fo4_delay_ps() const { return cell("INV_X1").delay_ps; }
+
+namespace {
+
+// Representative 130 nm values (1.2 V, typical corner).  Areas follow a
+// 10-track library with ~3.7 um cell height; energies follow CV^2 with
+// ~2 fF/um gate cap.  These magnitudes match published 130 nm libraries.
+std::vector<StdCell> si_cells() {
+  return {
+      //   name        area   cap    E_sw     leak   delay  GE
+      {"INV_X1", 6.0, 2.0, 0.006, 0.30, 45.0, 1},
+      {"INV_X4", 12.0, 8.0, 0.018, 1.10, 30.0, 2},
+      {"NAND2_X1", 10.0, 2.2, 0.010, 0.45, 60.0, 1},
+      {"NOR2_X1", 10.0, 2.4, 0.011, 0.50, 70.0, 1},
+      {"AOI22_X1", 14.0, 2.4, 0.014, 0.65, 85.0, 2},
+      {"XOR2_X1", 22.0, 3.0, 0.022, 0.90, 110.0, 3},
+      {"MUX2_X1", 18.0, 2.6, 0.016, 0.70, 95.0, 2},
+      {"FA_X1", 42.0, 3.4, 0.045, 1.80, 180.0, 6},
+      {"DFF_X1", 48.0, 2.8, 0.052, 2.20, 150.0, 6},
+      {"BUF_X8", 20.0, 14.0, 0.030, 1.60, 35.0, 3},
+      {"CLKBUF_X4", 16.0, 9.0, 0.024, 1.30, 32.0, 2},
+  };
+}
+
+}  // namespace
+
+StdCellLibrary StdCellLibrary::make_si_cmos_130nm() {
+  return StdCellLibrary("si_cmos_130", TierKind::kSiCmosFeol, si_cells());
+}
+
+StdCellLibrary StdCellLibrary::scaled(double area_scale, double energy_scale,
+                                      double delay_scale) const {
+  expects(area_scale > 0.0 && energy_scale > 0.0 && delay_scale > 0.0,
+          "scaling factors must be positive");
+  auto cells = cells_;
+  for (auto& c : cells) {
+    c.area_um2 *= area_scale;
+    c.input_cap_ff *= energy_scale;
+    c.switch_energy_pj *= energy_scale;
+    c.leakage_nw *= energy_scale;
+    c.delay_ps *= delay_scale;
+  }
+  return StdCellLibrary(name_, tier_, std::move(cells));
+}
+
+StdCellLibrary StdCellLibrary::make_cnfet_130nm(double drive_ratio) {
+  expects(drive_ratio > 0.0 && drive_ratio <= 1.5,
+          "CNFET drive ratio must be in (0, 1.5]");
+  auto cells = si_cells();
+  for (auto& c : cells) {
+    c.name = "CNT_" + c.name;
+    c.delay_ps /= drive_ratio;       // weaker drive -> slower
+    c.leakage_nw *= 0.5;             // CNFETs leak less at iso-node
+    c.switch_energy_pj *= 0.9;       // slightly lower parasitic cap (thin body)
+  }
+  return StdCellLibrary("cnfet_130", TierKind::kCnfetFeol, std::move(cells));
+}
+
+}  // namespace uld3d::tech

@@ -1,0 +1,85 @@
+#include "uld3d/tech/tier_stack.hpp"
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::tech {
+
+const char* to_string(TierKind kind) {
+  switch (kind) {
+    case TierKind::kSiCmosFeol: return "SiCmosFeol";
+    case TierKind::kBeolMetal: return "BeolMetal";
+    case TierKind::kRram: return "Rram";
+    case TierKind::kCnfetFeol: return "CnfetFeol";
+  }
+  return "?";
+}
+
+TierStack::TierStack(std::vector<Tier> tiers) : tiers_(std::move(tiers)) {}
+
+const Tier& TierStack::at(std::size_t index) const {
+  expects(index < tiers_.size(), "tier index out of range");
+  return tiers_[index];
+}
+
+std::optional<std::size_t> TierStack::find(TierKind kind) const {
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i].kind == kind) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t TierStack::placement_tier_count() const {
+  std::size_t count = 0;
+  for (const auto& tier : tiers_) {
+    if (tier.placement_allowed) ++count;
+  }
+  return count;
+}
+
+double TierStack::thermal_resistance_to_sink(std::size_t from_index,
+                                             double area_mm2) const {
+  expects(from_index < tiers_.size(), "tier index out of range");
+  expects(area_mm2 > 0.0, "die area must be positive");
+  double r_mm2 = 0.0;
+  for (std::size_t i = 0; i <= from_index; ++i) {
+    r_mm2 += tiers_[i].thermal_resistance_mm2_k_per_w;
+  }
+  return r_mm2 / area_mm2;
+}
+
+void TierStack::push(Tier tier) { tiers_.push_back(std::move(tier)); }
+
+namespace {
+
+// Representative vertical thermal resistances.  Dielectric stacks dominate;
+// values are normalised per mm^2 so thermal_resistance_to_sink() can scale
+// with footprint.  Magnitudes follow published M3D thermal studies [19].
+constexpr double kFeolRth = 2.0;    // mm^2*K/W
+constexpr double kMetalRth = 1.5;   // per metal layer
+constexpr double kRramRth = 1.0;
+constexpr double kCnfetRth = 2.5;   // thin-film layer on ILD
+
+TierStack build_stack(bool cnfet_placement_allowed) {
+  std::vector<Tier> tiers;
+  tiers.push_back({"SiCMOS", TierKind::kSiCmosFeol, true, false, 300.0, kFeolRth});
+  for (int m = 1; m <= 4; ++m) {
+    tiers.push_back({"M" + std::to_string(m), TierKind::kBeolMetal, false, true,
+                     200.0, kMetalRth});
+  }
+  tiers.push_back({"RRAM", TierKind::kRram, true, false, 50.0, kRramRth});
+  tiers.push_back(
+      {"CNFET", TierKind::kCnfetFeol, cnfet_placement_allowed, true, 40.0, kCnfetRth});
+  for (int m = 5; m <= 6; ++m) {
+    tiers.push_back({"M" + std::to_string(m), TierKind::kBeolMetal, false, true,
+                     350.0, kMetalRth});
+  }
+  return TierStack(std::move(tiers));
+}
+
+}  // namespace
+
+TierStack TierStack::make_m3d_130nm() { return build_stack(true); }
+
+TierStack TierStack::make_2d_baseline_130nm() { return build_stack(false); }
+
+}  // namespace uld3d::tech

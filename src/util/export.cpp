@@ -1,0 +1,33 @@
+#include "uld3d/util/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/log.hpp"
+
+namespace uld3d {
+
+std::string csv_export_dir() {
+  const char* dir = std::getenv("ULD3D_CSV_DIR");
+  return dir == nullptr ? std::string{} : std::string{dir};
+}
+
+std::string emit_table(std::ostream& os, const Table& table,
+                       const std::string& title, const std::string& slug) {
+  expects(!slug.empty(), "export slug must be non-empty");
+  table.print(os, title);
+  const std::string dir = csv_export_dir();
+  if (dir.empty()) return {};
+  const std::string path = dir + "/" + slug + ".csv";
+  std::ofstream file(path);
+  if (!file) {
+    log_warning("could not open CSV export file: " + path);
+    return {};
+  }
+  file << table.to_csv();
+  return path;
+}
+
+}  // namespace uld3d

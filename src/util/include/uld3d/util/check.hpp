@@ -1,0 +1,51 @@
+// Error-handling primitives for the uld3d library.
+//
+// Following the C++ Core Guidelines (I.6, E.x) we express preconditions as
+// named checking functions that throw on violation rather than macros.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace uld3d {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant fails (a library bug, not a user error).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Check a documented precondition; throws PreconditionError on violation.
+inline void expects(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": precondition failed: " +
+                            message);
+  }
+}
+
+/// Check an internal invariant; throws InvariantError on violation.
+inline void ensures(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": invariant failed: " +
+                         message);
+  }
+}
+
+}  // namespace uld3d

@@ -1,0 +1,25 @@
+// Optional CSV export for benchmark/reproduction tables.
+//
+// Every harness prints its table to stdout; setting the environment
+// variable ULD3D_CSV_DIR additionally writes each table as
+// `<dir>/<slug>.csv`, so figure data can be re-plotted without parsing
+// terminal output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "uld3d/util/table.hpp"
+
+namespace uld3d {
+
+/// Print `table` (with `title`) to `os`, and, if ULD3D_CSV_DIR is set in
+/// the environment, also write `<dir>/<slug>.csv`.  Returns the path
+/// written, or an empty string when export is disabled.
+std::string emit_table(std::ostream& os, const Table& table,
+                       const std::string& title, const std::string& slug);
+
+/// The directory configured via ULD3D_CSV_DIR, or empty.
+[[nodiscard]] std::string csv_export_dir();
+
+}  // namespace uld3d

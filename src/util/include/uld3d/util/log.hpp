@@ -1,0 +1,23 @@
+// Minimal leveled logger.  Quiet by default; benchmarks and examples raise
+// the level when they want progress output.
+#pragma once
+
+#include <string>
+
+namespace uld3d {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Set the global log threshold (messages below it are dropped).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message at `level` to stderr if it passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_warning(const std::string& m) { log_message(LogLevel::kWarning, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+}  // namespace uld3d

@@ -1,0 +1,55 @@
+// Small math helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d {
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t ceil_div(std::int64_t numerator, std::int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Floating-point "is close" with a relative tolerance (and a small absolute
+/// floor so comparisons near zero behave sensibly).
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                         double abs_tol = 1e-12) {
+  return std::abs(a - b) <= std::max(abs_tol, rel_tol * std::max(std::abs(a), std::abs(b)));
+}
+
+/// Relative difference |a-b| / max(|a|,|b|); zero when both are zero.
+inline double relative_difference(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 ? 0.0 : std::abs(a - b) / scale;
+}
+
+/// Round a positive double up to the next integer, as the paper's ceiling
+/// brackets do in Eqs. (2) and (9).
+inline std::int64_t ceil_to_int(double value) {
+  expects(value >= 0.0, "ceil_to_int requires a non-negative value");
+  return static_cast<std::int64_t>(std::ceil(value - 1e-12));
+}
+
+/// Geometric-mean accumulator used by the benchmark summaries.
+class GeometricMean {
+ public:
+  void add(double value) {
+    expects(value > 0.0, "geometric mean requires positive samples");
+    log_sum_ += std::log(value);
+    ++count_;
+  }
+  [[nodiscard]] double value() const {
+    return count_ == 0 ? 1.0 : std::exp(log_sum_ / static_cast<double>(count_));
+  }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+ private:
+  double log_sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace uld3d

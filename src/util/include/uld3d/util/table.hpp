@@ -1,0 +1,46 @@
+// ASCII table and CSV rendering used by the benchmark harnesses to print the
+// paper-style tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uld3d {
+
+/// Column-aligned ASCII table with an optional title, printed in the style
+///
+///   === Title ===
+///   | Layer      | Speedup | Energy | EDP benefit |
+///   |------------|---------|--------|-------------|
+///   | CONV1+POOL |   3.14x |  1.00x |       2.93x |
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows currently in the table.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with box-drawing pipes, right-aligning numeric-looking cells.
+  [[nodiscard]] std::string to_string(const std::string& title = {}) const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os, const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int digits = 2);
+
+/// Format a benefit multiplier like the paper: "5.66x".
+[[nodiscard]] std::string format_ratio(double value, int digits = 2);
+
+}  // namespace uld3d

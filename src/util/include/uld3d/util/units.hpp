@@ -1,0 +1,70 @@
+// Unit conventions and conversion constants used across the library.
+//
+// Internal canonical units (chosen so typical values are O(1)..O(1e9) and
+// stay well inside double precision):
+//   area        : square micrometres (um^2)
+//   length      : nanometres (nm) for device geometry, micrometres for floorplan
+//   energy      : picojoules (pJ)
+//   time        : nanoseconds (ns); latency also expressed in clock cycles
+//   power       : milliwatts (mW)
+//   capacity    : bits
+//   temperature : kelvin (K)
+//
+// Quantities are plain doubles with the unit spelled in the identifier
+// (e.g. `area_um2`, `energy_pj`).  Conversion helpers below keep call sites
+// readable and avoid magic factors.
+#pragma once
+
+namespace uld3d::units {
+
+// --- area ---
+inline constexpr double kUm2PerMm2 = 1.0e6;
+inline constexpr double kNm2PerUm2 = 1.0e6;
+
+constexpr double mm2_to_um2(double mm2) { return mm2 * kUm2PerMm2; }
+constexpr double um2_to_mm2(double um2) { return um2 / kUm2PerMm2; }
+constexpr double nm2_to_um2(double nm2) { return nm2 / kNm2PerUm2; }
+
+// --- length ---
+inline constexpr double kNmPerUm = 1.0e3;
+constexpr double nm_to_um(double nm) { return nm / kNmPerUm; }
+constexpr double um_to_nm(double um) { return um * kNmPerUm; }
+
+// --- energy ---
+inline constexpr double kPjPerNj = 1.0e3;
+inline constexpr double kPjPerUj = 1.0e6;
+inline constexpr double kFjPerPj = 1.0e3;
+constexpr double nj_to_pj(double nj) { return nj * kPjPerNj; }
+constexpr double uj_to_pj(double uj) { return uj * kPjPerUj; }
+constexpr double fj_to_pj(double fj) { return fj / kFjPerPj; }
+constexpr double pj_to_uj(double pj) { return pj / kPjPerUj; }
+
+// --- time ---
+inline constexpr double kNsPerUs = 1.0e3;
+inline constexpr double kNsPerMs = 1.0e6;
+inline constexpr double kNsPerS = 1.0e9;
+constexpr double us_to_ns(double us) { return us * kNsPerUs; }
+constexpr double ns_to_s(double ns) { return ns / kNsPerS; }
+constexpr double s_to_ns(double s) { return s * kNsPerS; }
+
+/// Clock period in ns for a frequency in MHz.
+constexpr double mhz_to_period_ns(double mhz) { return 1.0e3 / mhz; }
+/// Frequency in MHz for a clock period in ns.
+constexpr double period_ns_to_mhz(double period_ns) { return 1.0e3 / period_ns; }
+
+// --- power ---
+/// pJ per ns equals mW (1 pJ/ns = 1e-12 J / 1e-9 s = 1e-3 W).
+constexpr double pj_per_ns_to_mw(double pj_per_ns) { return pj_per_ns; }
+constexpr double mw_to_w(double mw) { return mw * 1.0e-3; }
+constexpr double w_to_mw(double w) { return w * 1.0e3; }
+
+// --- capacity ---
+inline constexpr double kBitsPerByte = 8.0;
+inline constexpr double kBitsPerKB = 8.0 * 1024.0;
+inline constexpr double kBitsPerMB = 8.0 * 1024.0 * 1024.0;
+constexpr double mb_to_bits(double mb) { return mb * kBitsPerMB; }
+constexpr double kb_to_bits(double kb) { return kb * kBitsPerKB; }
+constexpr double bytes_to_bits(double bytes) { return bytes * kBitsPerByte; }
+constexpr double bits_to_mb(double bits) { return bits / kBitsPerMB; }
+
+}  // namespace uld3d::units

@@ -1,0 +1,80 @@
+#include "uld3d/accel/cs_netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d::accel {
+namespace {
+
+tech::StdCellLibrary lib() { return tech::StdCellLibrary::make_si_cmos_130nm(); }
+
+TEST(CsNetlist, CellCountMatchesStructure) {
+  const CsDesign cs;
+  const PeStructure pe;
+  const auto netlist = build_cs_array_netlist(cs, pe);
+  EXPECT_EQ(netlist.cell_count(),
+            static_cast<std::size_t>(cs.pe_rows * cs.pe_cols *
+                                     pe.cells_per_pe()));
+}
+
+TEST(CsNetlist, HistogramMatchesPerPeComposition) {
+  const CsDesign cs;
+  const PeStructure pe;
+  const auto hist = build_cs_array_netlist(cs, pe).type_histogram();
+  const std::int64_t pes = cs.pe_rows * cs.pe_cols;
+  EXPECT_EQ(hist.at("NAND2_X1"), pes * pe.multiplier_nand2);
+  EXPECT_EQ(hist.at("FA_X1"), pes * (pe.multiplier_fa + pe.accumulator_fa));
+  EXPECT_EQ(hist.at("DFF_X1"),
+            pes * (pe.weight_reg_dff + pe.input_pipe_dff + pe.psum_pipe_dff));
+}
+
+TEST(CsNetlist, SystolicNetsPresent) {
+  // 8-bit buses rightward on 16 rows x 15 hops, 24-bit buses downward on
+  // 15 hops x 16 columns, plus the intra-PE wiring.
+  const CsDesign cs;
+  const auto netlist = build_cs_array_netlist(cs);
+  const std::size_t inter_pe =
+      static_cast<std::size_t>(16 * 15 * 8 + 15 * 16 * 24);
+  EXPECT_GT(netlist.net_count(), inter_pe);
+}
+
+TEST(CsNetlist, StructuralAreaTracksGateBudget) {
+  // The gates_per_pe budget in CsDesign must agree with the structural
+  // netlist within a few percent — they are two views of the same design.
+  const CsDesign cs;
+  const auto report = validate_cs_netlist(cs, lib());
+  EXPECT_NEAR(report.array_area_um2 / report.budget_area_um2, 1.0, 0.05);
+}
+
+TEST(CsNetlist, StructuralWirelengthNearDonathEstimate) {
+  // The statistical model and the structural HPWL must agree within ~3x;
+  // a systolic array is MORE local than Rent-random logic, so structural
+  // should come in at or below the estimate.
+  const CsDesign cs;
+  const auto report = validate_cs_netlist(cs, lib());
+  EXPECT_GT(report.structural_hpwl_um, report.donath_estimate_um / 3.0);
+  EXPECT_LT(report.structural_hpwl_um, report.donath_estimate_um * 1.5);
+}
+
+TEST(CsNetlist, ScalesWithArrayDimensions) {
+  CsDesign small;
+  small.pe_rows = 4;
+  small.pe_cols = 4;
+  const auto netlist = build_cs_array_netlist(small);
+  const PeStructure pe;
+  EXPECT_EQ(netlist.cell_count(),
+            static_cast<std::size_t>(16 * pe.cells_per_pe()));
+  const auto report = validate_cs_netlist(small, lib());
+  EXPECT_GT(report.structural_hpwl_um, 0.0);
+}
+
+TEST(CsNetlist, GateEquivalentsNearBudgetedCount) {
+  const CsDesign cs;
+  const auto report = validate_cs_netlist(cs, lib());
+  const double budget_ge =
+      static_cast<double>(cs.pe_rows * cs.pe_cols * cs.gates_per_pe);
+  EXPECT_NEAR(static_cast<double>(report.gate_equivalents) / budget_ge, 1.0,
+              0.35);
+}
+
+}  // namespace
+}  // namespace uld3d::accel

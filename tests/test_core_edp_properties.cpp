@@ -1,0 +1,118 @@
+// Property-based sweeps over the analytical EDP framework: invariants that
+// must hold at EVERY design point, not just the paper's.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "uld3d/core/edp_model.hpp"
+
+namespace uld3d::core {
+namespace {
+
+Chip2d chip2d() {
+  Chip2d c;
+  c.bandwidth_bits_per_cycle = 256.0;
+  c.peak_ops_per_cycle = 512.0;
+  c.alpha_pj_per_bit = 1.5;
+  c.compute_pj_per_op = 1.0;
+  c.cs_idle_pj_per_cycle = 2.0;
+  c.mem_idle_pj_per_cycle = 10.0;
+  return c;
+}
+
+Chip3d chip3d(std::int64_t n, double bw_scale = 1.0) {
+  Chip3d c;
+  c.parallel_cs = n;
+  c.bandwidth_bits_per_cycle = 256.0 * bw_scale * static_cast<double>(n);
+  c.alpha_pj_per_bit = 1.5 * 0.97;
+  c.mem_idle_pj_per_cycle = 10.0 * (1.0 + 0.3 * static_cast<double>(n - 1));
+  return c;
+}
+
+// (ops/bit intensity, N#, N, bandwidth scale)
+using Point = std::tuple<double, std::int64_t, std::int64_t, double>;
+
+class EdpProperty : public ::testing::TestWithParam<Point> {
+ protected:
+  [[nodiscard]] WorkloadPoint workload() const {
+    const auto [intensity, nsharp, n, bw] = GetParam();
+    (void)n;
+    (void)bw;
+    return synthetic_workload(intensity, 8.0 * 1024.0 * 1024.0, nsharp);
+  }
+  [[nodiscard]] Chip3d m3d() const {
+    const auto [intensity, nsharp, n, bw] = GetParam();
+    (void)intensity;
+    (void)nsharp;
+    return chip3d(n, bw);
+  }
+};
+
+TEST_P(EdpProperty, TimesAndEnergiesArePositive) {
+  const EdpResult r = evaluate_edp(workload(), chip2d(), m3d());
+  EXPECT_GT(r.t2d_cycles, 0.0);
+  EXPECT_GT(r.t3d_cycles, 0.0);
+  EXPECT_GT(r.e2d_pj, 0.0);
+  EXPECT_GT(r.e3d_pj, 0.0);
+  EXPECT_GT(r.edp_benefit, 0.0);
+}
+
+TEST_P(EdpProperty, SpeedupNeverExceedsNmax) {
+  const WorkloadPoint w = workload();
+  const Chip3d c3 = m3d();
+  const auto [intensity, nsharp, n, bw] = GetParam();
+  (void)intensity;
+  const EdpResult r = evaluate_edp(w, chip2d(), c3);
+  const double nmax = static_cast<double>(std::min(nsharp, n));
+  // Compute scales at most Nmax-fold; memory at most bw-fold; the combined
+  // speedup cannot beat the better of the two.
+  EXPECT_LE(r.speedup, std::max(nmax, bw) + 1e-9);
+  EXPECT_EQ(r.n_max, std::min(nsharp, n));
+}
+
+TEST_P(EdpProperty, SpeedupAtLeastOneWithIsoBandwidthPerCs) {
+  const auto [intensity, nsharp, n, bw] = GetParam();
+  if (bw < 1.0) return;  // degraded per-CS bandwidth may slow memory phases
+  (void)intensity;
+  (void)nsharp;
+  const EdpResult r = evaluate_edp(workload(), chip2d(), m3d());
+  EXPECT_GE(r.speedup, 1.0 - 1e-9);
+}
+
+TEST_P(EdpProperty, MoreCsNeverSlowsDown) {
+  const auto [intensity, nsharp, n, bw] = GetParam();
+  (void)intensity;
+  (void)nsharp;
+  const WorkloadPoint w = workload();
+  const double t_n = execution_time_3d(w, chip2d(), chip3d(n, bw));
+  const double t_2n = execution_time_3d(w, chip2d(), chip3d(2 * n, bw));
+  EXPECT_LE(t_2n, t_n + 1e-9);
+}
+
+TEST_P(EdpProperty, EnergyRatioApproachesOneWithoutIdleTerms) {
+  // With idle energies and the alpha derate removed, E_3D == E_2D exactly:
+  // the same work is done either way (paper's E_C,3D = E_C,2D premise).
+  Chip2d c2 = chip2d();
+  c2.cs_idle_pj_per_cycle = 0.0;
+  c2.mem_idle_pj_per_cycle = 0.0;
+  Chip3d c3 = m3d();
+  c3.alpha_pj_per_bit = c2.alpha_pj_per_bit;
+  c3.mem_idle_pj_per_cycle = 0.0;
+  const WorkloadPoint w = workload();
+  EXPECT_NEAR(energy_3d(w, c2, c3) / energy_2d(w, c2), 1.0, 1e-12);
+}
+
+TEST_P(EdpProperty, EdpBenefitEqualsSpeedupTimesEnergyRatio) {
+  const EdpResult r = evaluate_edp(workload(), chip2d(), m3d());
+  EXPECT_NEAR(r.edp_benefit, r.speedup * r.energy_ratio, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, EdpProperty,
+    ::testing::Combine(::testing::Values(1.0 / 16.0, 1.0, 4.0, 16.0, 256.0),
+                       ::testing::Values<std::int64_t>(1, 4, 32),
+                       ::testing::Values<std::int64_t>(1, 2, 8, 16),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace uld3d::core

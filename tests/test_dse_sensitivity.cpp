@@ -1,0 +1,72 @@
+#include "uld3d/dse/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::dse {
+namespace {
+
+TEST(Sensitivity, LinearObjectiveHasUnitElasticity) {
+  // f = 3x: df/f per dx/x = 1 exactly.
+  const auto results = analyze_sensitivity(
+      {"x"}, {2.0},
+      [](const std::vector<double>& p) { return 3.0 * p[0]; });
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NEAR(results[0].elasticity, 1.0, 1e-9);
+}
+
+TEST(Sensitivity, PowerLawElasticityEqualsExponent) {
+  // f = x^2 -> elasticity ~ 2 (central difference is exact to O(step^2)).
+  const auto results = analyze_sensitivity(
+      {"x"}, {5.0},
+      [](const std::vector<double>& p) { return p[0] * p[0]; }, 0.01);
+  EXPECT_NEAR(results[0].elasticity, 2.0, 1e-3);
+}
+
+TEST(Sensitivity, InverseGivesMinusOne) {
+  const auto results = analyze_sensitivity(
+      {"x"}, {4.0},
+      [](const std::vector<double>& p) { return 1.0 / p[0]; }, 0.01);
+  EXPECT_NEAR(results[0].elasticity, -1.0, 1e-3);
+}
+
+TEST(Sensitivity, IndependentParameterHasZeroElasticity) {
+  const auto results = analyze_sensitivity(
+      {"x", "unused"}, {2.0, 7.0},
+      [](const std::vector<double>& p) { return p[0]; });
+  EXPECT_NEAR(results[1].elasticity, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(results[1].objective_minus, results[1].objective_plus);
+}
+
+TEST(Sensitivity, PerturbsOneParameterAtATime) {
+  const auto results = analyze_sensitivity(
+      {"x", "y"}, {10.0, 20.0},
+      [](const std::vector<double>& p) { return p[0] + 100.0 * p[1]; }, 0.1);
+  // x perturbation must not include y movement.
+  EXPECT_NEAR(results[0].objective_plus - results[0].objective_minus,
+              2.0 * 0.1 * 10.0, 1e-9);
+}
+
+TEST(Sensitivity, TableSortsByMagnitude) {
+  auto results = analyze_sensitivity(
+      {"weak", "strong"}, {1.0, 1.0},
+      [](const std::vector<double>& p) { return p[0] + 10.0 * p[1]; });
+  const Table t = sensitivity_table(results);
+  const std::string s = t.to_string();
+  EXPECT_LT(s.find("strong"), s.find("weak"));
+}
+
+TEST(Sensitivity, Validation) {
+  const auto f = [](const std::vector<double>& p) { return p[0]; };
+  EXPECT_THROW(analyze_sensitivity({"a", "b"}, {1.0}, f), PreconditionError);
+  EXPECT_THROW(analyze_sensitivity({"a"}, {1.0}, f, 0.0), PreconditionError);
+  EXPECT_THROW(analyze_sensitivity({"a"}, {1.0}, f, 1.0), PreconditionError);
+  const auto zero = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_THROW(analyze_sensitivity({"a"}, {1.0}, zero), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uld3d::dse

@@ -1,0 +1,77 @@
+// Fuzz-style integration: randomly generated CNNs must satisfy the same
+// cross-model invariants the zoo models do — for the simulator, the
+// analytical framework, and their mutual agreement.
+#include <gtest/gtest.h>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/nn/generator.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d {
+namespace {
+
+class FuzzNetworks : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] nn::Network net() const {
+    Rng rng(GetParam());
+    return nn::random_network(rng);
+  }
+};
+
+TEST_P(FuzzNetworks, SimulatorInvariantsHold) {
+  const accel::CaseStudy study;
+  const auto cmp = study.run(net());
+  // Speedup within [1, N]; energy near unity; EDP consistent.
+  EXPECT_GE(cmp.speedup, 1.0 - 1e-9);
+  EXPECT_LE(cmp.speedup, 8.0 + 1e-9);
+  EXPECT_GT(cmp.energy_ratio, 0.90);
+  EXPECT_LT(cmp.energy_ratio, 1.10);
+  EXPECT_NEAR(cmp.edp_benefit, cmp.speedup / cmp.energy_ratio,
+              1e-6 * cmp.edp_benefit);
+  for (const auto& row : cmp.layers) {
+    EXPECT_GE(row.speedup, 1.0 - 1e-9) << row.name;
+    EXPECT_GT(row.cycles_2d, 0) << row.name;
+  }
+}
+
+TEST_P(FuzzNetworks, AnalyticalTracksSimulator) {
+  const accel::CaseStudy study;
+  const nn::Network network = net();
+  const auto cmp = study.run(network);
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::Chip3d c3 = study.chip3d_params();
+  std::vector<core::EdpResult> rs;
+  for (const auto& w : core::layer_workloads(network, {}, {})) {
+    rs.push_back(core::evaluate_edp(w, c2, c3));
+  }
+  const auto model = core::combine_results(rs);
+  // Random topologies stress corners the zoo misses; allow 20% here
+  // (the zoo agreement test pins 10%).
+  EXPECT_LE(relative_difference(model.edp_benefit, cmp.edp_benefit), 0.20)
+      << network.name() << ": model " << model.edp_benefit << " vs sim "
+      << cmp.edp_benefit;
+}
+
+TEST_P(FuzzNetworks, WorkloadDerivationConsistent) {
+  const nn::Network network = net();
+  const auto per_layer = core::layer_workloads(network, {}, {});
+  const auto total = core::network_workload(network, {}, {});
+  double f0 = 0.0;
+  for (const auto& w : per_layer) {
+    EXPECT_GT(w.f0_ops, 0.0);
+    EXPECT_GT(w.d0_bits, 0.0);
+    EXPECT_GE(w.max_partitions, 1);
+    EXPECT_LE(w.shared_bits(), w.d0_bits + 1e-9);
+    f0 += w.f0_ops;
+  }
+  EXPECT_NEAR(total.f0_ops, f0, 1e-6 * f0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzNetworks,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+}  // namespace
+}  // namespace uld3d

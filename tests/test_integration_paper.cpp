@@ -1,0 +1,255 @@
+// Integration tests pinning the reproduction to the paper's headline
+// results.  Tolerances are generous enough to survive re-calibration of
+// technology constants but tight enough that a broken model fails.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "uld3d/accel/case_study.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/multi_tier.hpp"
+#include "uld3d/core/relaxed_baseline.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/mapper/cost_model.hpp"
+#include "uld3d/mapper/table2.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/math.hpp"
+
+namespace uld3d {
+namespace {
+
+// ---------------------------------------------------------------- Table I
+TEST(PaperTableI, ResNet18TotalsNearPaper) {
+  // Paper: 5.64x speedup, 0.99x energy, 5.66x EDP.
+  const accel::CaseStudy study;
+  const auto cmp = study.run(nn::make_resnet18());
+  EXPECT_NEAR(cmp.speedup, 5.64, 0.60);
+  EXPECT_NEAR(cmp.energy_ratio, 0.99, 0.02);
+  EXPECT_NEAR(cmp.edp_benefit, 5.66, 0.65);
+}
+
+TEST(PaperTableI, LayerStructureMatches) {
+  const accel::CaseStudy study;
+  const auto cmp = study.run(nn::make_resnet18());
+  const auto row = [&](const std::string& name) {
+    const auto it =
+        std::find_if(cmp.layers.begin(), cmp.layers.end(),
+                     [&](const auto& r) { return r.name == name; });
+    EXPECT_NE(it, cmp.layers.end()) << name;
+    return *it;
+  };
+  // Early layers are capped by K-tiling at ~4x (paper: 3.7x).
+  EXPECT_NEAR(row("L1.0 CONV1").speedup, 3.7, 0.6);
+  // Downsample projections see the smallest benefits (paper: 2.5-3.5x).
+  EXPECT_LT(row("L2.0 DS").speedup, 4.0);
+  EXPECT_GT(row("L2.0 DS").speedup, 1.5);
+  // Late convolutions approach the 8-CS bound (paper: 7.4-7.9x).
+  EXPECT_GT(row("L4.1 CONV2").speedup, 7.0);
+  EXPECT_LE(row("L4.1 CONV2").speedup, 8.2);
+  // Per-layer energy stays within a few percent of 1x everywhere.
+  for (const auto& r : cmp.layers) {
+    EXPECT_GT(r.energy_ratio, 0.90) << r.name;
+    EXPECT_LT(r.energy_ratio, 1.05) << r.name;
+  }
+}
+
+// ----------------------------------------------------------------- Fig. 5
+TEST(PaperFig5, AllModelsInPaperRange) {
+  // Paper: 5.7x-7.5x speedup at ~0.99x energy across AlexNet/VGG/ResNet.
+  const accel::CaseStudy study;
+  for (const char* name : {"alexnet", "vgg16", "resnet18", "resnet152"}) {
+    const auto cmp = study.run(nn::make_network(name));
+    EXPECT_GT(cmp.edp_benefit, 5.0) << name;
+    EXPECT_LT(cmp.edp_benefit, 8.2) << name;
+    EXPECT_NEAR(cmp.energy_ratio, 0.99, 0.025) << name;
+  }
+}
+
+// ----------------------------------------------------------------- Fig. 7
+TEST(PaperFig7, MapperBenefitsInPaperRange) {
+  // Paper: 5.3x-11.5x EDP benefits across the six Table-II architectures.
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const auto net = nn::make_alexnet();
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& arch : mapper::table2_architectures()) {
+    const auto b = mapper::evaluate_benefit(net, arch, {}, pdk);
+    lo = std::min(lo, b.edp_benefit);
+    hi = std::max(hi, b.edp_benefit);
+  }
+  EXPECT_GT(lo, 4.5);
+  EXPECT_LT(hi, 14.0);
+  EXPECT_GT(hi / lo, 1.4);  // a real spread across architectures
+}
+
+TEST(PaperFig7, AnalyticalWithinTenPercentOfMapper) {
+  // The paper's validation claim: the analytical framework is within 10% of
+  // the architectural simulator for every design point.
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const auto net = nn::make_alexnet();
+  for (const auto& arch : mapper::table2_architectures()) {
+    const auto zz = mapper::evaluate_benefit(net, arch, {}, pdk);
+
+    core::Chip2d c2;
+    c2.bandwidth_bits_per_cycle = arch.rram_bandwidth_bits_per_cycle;
+    c2.peak_ops_per_cycle = 2.0 * static_cast<double>(arch.spatial.total_pes());
+    c2.alpha_pj_per_bit = arch.rram_read_pj_per_bit;
+    c2.compute_pj_per_op = arch.mac_energy_pj / 2.0;
+    c2.cs_idle_pj_per_cycle = 2.0;
+    c2.mem_idle_pj_per_cycle = 10.0;
+    core::Chip3d c3;
+    c3.parallel_cs = zz.n_cs;
+    c3.bandwidth_bits_per_cycle =
+        c2.bandwidth_bits_per_cycle * static_cast<double>(zz.n_cs);
+    c3.alpha_pj_per_bit = c2.alpha_pj_per_bit * 0.97;
+    c3.mem_idle_pj_per_cycle =
+        c2.mem_idle_pj_per_cycle * (1.0 + 0.3 * static_cast<double>(zz.n_cs - 1));
+
+    core::TrafficOptions traffic;
+    core::PartitionOptions part;
+    part.array_cols = arch.spatial.k;
+    part.array_rows = arch.spatial.c;
+    part.spatial_ox = arch.spatial.ox;
+    part.spatial_oy = arch.spatial.oy;
+    part.channel_tap_packing = false;
+    part.hybrid_pixel_partition = true;
+    std::vector<core::EdpResult> per_layer;
+    for (const auto& w : core::layer_workloads(net, traffic, part)) {
+      per_layer.push_back(core::evaluate_edp(w, c2, c3));
+    }
+    const auto model = core::combine_results(per_layer);
+    EXPECT_LE(relative_difference(model.edp_benefit, zz.edp_benefit), 0.13)
+        << arch.name << ": model " << model.edp_benefit << " vs mapper "
+        << zz.edp_benefit;
+  }
+}
+
+// ---------------------------------------------- analytical vs simulator
+TEST(PaperValidation, AnalyticalWithinTenPercentOfSimulator) {
+  const accel::CaseStudy study;
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::Chip3d c3 = study.chip3d_params();
+  for (const char* name : {"alexnet", "vgg16", "resnet18", "resnet152"}) {
+    const auto net = nn::make_network(name);
+    const auto sim_cmp = study.run(net);
+    std::vector<core::EdpResult> per_layer;
+    for (const auto& w : core::layer_workloads(net, {}, {})) {
+      per_layer.push_back(core::evaluate_edp(w, c2, c3));
+    }
+    const auto model = core::combine_results(per_layer);
+    EXPECT_LE(relative_difference(model.edp_benefit, sim_cmp.edp_benefit), 0.10)
+        << name;
+  }
+}
+
+// ----------------------------------------------------------------- Fig. 9
+TEST(PaperFig9, BenefitMonotoneAndSaturatingInCapacity) {
+  const auto net = nn::make_resnet18();
+  double previous = 0.0;
+  std::vector<double> benefits;
+  for (const double mb : {12.0, 32.0, 64.0, 128.0}) {
+    accel::CaseStudy study;
+    study.rram_capacity_mb = mb;
+    const auto cmp = study.run(net);
+    EXPECT_GE(cmp.edp_benefit, previous - 0.05) << mb;
+    previous = cmp.edp_benefit;
+    benefits.push_back(cmp.edp_benefit);
+  }
+  // Small capacities give small benefits; the case-study point is ~5.5x.
+  EXPECT_LT(benefits.front(), 2.5);
+  EXPECT_GT(benefits[2], 5.0);
+  // Saturation: the 64->128 MB step gains far less than 32->64.
+  EXPECT_LT(benefits[3] - benefits[2], benefits[2] - benefits[1]);
+}
+
+// ------------------------------------------------------------- Case 1 / 2
+TEST(PaperObs7, NoLossUpToSixteenXFetWidth) {
+  const accel::CaseStudy study;
+  const auto area = study.area_model();
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::RelaxedBandwidth bw{c2.bandwidth_bits_per_cycle};
+  const auto workloads = core::layer_workloads(nn::make_resnet18(), {}, {});
+
+  const auto benefit_at = [&](double delta) {
+    const double scale = study.pdk.with_fet_width_relaxation(delta)
+                             .rram_bit_area_m3d_um2() /
+                         study.pdk.rram_bit_area_um2();
+    const auto point = core::relaxed_design_point(area, scale);
+    std::vector<core::EdpResult> rs;
+    for (const auto& w : workloads) {
+      rs.push_back(core::evaluate_relaxed_edp(w, c2, point, bw));
+    }
+    return core::combine_results(rs).edp_benefit;
+  };
+
+  const double base = benefit_at(1.0);
+  EXPECT_GE(benefit_at(1.6), base - 0.05);  // paper: no loss up to 1.6x
+  EXPECT_LT(benefit_at(2.0), base);          // degradation beyond
+  const double extreme = benefit_at(2.5);
+  EXPECT_GT(extreme, 1.0);                   // small benefits retained
+  EXPECT_LT(extreme, 0.5 * base);
+}
+
+TEST(PaperObs8, ViaPitchCrossoverBetween13And16) {
+  const accel::CaseStudy study;
+  const auto area = study.area_model();
+  const core::Chip2d c2 = study.chip2d_params();
+  const core::RelaxedBandwidth bw{c2.bandwidth_bits_per_cycle};
+  const auto workloads = core::layer_workloads(nn::make_resnet18(), {}, {});
+
+  const auto benefit_at = [&](double beta) {
+    const double scale =
+        study.pdk.with_ilv_pitch_scale(beta).rram_bit_area_m3d_um2() /
+        study.pdk.rram_bit_area_um2();
+    const auto point = core::relaxed_design_point(area, scale);
+    std::vector<core::EdpResult> rs;
+    for (const auto& w : workloads) {
+      rs.push_back(core::evaluate_relaxed_edp(w, c2, point, bw));
+    }
+    return core::combine_results(rs).edp_benefit;
+  };
+
+  const double base = benefit_at(1.0);
+  EXPECT_GE(benefit_at(1.3), base - 0.05);  // fine pitch: unchanged
+  EXPECT_LT(benefit_at(1.6), 0.5 * base);   // coarse pitch: limited benefit
+  EXPECT_LT(benefit_at(2.0), 0.35 * base);
+}
+
+// ---------------------------------------------------------------- Case 3
+TEST(PaperObs9, TierPairsGrowThenPlateau) {
+  const accel::CaseStudy study;
+  const auto area = study.area_model();
+  const core::Chip2d c2 = study.chip2d_params();
+  const auto workloads = core::layer_workloads(nn::make_resnet18(), {}, {});
+
+  const auto benefit_at = [&](std::int64_t y) {
+    std::vector<core::EdpResult> rs;
+    for (const auto& w : workloads) {
+      rs.push_back(core::evaluate_multi_tier_edp(
+          w, c2, area, y, c2.bandwidth_bits_per_cycle));
+    }
+    return core::combine_results(rs).edp_benefit;
+  };
+
+  const double y1 = benefit_at(1);
+  const double y2 = benefit_at(2);
+  const double y4 = benefit_at(4);
+  EXPECT_GT(y2, y1 * 1.05);               // one extra pair helps (5.7 -> 6.9)
+  EXPECT_LT(y4 - y2, 0.5 * (y2 - y1));    // then it plateaus (-> ~7.1)
+}
+
+// ------------------------------------------------------------------ Obs 3
+TEST(PaperObs3, SparserBaselineMemoryRaisesBenefit) {
+  const auto net = nn::make_resnet18();
+  accel::CaseStudy rram;
+  accel::CaseStudy sram;
+  sram.baseline_mem_density_handicap = 2.0;
+  const double b_rram = rram.run(net).edp_benefit;
+  const double b_sram = sram.run(net).edp_benefit;
+  EXPECT_GE(sram.m3d_cs_count(), 14);
+  EXPECT_GE(b_sram, b_rram);
+}
+
+}  // namespace
+}  // namespace uld3d

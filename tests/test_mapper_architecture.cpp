@@ -1,0 +1,91 @@
+#include "uld3d/mapper/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/mapper/table2.hpp"
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::mapper {
+namespace {
+
+TEST(Architecture, Table2HasSixNormalizedPoints) {
+  const auto archs = table2_architectures();
+  ASSERT_EQ(archs.size(), 6u);
+  for (const auto& a : archs) {
+    // Paper: all normalized to the same PE count and RRAM capacity.
+    EXPECT_EQ(a.spatial.total_pes(), 1024) << a.name;
+    EXPECT_DOUBLE_EQ(a.rram_capacity_bits, units::mb_to_bits(256.0)) << a.name;
+  }
+}
+
+TEST(Architecture, Table2SpatialShapesMatchPaper) {
+  const auto a1 = make_table2_architecture(1);
+  EXPECT_EQ(a1.spatial.k, 16);
+  EXPECT_EQ(a1.spatial.c, 16);
+  EXPECT_EQ(a1.spatial.ox, 2);
+  EXPECT_EQ(a1.spatial.oy, 2);
+  const auto a5 = make_table2_architecture(5);
+  EXPECT_EQ(a5.spatial.k, 32);
+  EXPECT_EQ(a5.spatial.c, 1);
+  EXPECT_EQ(a5.spatial.ox, 8);
+  EXPECT_EQ(a5.spatial.oy, 4);
+}
+
+TEST(Architecture, Table2BufferSizesMatchPaper) {
+  const auto a3 = make_table2_architecture(3);
+  EXPECT_DOUBLE_EQ(a3.weights.reg.capacity_bits, 128.0 * 8.0);
+  EXPECT_DOUBLE_EQ(a3.outputs.reg.capacity_bits, 1024.0 * 8.0);
+  EXPECT_DOUBLE_EQ(a3.weights.local.capacity_bits, 0.0);  // '-' entries
+  const auto a6 = make_table2_architecture(6);
+  EXPECT_DOUBLE_EQ(a6.inputs.local.capacity_bits, units::kb_to_bits(32.0));
+  EXPECT_DOUBLE_EQ(a6.weights.global.capacity_bits, units::mb_to_bits(0.5));
+}
+
+TEST(Architecture, InvalidIndexThrows) {
+  EXPECT_THROW(make_table2_architecture(0), PreconditionError);
+  EXPECT_THROW(make_table2_architecture(7), PreconditionError);
+}
+
+TEST(Architecture, GlobalSramCountedOnce) {
+  const auto a1 = make_table2_architecture(1);
+  // All three operand views name the same 2 MB global buffer.
+  EXPECT_DOUBLE_EQ(a1.global_sram_bits(), units::mb_to_bits(2.0));
+}
+
+TEST(Architecture, CsAreaExcludesGlobalSram) {
+  const auto lib = tech::StdCellLibrary::make_si_cmos_130nm();
+  auto with_global = make_table2_architecture(2);
+  auto without_global = with_global;
+  without_global.weights.global.capacity_bits = 0.0;
+  without_global.inputs.global.capacity_bits = 0.0;
+  without_global.outputs.global.capacity_bits = 0.0;
+  EXPECT_DOUBLE_EQ(with_global.cs_area_um2(lib),
+                   without_global.cs_area_um2(lib));
+}
+
+TEST(Architecture, FatterRegistersGrowTheCs) {
+  const auto lib = tech::StdCellLibrary::make_si_cmos_130nm();
+  // Arch 3 carries 128B + 1KB per-PE registers: the largest CS of the six.
+  const auto archs = table2_architectures();
+  const double a3 = archs[2].cs_area_um2(lib);
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    EXPECT_GE(a3, archs[i].cs_area_um2(lib)) << archs[i].name;
+  }
+}
+
+TEST(Architecture, ValidationCatchesBadSpatial) {
+  Architecture a = make_table2_architecture(1);
+  a.spatial.k = 0;
+  EXPECT_THROW(a.validate(), PreconditionError);
+}
+
+TEST(Architecture, BufferBitsSumRegsAndLocals) {
+  const auto a = make_table2_architecture(4);
+  const double regs = (1.0 + 2.0) * 8.0 * 1024.0;  // W:1B + O:2B per PE
+  const double locals = units::kb_to_bits(64.0) + units::kb_to_bits(32.0);
+  EXPECT_DOUBLE_EQ(a.buffer_bits(), regs + locals);
+}
+
+}  // namespace
+}  // namespace uld3d::mapper

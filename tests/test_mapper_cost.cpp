@@ -1,0 +1,147 @@
+#include "uld3d/mapper/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/mapper/table2.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::mapper {
+namespace {
+
+nn::ConvSpec conv(std::int64_t k, std::int64_t c, std::int64_t ox,
+                  std::int64_t fx) {
+  nn::ConvSpec s;
+  s.name = "c";
+  s.k = k;
+  s.c = c;
+  s.ox = ox;
+  s.oy = ox;
+  s.fx = fx;
+  s.fy = fx;
+  s.stride = 1;
+  return s;
+}
+
+TEST(CostModel, PicksACandidateAndPricesIt) {
+  const auto arch = make_table2_architecture(1);
+  const LayerCost cost = evaluate_conv(conv(256, 96, 27, 5), arch, {}, 1);
+  EXPECT_FALSE(cost.mapping_order.empty());
+  EXPECT_GT(cost.latency_cycles, 0.0);
+  EXPECT_GT(cost.energy_pj, 0.0);
+  EXPECT_NEAR(cost.energy_pj,
+              cost.mac_energy_pj + cost.buffer_energy_pj + cost.rram_energy_pj +
+                  cost.idle_energy_pj,
+              1e-6 * cost.energy_pj);
+}
+
+TEST(CostModel, ParallelismSpeedsUpCompute) {
+  const auto arch = make_table2_architecture(1);
+  const LayerCost c1 = evaluate_conv(conv(512, 256, 28, 3), arch, {}, 1);
+  const LayerCost c8 = evaluate_conv(conv(512, 256, 28, 3), arch, {}, 8);
+  EXPECT_EQ(c8.cs_used, 8);
+  EXPECT_LT(c8.latency_cycles, c1.latency_cycles / 6.0);
+}
+
+TEST(CostModel, HybridSplitUsesOutputRows) {
+  // K = 32 gives only one K-tile on a 32-wide array, but the OY dimension
+  // still parallelizes across CSs.
+  const auto arch = make_table2_architecture(3);  // spatial (32, 32)
+  const LayerCost c8 = evaluate_conv(conv(32, 64, 28, 3), arch, {}, 8);
+  EXPECT_GT(c8.cs_used, 1);
+}
+
+TEST(CostModel, MacEnergyIndependentOfParallelism) {
+  const auto arch = make_table2_architecture(1);
+  const LayerCost c1 = evaluate_conv(conv(512, 256, 28, 3), arch, {}, 1);
+  const LayerCost c8 = evaluate_conv(conv(512, 256, 28, 3), arch, {}, 8);
+  EXPECT_DOUBLE_EQ(c1.mac_energy_pj, c8.mac_energy_pj);
+}
+
+TEST(CostModel, NetworkCostSumsLayers) {
+  const auto arch = make_table2_architecture(6);
+  const nn::Network net = nn::make_alexnet();
+  const NetworkCost cost = evaluate_network(net, arch, {}, 4);
+  ASSERT_EQ(cost.layers.size(), net.size());
+  double latency = 0.0;
+  double energy = 0.0;
+  for (const auto& l : cost.layers) {
+    latency += l.latency_cycles;
+    energy += l.energy_pj;
+  }
+  EXPECT_NEAR(cost.latency_cycles, latency, 1e-6 * latency);
+  EXPECT_NEAR(cost.energy_pj, energy, 1e-6 * energy);
+  EXPECT_DOUBLE_EQ(cost.edp(), cost.latency_cycles * cost.energy_pj);
+}
+
+TEST(CostModel, VectorLayersRunSerially) {
+  const auto arch = make_table2_architecture(1);
+  const nn::Network net = nn::make_resnet18();
+  const NetworkCost c1 = evaluate_network(net, arch, {}, 1);
+  const NetworkCost c8 = evaluate_network(net, arch, {}, 8);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (!net.layer(i).is_conv()) {
+      EXPECT_EQ(c8.layers[i].cs_used, 1) << net.layer(i).name();
+      EXPECT_NEAR(c8.layers[i].latency_cycles, c1.layers[i].latency_cycles,
+                  1e-9) << net.layer(i).name();
+    }
+  }
+}
+
+TEST(CostModel, ArchAreaModelHasPaperScaleRatios) {
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  for (const auto& arch : table2_architectures()) {
+    const core::AreaModel area = arch_area_model(arch, pdk);
+    EXPECT_GT(area.gamma_cells(), 3.0) << arch.name;
+    EXPECT_LT(area.gamma_cells(), 25.0) << arch.name;
+    const std::int64_t n = m3d_parallel_cs(arch, pdk);
+    // Fig. 7's design points host roughly 6-14 parallel CSs.
+    EXPECT_GE(n, 5) << arch.name;
+    EXPECT_LE(n, 16) << arch.name;
+  }
+}
+
+TEST(CostModel, BenefitBundleConsistent) {
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const nn::Network net = nn::make_alexnet();
+  const auto arch = make_table2_architecture(4);
+  const DesignPointBenefit b = evaluate_benefit(net, arch, {}, pdk);
+  EXPECT_EQ(b.cost_2d.n_cs, 1);
+  EXPECT_EQ(b.cost_3d.n_cs, b.n_cs);
+  EXPECT_NEAR(b.speedup,
+              b.cost_2d.latency_cycles / b.cost_3d.latency_cycles, 1e-9);
+  EXPECT_NEAR(b.edp_benefit, b.cost_2d.edp() / b.cost_3d.edp(), 1e-9);
+  EXPECT_GT(b.edp_benefit, 1.0);
+}
+
+TEST(CostModel, RejectsBadCsCount) {
+  const auto arch = make_table2_architecture(1);
+  EXPECT_THROW(evaluate_conv(conv(16, 16, 4, 1), arch, {}, 0),
+               PreconditionError);
+}
+
+class ArchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArchSweep, EnergyRatioNearUnity) {
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const nn::Network net = nn::make_alexnet();
+  const auto arch = make_table2_architecture(GetParam());
+  const DesignPointBenefit b = evaluate_benefit(net, arch, {}, pdk);
+  EXPECT_GT(b.energy_ratio, 0.95) << arch.name;
+  EXPECT_LT(b.energy_ratio, 1.05) << arch.name;
+}
+
+TEST_P(ArchSweep, BenefitWithinPaperBallpark) {
+  // Paper Fig. 7: 5.3x-11.5x across the six architectures.  Allow margin.
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const nn::Network net = nn::make_alexnet();
+  const auto arch = make_table2_architecture(GetParam());
+  const DesignPointBenefit b = evaluate_benefit(net, arch, {}, pdk);
+  EXPECT_GT(b.edp_benefit, 4.5) << arch.name;
+  EXPECT_LT(b.edp_benefit, 14.0) << arch.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, ArchSweep, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace uld3d::mapper

@@ -1,0 +1,124 @@
+#include "uld3d/phys/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+namespace {
+
+Floorplan make_fp(double side = 4000.0) {
+  return Floorplan(side, side, tech::TierStack::make_m3d_130nm(), 100.0);
+}
+
+TEST(Floorplan, StartsEmpty) {
+  const Floorplan fp = make_fp();
+  EXPECT_DOUBLE_EQ(fp.utilization(tech::TierKind::kSiCmosFeol), 0.0);
+  EXPECT_DOUBLE_EQ(fp.free_area_um2(tech::TierKind::kSiCmosFeol),
+                   4000.0 * 4000.0);
+  EXPECT_TRUE(fp.macros().empty());
+}
+
+TEST(Floorplan, M3dArrayLeavesSiFree) {
+  Floorplan fp = make_fp();
+  const Macro array = Macro::rram_array_m3d("a", 1.0e6);
+  ASSERT_TRUE(fp.place_macro(array, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(fp.utilization(tech::TierKind::kSiCmosFeol), 0.0);
+  EXPECT_GT(fp.utilization(tech::TierKind::kRram), 0.0);
+  EXPECT_GT(fp.utilization(tech::TierKind::kCnfetFeol), 0.0);
+}
+
+TEST(Floorplan, TwoDArrayBlocksSi) {
+  Floorplan fp = make_fp();
+  const Macro array = Macro::rram_array_2d("a", 1.0e6);
+  ASSERT_TRUE(fp.place_macro(array, 0.0, 0.0));
+  EXPECT_GT(fp.utilization(tech::TierKind::kSiCmosFeol), 0.0);
+  EXPECT_DOUBLE_EQ(fp.utilization(tech::TierKind::kCnfetFeol), 0.0);
+}
+
+TEST(Floorplan, RejectsOutOfDiePlacement) {
+  Floorplan fp = make_fp();
+  const Macro array = Macro::rram_array_2d("a", 1.0e6);
+  EXPECT_FALSE(fp.place_macro(array, 3500.0, 0.0));  // spills off the right
+  EXPECT_TRUE(fp.macros().empty());
+}
+
+TEST(Floorplan, RejectsCollisionOnSharedTier) {
+  Floorplan fp = make_fp();
+  ASSERT_TRUE(fp.place_macro(Macro::rram_array_2d("a", 1.0e6), 0.0, 0.0));
+  EXPECT_FALSE(fp.place_macro(Macro::rram_array_2d("b", 1.0e6), 100.0, 100.0));
+  EXPECT_EQ(fp.macros().size(), 1u);
+}
+
+TEST(Floorplan, DifferentTiersDoNotCollide) {
+  Floorplan fp = make_fp();
+  // A peripheral (Si only) can sit under an M3D array (RRAM+CNFET only).
+  ASSERT_TRUE(fp.place_macro(Macro::rram_array_m3d("a", 1.0e6), 0.0, 0.0));
+  EXPECT_TRUE(fp.place_macro(Macro::rram_periph("p", 1.0e5), 0.0, 0.0));
+}
+
+TEST(Floorplan, PlaceAnywhereScansForSpace) {
+  Floorplan fp = make_fp();
+  ASSERT_TRUE(fp.place_macro(Macro::rram_array_2d("a", 4.0e6), 0.0, 0.0));
+  const auto rect = fp.place_macro_anywhere(Macro::rram_array_2d("b", 4.0e6));
+  ASSERT_TRUE(rect.has_value());
+  EXPECT_FALSE(rect->overlaps(fp.macros()[0].rect));
+}
+
+TEST(Floorplan, PlaceAnywhereFailsWhenFull) {
+  Floorplan fp = make_fp(1000.0);
+  ASSERT_TRUE(fp.place_macro(Macro::rram_array_2d("a", 1.0e6), 0.0, 0.0));
+  EXPECT_FALSE(
+      fp.place_macro_anywhere(Macro::rram_array_2d("b", 2.5e5)).has_value());
+}
+
+TEST(Floorplan, AllocateRegionMarksOnlyThatTier) {
+  Floorplan fp = make_fp();
+  const Rect region = Rect::at(0, 0, 1000, 1000);
+  ASSERT_TRUE(fp.allocate_region(tech::TierKind::kSiCmosFeol, region));
+  EXPECT_FALSE(fp.region_free(tech::TierKind::kSiCmosFeol, region));
+  EXPECT_TRUE(fp.region_free(tech::TierKind::kCnfetFeol, region));
+  EXPECT_FALSE(fp.allocate_region(tech::TierKind::kSiCmosFeol, region));
+}
+
+TEST(Floorplan, FindFreeRegionAvoidsBlockages) {
+  Floorplan fp = make_fp(2000.0);
+  ASSERT_TRUE(fp.allocate_region(tech::TierKind::kSiCmosFeol,
+                                 Rect::at(0, 0, 2000, 1000)));
+  const auto found =
+      fp.find_free_region(tech::TierKind::kSiCmosFeol, 1500.0, 900.0);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_GE(found->y0, 1000.0);
+}
+
+TEST(Floorplan, FindFreeRegionFailsWhenTooBig) {
+  const Floorplan fp = make_fp(2000.0);
+  EXPECT_FALSE(
+      fp.find_free_region(tech::TierKind::kSiCmosFeol, 2500.0, 100.0)
+          .has_value());
+}
+
+TEST(Floorplan, FreeAreaTracksAllocations) {
+  Floorplan fp = make_fp(2000.0);
+  const double before = fp.free_area_um2(tech::TierKind::kSiCmosFeol);
+  ASSERT_TRUE(fp.allocate_region(tech::TierKind::kSiCmosFeol,
+                                 Rect::at(0, 0, 1000, 1000)));
+  EXPECT_DOUBLE_EQ(fp.free_area_um2(tech::TierKind::kSiCmosFeol),
+                   before - 1.0e6);
+}
+
+TEST(Floorplan, MetalTiersHaveNoPlacementGrid) {
+  const Floorplan fp = make_fp();
+  EXPECT_THROW(fp.free_area_um2(tech::TierKind::kBeolMetal),
+               PreconditionError);
+}
+
+TEST(Floorplan, ValidatesConstruction) {
+  EXPECT_THROW(Floorplan(0.0, 100.0, tech::TierStack::make_m3d_130nm()),
+               PreconditionError);
+  EXPECT_THROW(Floorplan(100.0, 100.0, tech::TierStack::make_m3d_130nm(), 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace uld3d::phys

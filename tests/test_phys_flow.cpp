@@ -1,0 +1,135 @@
+#include "uld3d/phys/m3d_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::phys {
+namespace {
+
+FlowInput case_study_input() {
+  FlowInput input;
+  input.rram_capacity_bits = units::mb_to_bits(64.0);
+  input.cs_sram_area_um2 = 1.97e6;
+  input.cs_logic_area_um2 = 4.6e6;
+  input.cs_logic_gates = 295600;
+  return input;
+}
+
+TEST(Flow, BaselineIsFeasible) {
+  const M3dFlow flow;
+  const DesignReport r = flow.run_design(case_study_input(), false, 1);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cs_placed, 1);
+  EXPECT_TRUE(r.unplaced.empty());
+  EXPECT_GT(r.footprint_mm2, 50.0);
+  EXPECT_LT(r.footprint_mm2, 100.0);
+}
+
+TEST(Flow, M3dHostsEightCssInBaselineFootprint) {
+  const M3dFlow flow;
+  const FlowInput input = case_study_input();
+  const FlowComparison cmp = flow.run_comparison(input, 8);
+  EXPECT_TRUE(cmp.design_2d.feasible);
+  EXPECT_TRUE(cmp.design_3d.feasible);
+  EXPECT_TRUE(cmp.iso_footprint);
+  EXPECT_EQ(cmp.design_3d.cs_placed, 8);
+  EXPECT_DOUBLE_EQ(cmp.design_2d.footprint_mm2, cmp.design_3d.footprint_mm2);
+}
+
+TEST(Flow, PeakPowerDensityRisesAboutOnePercent) {
+  // Paper Observation 2.
+  const M3dFlow flow;
+  const FlowComparison cmp = flow.run_comparison(case_study_input(), 8);
+  EXPECT_GT(cmp.peak_density_ratio, 1.0);
+  EXPECT_LT(cmp.peak_density_ratio, 1.03);
+}
+
+TEST(Flow, UpperTierPowerBelowOnePercent) {
+  // Paper Observation 2: CNFET + RRAM tiers dissipate <1% of chip power.
+  const M3dFlow flow;
+  const DesignReport r = flow.run_design(case_study_input(), true, 8);
+  EXPECT_LT(r.upper_tier_power_fraction, 0.01);
+  EXPECT_GT(r.upper_tier_power_fraction, 0.0);
+}
+
+TEST(Flow, BothDesignsMeetTwentyMegahertz) {
+  const M3dFlow flow;
+  const FlowComparison cmp = flow.run_comparison(case_study_input(), 8);
+  EXPECT_TRUE(cmp.design_2d.timing.meets_target);
+  EXPECT_TRUE(cmp.design_3d.timing.meets_target);
+  EXPECT_DOUBLE_EQ(cmp.design_2d.timing.achieved_frequency_mhz, 20.0);
+  EXPECT_DOUBLE_EQ(cmp.design_3d.timing.achieved_frequency_mhz, 20.0);
+}
+
+TEST(Flow, M3dWirePerCsNotWorseThan2d) {
+  const M3dFlow flow;
+  const FlowComparison cmp = flow.run_comparison(case_study_input(), 8);
+  EXPECT_GT(cmp.wirelength_per_cs_ratio, 0.5);
+  EXPECT_LT(cmp.wirelength_per_cs_ratio, 1.1);
+}
+
+TEST(Flow, RoutingStaysWithinTrackCapacity) {
+  const M3dFlow flow;
+  const FlowComparison cmp = flow.run_comparison(case_study_input(), 8);
+  for (const auto* r : {&cmp.design_2d, &cmp.design_3d}) {
+    EXPECT_GT(r->congestion_peak, 0.0) << r->name;
+    EXPECT_LT(r->congestion_peak, 1.0) << r->name;  // no overflow
+    EXPECT_DOUBLE_EQ(r->congestion_overflow, 0.0) << r->name;
+  }
+}
+
+TEST(Flow, OnlyM3dUsesIlvs) {
+  const M3dFlow flow;
+  const FlowComparison cmp = flow.run_comparison(case_study_input(), 8);
+  EXPECT_EQ(cmp.design_2d.ilv_count, 0);
+  EXPECT_GT(cmp.design_3d.ilv_count, 1000000);
+}
+
+TEST(Flow, SiUtilizationHealthy) {
+  const M3dFlow flow;
+  const FlowComparison cmp = flow.run_comparison(case_study_input(), 8);
+  for (const auto* r : {&cmp.design_2d, &cmp.design_3d}) {
+    EXPECT_GT(r->si_utilization, 0.6) << r->name;
+    EXPECT_LT(r->si_utilization, 0.95) << r->name;
+  }
+}
+
+TEST(Flow, DeterministicAcrossRuns) {
+  const M3dFlow flow;
+  const DesignReport a = flow.run_design(case_study_input(), true, 8);
+  const DesignReport b = flow.run_design(case_study_input(), true, 8);
+  EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
+  EXPECT_EQ(a.cs_placed, b.cs_placed);
+  EXPECT_DOUBLE_EQ(a.peak_density_mw_per_mm2, b.peak_density_mw_per_mm2);
+}
+
+TEST(Flow, ValidatesInput) {
+  const M3dFlow flow;
+  FlowInput bad = case_study_input();
+  bad.rram_capacity_bits = 0.0;
+  EXPECT_THROW(flow.run_design(bad, false, 1), PreconditionError);
+  FlowInput bad2 = case_study_input();
+  bad2.cs_logic_gates = 0;
+  EXPECT_THROW(flow.run_design(bad2, false, 1), PreconditionError);
+}
+
+class CapacitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacitySweep, FlowStaysFeasibleAcrossCapacities) {
+  FlowInput input = case_study_input();
+  input.rram_capacity_bits = units::mb_to_bits(GetParam());
+  const M3dFlow flow;
+  // CS count scales ~linearly with capacity in the case study.
+  const auto n = static_cast<std::int64_t>(GetParam() / 8.0);
+  const FlowComparison cmp = flow.run_comparison(input, std::max<std::int64_t>(1, n));
+  EXPECT_TRUE(cmp.design_2d.feasible) << GetParam();
+  EXPECT_TRUE(cmp.design_3d.feasible) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacitySweep,
+                         ::testing::Values(16.0, 32.0, 64.0, 96.0));
+
+}  // namespace
+}  // namespace uld3d::phys

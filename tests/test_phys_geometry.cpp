@@ -1,0 +1,53 @@
+#include "uld3d/phys/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d::phys {
+namespace {
+
+TEST(Rect, BasicsAndConstruction) {
+  const Rect r = Rect::at(1.0, 2.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 2.5);
+  EXPECT_DOUBLE_EQ(r.center().y, 4.0);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(Rect{}.valid());
+}
+
+TEST(Rect, OverlapIsOpenInterval) {
+  const Rect a = Rect::at(0, 0, 2, 2);
+  EXPECT_TRUE(a.overlaps(Rect::at(1, 1, 2, 2)));
+  EXPECT_FALSE(a.overlaps(Rect::at(2, 0, 2, 2)));  // touching edges are fine
+  EXPECT_FALSE(a.overlaps(Rect::at(5, 5, 1, 1)));
+  EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(Rect, Containment) {
+  const Rect outer = Rect::at(0, 0, 10, 10);
+  EXPECT_TRUE(outer.contains(Rect::at(2, 2, 3, 3)));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect::at(8, 8, 3, 3)));
+  EXPECT_TRUE(outer.contains(Point{5.0, 5.0}));
+  EXPECT_FALSE(outer.contains(Point{10.0, 5.0}));  // half-open
+}
+
+TEST(Geometry, OverlapArea) {
+  const Rect a = Rect::at(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(overlap_area(a, Rect::at(2, 2, 4, 4)), 4.0);
+  EXPECT_DOUBLE_EQ(overlap_area(a, Rect::at(10, 10, 1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_area(a, a), 16.0);
+  EXPECT_DOUBLE_EQ(overlap_area(a, Rect::at(4, 0, 2, 2)), 0.0);  // touching
+}
+
+TEST(Geometry, CenterDistanceIsManhattan) {
+  const Rect a = Rect::at(0, 0, 2, 2);   // center (1, 1)
+  const Rect b = Rect::at(4, 6, 2, 2);   // center (5, 7)
+  EXPECT_DOUBLE_EQ(center_distance(a, b), 4.0 + 6.0);
+  EXPECT_DOUBLE_EQ(center_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(center_distance(a, b), center_distance(b, a));
+}
+
+}  // namespace
+}  // namespace uld3d::phys

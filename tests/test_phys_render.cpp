@@ -1,0 +1,85 @@
+#include "uld3d/phys/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+namespace {
+
+std::vector<PlacedMacro> one_array() {
+  return {{Macro::rram_array_2d("arr", 4.0e6), Rect::at(0, 0, 2000, 2000)}};
+}
+
+TEST(Render, AsciiContainsFrameAndLegend) {
+  const std::string s =
+      render_ascii_floorplan(4000.0, 4000.0, one_array(), {}, 32);
+  EXPECT_NE(s.find('+'), std::string::npos);
+  EXPECT_NE(s.find("R=RRAM array"), std::string::npos);
+}
+
+TEST(Render, MacroPaintsItsQuadrant) {
+  const std::string s =
+      render_ascii_floorplan(4000.0, 4000.0, one_array(), {}, 32);
+  // The array covers the lower-left quadrant: 'R' present, '.' elsewhere.
+  EXPECT_NE(s.find('R'), std::string::npos);
+  EXPECT_NE(s.find('.'), std::string::npos);
+  // y grows upward, so the FIRST grid line (top of die) is empty.
+  const std::size_t first_row = s.find('\n') + 1;
+  const std::size_t second_row_end = s.find('\n', first_row);
+  const std::string top = s.substr(first_row, second_row_end - first_row);
+  EXPECT_EQ(top.find('R'), std::string::npos) << top;
+}
+
+TEST(Render, SoftBlockGlyphsFollowNames) {
+  std::vector<PlacedMacro> blocks;
+  Macro logic;
+  logic.name = "cs0_logic";
+  logic.kind = MacroKind::kSramBuffer;
+  blocks.push_back({logic, Rect::at(0, 0, 1000, 1000)});
+  Macro sram;
+  sram.name = "cs0_sram0";
+  sram.kind = MacroKind::kSramBuffer;
+  blocks.push_back({sram, Rect::at(2000, 2000, 1000, 1000)});
+  const std::string s =
+      render_ascii_floorplan(4000.0, 4000.0, {}, blocks, 32);
+  EXPECT_NE(s.find('L'), std::string::npos);
+  EXPECT_NE(s.find('s'), std::string::npos);
+}
+
+TEST(Render, WidthControlsColumns) {
+  const std::string s =
+      render_ascii_floorplan(4000.0, 4000.0, one_array(), {}, 16);
+  const std::size_t line_end = s.find('\n');
+  EXPECT_EQ(line_end, 18u);  // '+' + 16 + '+'
+}
+
+TEST(Render, Validation) {
+  EXPECT_THROW(render_ascii_floorplan(0.0, 1.0, {}, {}), PreconditionError);
+  EXPECT_THROW(render_ascii_floorplan(1.0, 1.0, {}, {}, 4), PreconditionError);
+}
+
+TEST(Def, ContainsHeaderDieAreaAndComponents) {
+  const std::string def =
+      export_def("m3d_top", 8000.0, 8000.0, one_array(), {});
+  EXPECT_NE(def.find("DESIGN m3d_top ;"), std::string::npos);
+  EXPECT_NE(def.find("DIEAREA ( 0 0 ) ( 8000 8000 ) ;"), std::string::npos);
+  EXPECT_NE(def.find("COMPONENTS 1 ;"), std::string::npos);
+  EXPECT_NE(def.find("- arr RramArray + FIXED ( 0 0 ) N ;"),
+            std::string::npos);
+  EXPECT_NE(def.find("END DESIGN"), std::string::npos);
+}
+
+TEST(Def, CountsMacrosAndBlocks) {
+  std::vector<PlacedMacro> blocks = one_array();
+  const std::string def =
+      export_def("top", 8000.0, 8000.0, one_array(), blocks);
+  EXPECT_NE(def.find("COMPONENTS 2 ;"), std::string::npos);
+}
+
+TEST(Def, RequiresName) {
+  EXPECT_THROW(export_def("", 1.0, 1.0, {}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uld3d::phys

@@ -1,0 +1,82 @@
+#include "uld3d/phys/thermal_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::phys {
+namespace {
+
+tech::TierStack stack() { return tech::TierStack::make_m3d_130nm(); }
+
+TEST(ThermalMap, NoPowerNoRise) {
+  const PowerModel empty;
+  const ThermalMap map(empty, stack(), 2000.0, 2000.0, 1200.0);
+  EXPECT_DOUBLE_EQ(map.max_rise_k(), 0.0);
+  EXPECT_DOUBLE_EQ(map.mean_rise_k(), 0.0);
+}
+
+TEST(ThermalMap, UniformPowerGivesUniformRise) {
+  PowerModel power;
+  power.add({"u", tech::TierKind::kSiCmosFeol, Rect::at(0, 0, 2000, 2000),
+             100.0});
+  const ThermalMap map(power, stack(), 2000.0, 2000.0, 1200.0, 250.0, 0);
+  EXPECT_GT(map.max_rise_k(), 0.0);
+  EXPECT_NEAR(map.max_rise_k(), map.mean_rise_k(),
+              0.01 * map.max_rise_k());
+}
+
+TEST(ThermalMap, HotspotPeaksAboveMean) {
+  PowerModel power;
+  power.add({"bg", tech::TierKind::kSiCmosFeol, Rect::at(0, 0, 4000, 4000),
+             10.0});
+  power.add({"hot", tech::TierKind::kSiCmosFeol, Rect::at(0, 0, 500, 500),
+             40.0});
+  const ThermalMap map(power, stack(), 4000.0, 4000.0, 1200.0);
+  EXPECT_GT(map.max_rise_k(), 3.0 * map.mean_rise_k());
+  // The hotspot sits at the lower-left corner.
+  EXPECT_GT(map.rise_at(100.0, 100.0), map.rise_at(3800.0, 3800.0));
+}
+
+TEST(ThermalMap, SmoothingSpreadsButConservesOrder) {
+  PowerModel power;
+  power.add({"hot", tech::TierKind::kSiCmosFeol, Rect::at(0, 0, 500, 500),
+             40.0});
+  const ThermalMap sharp(power, stack(), 4000.0, 4000.0, 1200.0, 250.0, 0);
+  const ThermalMap smooth(power, stack(), 4000.0, 4000.0, 1200.0, 250.0, 4);
+  EXPECT_LT(smooth.max_rise_k(), sharp.max_rise_k());
+  // The neighbour of the hotspot warms up under smoothing.
+  EXPECT_GT(smooth.rise_at(700.0, 100.0), sharp.rise_at(700.0, 100.0));
+}
+
+TEST(ThermalMap, BiggerSinkResistanceRunsHotter) {
+  PowerModel power;
+  power.add({"u", tech::TierKind::kSiCmosFeol, Rect::at(0, 0, 2000, 2000),
+             50.0});
+  const ThermalMap cool(power, stack(), 2000.0, 2000.0, 600.0);
+  const ThermalMap hot(power, stack(), 2000.0, 2000.0, 2400.0);
+  EXPECT_GT(hot.max_rise_k(), cool.max_rise_k());
+}
+
+TEST(ThermalMap, AsciiRampEndsWithStats) {
+  PowerModel power;
+  power.add({"u", tech::TierKind::kSiCmosFeol, Rect::at(0, 0, 2000, 2000),
+             50.0});
+  const ThermalMap map(power, stack(), 2000.0, 2000.0, 1200.0);
+  const std::string s = map.to_ascii();
+  EXPECT_NE(s.find("peak rise"), std::string::npos);
+  EXPECT_NE(s.find("mean"), std::string::npos);
+}
+
+TEST(ThermalMap, Validation) {
+  const PowerModel power;
+  EXPECT_THROW(ThermalMap(power, stack(), 0.0, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(ThermalMap(power, stack(), 1.0, 1.0, -1.0), PreconditionError);
+  EXPECT_THROW(ThermalMap(power, stack(), 1.0, 1.0, 1.0, 0.0),
+               PreconditionError);
+  EXPECT_THROW(ThermalMap(power, stack(), 1.0, 1.0, 1.0, 1.0, -1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace uld3d::phys

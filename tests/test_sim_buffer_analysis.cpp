@@ -1,0 +1,77 @@
+#include "uld3d/sim/buffer_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/tech/pdk.hpp"
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/units.hpp"
+
+namespace uld3d::sim {
+namespace {
+
+AcceleratorConfig cfg() {
+  return AcceleratorConfig::baseline_2d(tech::FoundryM3dPdk::make_130nm());
+}
+
+// The Sec.-II CS carries 96 KB of SRAM buffers.
+constexpr double kBudgetBits = 96.0 * 8.0 * 1024.0;
+
+TEST(BufferAnalysis, SmallLayerHoldsFullInputSlice) {
+  // A late 7x7 layer's input slice is tiny: no row streaming needed.
+  const nn::Layer conv = nn::make_conv("late", 512, 512, 7, 7, 3, 3);
+  const auto req = analyze_layer_buffers(conv, cfg(), kBudgetBits);
+  EXPECT_FALSE(req.row_streamed);
+  EXPECT_GT(req.input_bits, 0.0);
+  EXPECT_DOUBLE_EQ(req.weight_bits, 2.0 * 16 * 16 * 8);
+  EXPECT_LE(req.total_bits(), kBudgetBits);
+}
+
+TEST(BufferAnalysis, EarlyLayerMustRowStream) {
+  // CONV1's 224x224 input slice cannot fit 96 KB: row-chunked streaming.
+  const nn::Layer conv = nn::make_conv("CONV1", 64, 3, 112, 112, 7, 7, 2);
+  const auto req = analyze_layer_buffers(conv, cfg(), kBudgetBits);
+  EXPECT_TRUE(req.row_streamed);
+  EXPECT_LE(req.total_bits(), kBudgetBits);
+}
+
+TEST(BufferAnalysis, VectorLayersNeedOnlyFifos) {
+  const nn::Layer pool = nn::make_pool("p", 512, 7, 7, 7, 7, 7);
+  const auto req = analyze_layer_buffers(pool, cfg(), kBudgetBits);
+  EXPECT_DOUBLE_EQ(req.weight_bits, 0.0);
+  EXPECT_LT(req.total_bits(), kBudgetBits / 10.0);
+}
+
+TEST(BufferAnalysis, BudgetValidation) {
+  const nn::Layer conv = nn::make_conv("c", 16, 16, 4, 4, 1, 1);
+  EXPECT_THROW(analyze_layer_buffers(conv, cfg(), 0.0), PreconditionError);
+}
+
+class ZooBufferFit : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooBufferFit, EveryModelFitsTheCaseStudySram) {
+  // The paper's ~1/20th-SRAM design point must actually be schedulable:
+  // with row-chunked streaming, every layer of every zoo model fits the
+  // 96 KB per-CS budget.
+  const nn::Network net = nn::make_network(GetParam());
+  const auto report = analyze_network_buffers(net, cfg(), kBudgetBits);
+  EXPECT_TRUE(report.fits(kBudgetBits))
+      << report.peak_layer << " needs "
+      << report.peak_bits / units::kBitsPerKB << " KB";
+  EXPECT_EQ(report.layers.size(), net.size());
+}
+
+TEST_P(ZooBufferFit, SomeEarlyLayersStream) {
+  // ImageNet stems always exceed the small buffers; streaming must engage
+  // at least once per model.
+  const nn::Network net = nn::make_network(GetParam());
+  const auto report = analyze_network_buffers(net, cfg(), kBudgetBits);
+  EXPECT_GE(report.row_streamed_layers, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ZooBufferFit,
+                         ::testing::Values("alexnet", "vgg16", "resnet18",
+                                           "resnet50", "resnet152"));
+
+}  // namespace
+}  // namespace uld3d::sim

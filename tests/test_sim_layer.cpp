@@ -1,0 +1,137 @@
+#include "uld3d/sim/layer_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/nn/layer.hpp"
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::sim {
+namespace {
+
+AcceleratorConfig cfg(std::int64_t n_cs) {
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  return n_cs == 1 ? AcceleratorConfig::baseline_2d(pdk)
+                   : AcceleratorConfig::m3d_design(pdk, n_cs);
+}
+
+TEST(LayerSim, ConvComputeBoundTimesMatchTilePlan) {
+  const nn::Layer conv = nn::make_conv("c", 128, 128, 28, 28, 3, 3);
+  const LayerResult r = simulate_layer(conv, cfg(1));
+  // 8 K-tiles x 8 C-tiles x 9 taps, 784-cycle streams + 16-cycle sync.
+  const std::int64_t expected_compute = 8 * 8 * 9 * (784 + 16);
+  EXPECT_DOUBLE_EQ(r.compute_cycles, expected_compute);
+  EXPECT_FALSE(r.memory_bound);
+  EXPECT_EQ(r.cycles, expected_compute + 200);
+  EXPECT_EQ(r.cs_used, 1);
+}
+
+TEST(LayerSim, KPartitioningScalesCompute) {
+  const nn::Layer conv = nn::make_conv("c", 128, 128, 28, 28, 3, 3);
+  const LayerResult r1 = simulate_layer(conv, cfg(1));
+  const LayerResult r8 = simulate_layer(conv, cfg(8));
+  EXPECT_EQ(r8.cs_used, 8);
+  EXPECT_NEAR(r8.compute_cycles, r1.compute_cycles / 8.0, 1.0);
+}
+
+TEST(LayerSim, SpeedupCappedByKTiles) {
+  // K = 64 -> 4 K-tiles: only 4 of 8 CSs usable (Table I's L1 behaviour).
+  const nn::Layer conv = nn::make_conv("c", 64, 64, 56, 56, 3, 3);
+  const LayerResult r = simulate_layer(conv, cfg(8));
+  EXPECT_EQ(r.cs_used, 4);
+}
+
+TEST(LayerSim, DownsampleUsesCPartition) {
+  // 1x1 strided projection: C-partitioned (Table I's DS rows).
+  const nn::Layer ds = nn::make_conv("ds", 128, 64, 28, 28, 1, 1, 2);
+  const LayerResult r = simulate_layer(ds, cfg(8));
+  EXPECT_EQ(r.cs_used, 4);  // ceil(64/16)
+  const LayerResult r1 = simulate_layer(ds, cfg(1));
+  // The serial reduction keeps DS speedup well below cs_used.
+  const double speedup = static_cast<double>(r1.cycles) /
+                         static_cast<double>(r.cycles);
+  EXPECT_LT(speedup, 4.0);
+  EXPECT_GT(speedup, 1.5);
+}
+
+TEST(LayerSim, DsPartitionRespectsConfigFlag) {
+  nn::Layer ds = nn::make_conv("ds", 128, 64, 28, 28, 1, 1, 2);
+  auto c = cfg(8);
+  c.array.ds_input_channel_partition = false;
+  const LayerResult r = simulate_layer(ds, c);
+  EXPECT_EQ(r.cs_used, 8);  // back to K-partitioning
+}
+
+TEST(LayerSim, MemoryBoundLayerFlagged) {
+  // An activation-heavy 1x1 layer with little compute: writing the full
+  // output map at RRAM write bandwidth dominates.
+  const nn::Layer conv = nn::make_conv("c", 16, 16, 224, 224, 1, 1);
+  const LayerResult r = simulate_layer(conv, cfg(1));
+  EXPECT_TRUE(r.memory_bound);
+  EXPECT_GT(r.memory_cycles, r.compute_cycles);
+}
+
+TEST(LayerSim, InputReplicationKeepsMemoryFloor) {
+  // An activation-dominated layer's memory time does not improve with N
+  // (each CS re-reads the full input map).
+  const nn::Layer conv = nn::make_conv("c", 256, 16, 56, 56, 1, 1);
+  const LayerResult r1 = simulate_layer(conv, cfg(1));
+  const LayerResult r8 = simulate_layer(conv, cfg(8));
+  const double input_cycles =
+      static_cast<double>(conv.input_bits(8)) / 256.0;
+  EXPECT_GE(r8.memory_cycles, input_cycles - 1.0);
+  EXPECT_GE(r1.memory_cycles, input_cycles - 1.0);
+}
+
+TEST(LayerSim, PoolRunsOnSharedVectorUnit) {
+  const nn::Layer pool = nn::make_pool("p", 64, 56, 56, 3, 3, 2);
+  const LayerResult r1 = simulate_layer(pool, cfg(1));
+  const LayerResult r8 = simulate_layer(pool, cfg(8));
+  EXPECT_EQ(r8.cs_used, 1);
+  EXPECT_EQ(r1.cycles, r8.cycles);  // no speedup on the serial unit
+}
+
+TEST(LayerSim, PerCsVectorUnitsParallelizePool) {
+  const nn::Layer pool = nn::make_pool("p", 64, 56, 56, 3, 3, 2);
+  auto c = cfg(8);
+  c.array.per_cs_vector_units = true;
+  const LayerResult r = simulate_layer(pool, c);
+  EXPECT_EQ(r.cs_used, 8);
+  EXPECT_LT(r.cycles, simulate_layer(pool, cfg(8)).cycles);
+}
+
+TEST(LayerSim, EnergyComponentsSumToTotal) {
+  const nn::Layer conv = nn::make_conv("c", 128, 128, 28, 28, 3, 3);
+  const LayerResult r = simulate_layer(conv, cfg(8));
+  EXPECT_NEAR(r.energy_pj,
+              r.compute_energy_pj + r.memory_energy_pj + r.idle_energy_pj,
+              1e-6);
+  EXPECT_GT(r.compute_energy_pj, 0.0);
+  EXPECT_GT(r.memory_energy_pj, 0.0);
+  EXPECT_GT(r.idle_energy_pj, 0.0);
+}
+
+TEST(LayerSim, ComputeEnergyEqualAcrossDesigns) {
+  // Same Si CMOS MACs either way (paper: E_C,3D = E_C,2D).
+  const nn::Layer conv = nn::make_conv("c", 128, 128, 28, 28, 3, 3);
+  EXPECT_DOUBLE_EQ(simulate_layer(conv, cfg(1)).compute_energy_pj,
+                   simulate_layer(conv, cfg(8)).compute_energy_pj);
+}
+
+TEST(LayerSim, M3dAccessEnergySlightlyLower) {
+  const nn::Layer conv = nn::make_conv("c", 128, 128, 28, 28, 3, 3);
+  const double e2d = simulate_layer(conv, cfg(1)).memory_energy_pj;
+  const double e3d = simulate_layer(conv, cfg(8)).memory_energy_pj;
+  EXPECT_NEAR(e3d / e2d, 0.97, 1e-6);
+}
+
+TEST(LayerSim, UtilizationBounded) {
+  for (const std::int64_t n : {1, 8}) {
+    const nn::Layer conv = nn::make_conv("c", 512, 512, 7, 7, 3, 3);
+    const LayerResult r = simulate_layer(conv, cfg(n));
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace uld3d::sim

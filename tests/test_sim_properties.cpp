@@ -1,0 +1,98 @@
+// Property sweeps over the systolic simulator: invariants across CS counts,
+// layer shapes, and bandwidths.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "uld3d/nn/layer.hpp"
+#include "uld3d/sim/layer_sim.hpp"
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::sim {
+namespace {
+
+AcceleratorConfig cfg(std::int64_t n_cs) {
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  auto c = n_cs == 1 ? AcceleratorConfig::baseline_2d(pdk)
+                     : AcceleratorConfig::m3d_design(pdk, n_cs);
+  return c;
+}
+
+// (K, C, OX, FX, stride)
+using Shape = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                         std::int64_t, std::int64_t>;
+
+class LayerSweep : public ::testing::TestWithParam<Shape> {
+ protected:
+  [[nodiscard]] nn::Layer layer() const {
+    const auto [k, c, ox, fx, stride] = GetParam();
+    return nn::make_conv("sweep", k, c, ox, ox, fx, fx, stride);
+  }
+};
+
+TEST_P(LayerSweep, SpeedupBetweenOneAndCsUsed) {
+  const nn::Layer l = layer();
+  const LayerResult r1 = simulate_layer(l, cfg(1));
+  const LayerResult r8 = simulate_layer(l, cfg(8));
+  const double speedup =
+      static_cast<double>(r1.cycles) / static_cast<double>(r8.cycles);
+  EXPECT_GE(speedup, 1.0 - 1e-9);
+  EXPECT_LE(speedup, static_cast<double>(r8.cs_used) + 1e-9);
+}
+
+TEST_P(LayerSweep, CyclesMonotoneInCsCount) {
+  const nn::Layer l = layer();
+  std::int64_t previous = simulate_layer(l, cfg(1)).cycles;
+  for (const std::int64_t n : {2, 4, 8, 16}) {
+    const std::int64_t cycles = simulate_layer(l, cfg(n)).cycles;
+    EXPECT_LE(cycles, previous) << n;
+    previous = cycles;
+  }
+}
+
+TEST_P(LayerSweep, EnergyComponentsNonNegativeAndConsistent) {
+  const nn::Layer l = layer();
+  for (const std::int64_t n : {1, 8}) {
+    const LayerResult r = simulate_layer(l, cfg(n));
+    EXPECT_GE(r.compute_energy_pj, 0.0);
+    EXPECT_GE(r.memory_energy_pj, 0.0);
+    EXPECT_GE(r.idle_energy_pj, 0.0);
+    EXPECT_NEAR(r.energy_pj,
+                r.compute_energy_pj + r.memory_energy_pj + r.idle_energy_pj,
+                1e-6 * r.energy_pj);
+  }
+}
+
+TEST_P(LayerSweep, MacEnergyIndependentOfCsCount) {
+  const nn::Layer l = layer();
+  EXPECT_DOUBLE_EQ(simulate_layer(l, cfg(1)).compute_energy_pj,
+                   simulate_layer(l, cfg(16)).compute_energy_pj);
+}
+
+TEST_P(LayerSweep, CsUsedNeverExceedsAvailable) {
+  const nn::Layer l = layer();
+  for (const std::int64_t n : {1, 2, 4, 8}) {
+    EXPECT_LE(simulate_layer(l, cfg(n)).cs_used, n);
+  }
+}
+
+TEST_P(LayerSweep, DoubleBandwidthNeverSlower) {
+  const nn::Layer l = layer();
+  auto base = cfg(8);
+  auto fast = cfg(8);
+  fast.memory.bank_read_bits_per_cycle *= 2.0;
+  EXPECT_LE(simulate_layer(l, fast).cycles, simulate_layer(l, base).cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConvShapes, LayerSweep,
+    ::testing::Values(Shape{64, 3, 112, 7, 2},    // ImageNet stem
+                      Shape{64, 64, 56, 3, 1},    // early stage
+                      Shape{128, 64, 28, 1, 2},   // downsample projection
+                      Shape{512, 512, 7, 3, 1},   // late stage
+                      Shape{1000, 512, 1, 1, 1},  // classifier
+                      Shape{16, 16, 8, 1, 1},     // exact single tile
+                      Shape{24, 40, 9, 5, 3}));   // ragged everything
+
+}  // namespace
+}  // namespace uld3d::sim

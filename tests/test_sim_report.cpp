@@ -1,0 +1,52 @@
+#include "uld3d/sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/tech/pdk.hpp"
+
+namespace uld3d::sim {
+namespace {
+
+DesignComparison comparison() {
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  return compare_designs(nn::make_resnet18(),
+                         AcceleratorConfig::baseline_2d(pdk),
+                         AcceleratorConfig::m3d_design(pdk, 8));
+}
+
+TEST(Report, BreakdownHasOneRowPerLayerPlusTotal) {
+  const auto cmp = comparison();
+  const Table t = layer_breakdown_table(cmp.run_3d);
+  EXPECT_EQ(t.row_count(), cmp.run_3d.layers.size() + 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("CONV1"), std::string::npos);
+  EXPECT_NE(s.find("Total"), std::string::npos);
+  EXPECT_NE(s.find("compute"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableRowsAndTotals) {
+  const auto cmp = comparison();
+  EXPECT_EQ(comparison_table(cmp).row_count(), cmp.layers.size() + 1);
+  EXPECT_EQ(comparison_table(cmp, false).row_count(), cmp.layers.size());
+}
+
+TEST(Report, SummaryLineMentionsNetworkAndNumbers) {
+  const auto cmp = comparison();
+  const std::string s = summary_line(cmp);
+  EXPECT_NE(s.find("ResNet-18"), std::string::npos);
+  EXPECT_NE(s.find("speedup"), std::string::npos);
+  EXPECT_NE(s.find("EDP benefit"), std::string::npos);
+  EXPECT_NE(s.find('x'), std::string::npos);
+}
+
+TEST(Report, CsvExportRoundTripsRowCount) {
+  const auto cmp = comparison();
+  const std::string csv = comparison_table(cmp).to_csv();
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, cmp.layers.size() + 2);  // header + rows + total
+}
+
+}  // namespace
+}  // namespace uld3d::sim

@@ -1,0 +1,89 @@
+// The cycle-by-cycle micro-simulation must (a) compute the right numbers
+// and (b) take exactly the cycle count the closed-form tile model assumes.
+#include "uld3d/sim/systolic_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d::sim {
+namespace {
+
+TEST(SystolicTrace, TinyTileMatchesReference) {
+  const TileProblem p = TileProblem::make_example(2, 2, 3);
+  const TileTrace trace = simulate_tile(p);
+  const auto expected = reference_outputs(p);
+  ASSERT_EQ(trace.outputs.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace.outputs[i], expected[i]) << i;
+  }
+}
+
+TEST(SystolicTrace, CycleCountMatchesClosedForm) {
+  const TileProblem p = TileProblem::make_example(4, 4, 10);
+  const TileTrace trace = simulate_tile(p);
+  EXPECT_EQ(trace.total_cycles, closed_form_cycles(p));
+  EXPECT_EQ(trace.total_cycles, 10 + 4 + 4 - 2);
+}
+
+TEST(SystolicTrace, MacCountIsExact) {
+  const TileProblem p = TileProblem::make_example(3, 5, 7);
+  EXPECT_EQ(simulate_tile(p).mac_operations, 3 * 5 * 7);
+}
+
+TEST(SystolicTrace, FillIsRowDepthDrainIsColumnWidth) {
+  const TileProblem p = TileProblem::make_example(6, 4, 20);
+  const TileTrace trace = simulate_tile(p);
+  // First output appears after the column pipeline fills (rows - 1).
+  EXPECT_EQ(trace.fill_cycles, 6 - 1);
+  // After the last input enters, the wave needs cols - 1 cycles to exit.
+  EXPECT_EQ(trace.drain_cycles, 4 - 1);
+}
+
+TEST(SystolicTrace, SingleVectorDegenerate) {
+  const TileProblem p = TileProblem::make_example(4, 4, 1);
+  const TileTrace trace = simulate_tile(p);
+  EXPECT_EQ(trace.total_cycles, 1 + 4 + 4 - 2);
+  const auto expected = reference_outputs(p);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace.outputs[i], expected[i]);
+  }
+}
+
+TEST(SystolicTrace, Validation) {
+  TileProblem bad = TileProblem::make_example(2, 2, 2);
+  bad.weights.pop_back();
+  EXPECT_THROW(simulate_tile(bad), PreconditionError);
+  EXPECT_THROW(TileProblem::make_example(0, 2, 2), PreconditionError);
+}
+
+using Shape = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class TraceSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TraceSweep, FunctionalAndTimingInvariants) {
+  const auto [rows, cols, vectors] = GetParam();
+  const TileProblem p = TileProblem::make_example(rows, cols, vectors);
+  const TileTrace trace = simulate_tile(p);
+  // Functional: every output equals the reference matrix product.
+  const auto expected = reference_outputs(p);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_DOUBLE_EQ(trace.outputs[i], expected[i]);
+  }
+  // Timing: exactly the closed-form pipeline model; no hidden stalls.
+  EXPECT_EQ(trace.total_cycles, closed_form_cycles(p));
+  EXPECT_EQ(trace.mac_operations, rows * cols * vectors);
+  EXPECT_EQ(trace.fill_cycles, rows - 1);
+  EXPECT_EQ(trace.drain_cycles, cols - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TraceSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 2, 5, 16),
+                       ::testing::Values<std::int64_t>(1, 3, 16),
+                       ::testing::Values<std::int64_t>(1, 4, 25)));
+
+}  // namespace
+}  // namespace uld3d::sim

@@ -1,0 +1,103 @@
+#include "uld3d/sim/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "uld3d/nn/layer.hpp"
+
+namespace uld3d::sim {
+namespace {
+
+ArrayConfig array16() { return ArrayConfig{}; }  // 16x16 default
+
+nn::ConvSpec conv(std::int64_t k, std::int64_t c, std::int64_t ox,
+                  std::int64_t fx, std::int64_t stride = 1) {
+  nn::ConvSpec s;
+  s.name = "c";
+  s.k = k;
+  s.c = c;
+  s.ox = ox;
+  s.oy = ox;
+  s.fx = fx;
+  s.fy = fx;
+  s.stride = stride;
+  return s;
+}
+
+TEST(Tiling, LargeConvTilesBothDimensions) {
+  const TilePlan plan = plan_tiles(conv(512, 512, 7, 3), array16());
+  EXPECT_EQ(plan.k_tiles, 32);
+  EXPECT_EQ(plan.c_tiles, 32);
+  EXPECT_EQ(plan.taps_packed, 1);
+  EXPECT_EQ(plan.tap_groups, 9);
+  EXPECT_EQ(plan.total_tiles, 32 * 32 * 9);
+  EXPECT_EQ(plan.stream_cycles, 49);
+  EXPECT_DOUBLE_EQ(plan.array_utilization, 1.0);
+}
+
+TEST(Tiling, SmallChannelLayerPacksTaps) {
+  // CONV1: C = 3, 7x7 taps -> 5 taps fit in 16 rows (15 used).
+  const TilePlan plan = plan_tiles(conv(64, 3, 112, 7, 2), array16());
+  EXPECT_EQ(plan.k_tiles, 4);
+  EXPECT_EQ(plan.c_tiles, 1);
+  EXPECT_EQ(plan.taps_packed, 5);
+  EXPECT_EQ(plan.tap_groups, 10);  // ceil(49/5)
+  EXPECT_NEAR(plan.array_utilization, 15.0 / 16.0, 1e-12);
+}
+
+TEST(Tiling, ExactFitHasFullUtilization) {
+  const TilePlan plan = plan_tiles(conv(16, 16, 10, 1), array16());
+  EXPECT_EQ(plan.total_tiles, 1);
+  EXPECT_DOUBLE_EQ(plan.array_utilization, 1.0);
+}
+
+TEST(Tiling, RaggedKReducesUtilization) {
+  // K = 24 on 16 columns: two tiles averaging 12/16 columns.
+  const TilePlan plan = plan_tiles(conv(24, 16, 10, 1), array16());
+  EXPECT_EQ(plan.k_tiles, 2);
+  EXPECT_NEAR(plan.array_utilization, 12.0 / 16.0, 1e-12);
+}
+
+TEST(Tiling, CyclesPerTileDoubleBuffers) {
+  const TilePlan plan = plan_tiles(conv(16, 16, 10, 1), array16());
+  // Streaming (100) dominates an 8-cycle load: 100 + sync.
+  EXPECT_EQ(plan.cycles_per_tile(8.0, 16), 116);
+  // A huge load dominates streaming.
+  EXPECT_EQ(plan.cycles_per_tile(500.0, 16), 516);
+}
+
+TEST(Tiling, TileWeightBitsCoversArray) {
+  EXPECT_DOUBLE_EQ(tile_weight_bits(array16()), 16.0 * 16.0 * 8.0);
+}
+
+TEST(Tiling, MaxPartitionsFollowsKTiles) {
+  EXPECT_EQ(max_partitions(conv(512, 512, 7, 3), array16()), 32);
+  EXPECT_EQ(max_partitions(conv(8, 16, 10, 1), array16()), 1);
+}
+
+class UtilizationBounds
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(UtilizationBounds, AlwaysInUnitInterval) {
+  const auto [k, c] = GetParam();
+  for (const std::int64_t fx : {1, 3, 7}) {
+    const TilePlan plan = plan_tiles(conv(k, c, 14, fx), array16());
+    EXPECT_GT(plan.array_utilization, 0.0);
+    EXPECT_LE(plan.array_utilization, 1.0 + 1e-12);
+    EXPECT_GE(plan.total_tiles, 1);
+    // Tiles must cover all weights.
+    EXPECT_GE(plan.k_tiles * 16, k);
+    EXPECT_GE(plan.c_tiles * 16 * plan.taps_packed * plan.tap_groups,
+              c * fx * fx);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UtilizationBounds,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 3, 16, 17, 100, 512),
+                       ::testing::Values<std::int64_t>(1, 3, 16, 64, 512)));
+
+}  // namespace
+}  // namespace uld3d::sim

@@ -1,0 +1,38 @@
+#include "uld3d/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d {
+namespace {
+
+TEST(Check, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(expects(true, "never fires"));
+}
+
+TEST(Check, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(expects(false, "boom"), PreconditionError);
+}
+
+TEST(Check, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(ensures(false, "boom"), InvariantError);
+}
+
+TEST(Check, MessageContainsLocationAndText) {
+  try {
+    expects(false, "my message");
+    FAIL() << "expects did not throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my message"), std::string::npos);
+    EXPECT_NE(what.find("test_util_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, HierarchyRootsAtError) {
+  EXPECT_THROW(expects(false, "x"), Error);
+  EXPECT_THROW(ensures(false, "x"), Error);
+  EXPECT_THROW(expects(false, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace uld3d

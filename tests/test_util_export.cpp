@@ -1,0 +1,70 @@
+#include "uld3d/util/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("ULD3D_CSV_DIR"); }
+
+  static Table sample() {
+    Table t({"a", "b"});
+    t.add_row({"1", "2"});
+    return t;
+  }
+};
+
+TEST_F(ExportTest, DisabledByDefault) {
+  unsetenv("ULD3D_CSV_DIR");
+  std::ostringstream os;
+  const std::string path = emit_table(os, sample(), "Title", "slug");
+  EXPECT_TRUE(path.empty());
+  EXPECT_NE(os.str().find("Title"), std::string::npos);
+  EXPECT_NE(os.str().find("| a"), std::string::npos);
+}
+
+TEST_F(ExportTest, WritesCsvWhenConfigured) {
+  setenv("ULD3D_CSV_DIR", testing::TempDir().c_str(), 1);
+  std::ostringstream os;
+  const std::string path = emit_table(os, sample(), "Title", "my_slug");
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("my_slug.csv"), std::string::npos);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(file, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST_F(ExportTest, BadDirectoryWarnsButPrints) {
+  setenv("ULD3D_CSV_DIR", "/nonexistent/dir/zzz", 1);
+  std::ostringstream os;
+  const std::string path = emit_table(os, sample(), "T", "slug");
+  EXPECT_TRUE(path.empty());
+  EXPECT_NE(os.str().find("| a"), std::string::npos);  // stdout unaffected
+}
+
+TEST_F(ExportTest, EmptySlugRejected) {
+  std::ostringstream os;
+  EXPECT_THROW(emit_table(os, sample(), "T", ""), PreconditionError);
+}
+
+TEST_F(ExportTest, DirAccessorReflectsEnvironment) {
+  unsetenv("ULD3D_CSV_DIR");
+  EXPECT_TRUE(csv_export_dir().empty());
+  setenv("ULD3D_CSV_DIR", "/tmp", 1);
+  EXPECT_EQ(csv_export_dir(), "/tmp");
+}
+
+}  // namespace
+}  // namespace uld3d

@@ -1,0 +1,46 @@
+#include "uld3d/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarning); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LogTest, SuppressedMessagesDoNotReachStderr) {
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  log_error("should be suppressed");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LogTest, PassingMessagesReachStderr) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info("hello world");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("hello world"), std::string::npos);
+  EXPECT_NE(captured.find("INFO"), std::string::npos);
+}
+
+TEST_F(LogTest, ThresholdFiltersLowerLevels) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_debug("d");
+  log_info("i");
+  log_warning("w");
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace uld3d

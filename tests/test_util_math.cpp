@@ -1,0 +1,84 @@
+#include "uld3d/util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d {
+namespace {
+
+TEST(CeilDiv, ExactDivision) {
+  EXPECT_EQ(ceil_div(12, 4), 3);
+  EXPECT_EQ(ceil_div(0, 7), 0);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(13, 4), 4);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+  EXPECT_EQ(ceil_div(101, 100), 2);
+}
+
+TEST(ApproxEqual, RelativeTolerance) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 0.01));
+}
+
+TEST(ApproxEqual, NearZero) {
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(0.0, 1e-15));
+}
+
+TEST(RelativeDifference, Basics) {
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relative_difference(2.0, 1.0), 0.5);
+  EXPECT_NEAR(relative_difference(10.0, 11.0), 1.0 / 11.0, 1e-12);
+}
+
+TEST(CeilToInt, Basics) {
+  EXPECT_EQ(ceil_to_int(0.0), 0);
+  EXPECT_EQ(ceil_to_int(1.0), 1);
+  EXPECT_EQ(ceil_to_int(1.0001), 2);
+  EXPECT_EQ(ceil_to_int(6.999999999999), 7);  // epsilon guard
+}
+
+TEST(CeilToInt, RejectsNegative) {
+  EXPECT_THROW(ceil_to_int(-0.5), PreconditionError);
+}
+
+TEST(GeometricMean, EmptyIsOne) {
+  GeometricMean g;
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_EQ(g.count(), 0);
+}
+
+TEST(GeometricMean, KnownValues) {
+  GeometricMean g;
+  g.add(2.0);
+  g.add(8.0);
+  EXPECT_NEAR(g.value(), 4.0, 1e-12);
+  EXPECT_EQ(g.count(), 2);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  GeometricMean g;
+  EXPECT_THROW(g.add(0.0), PreconditionError);
+  EXPECT_THROW(g.add(-1.0), PreconditionError);
+}
+
+class CeilDivProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CeilDivProperty, BoundsHold) {
+  const std::int64_t n = GetParam();
+  for (std::int64_t d = 1; d <= 17; ++d) {
+    const std::int64_t q = ceil_div(n, d);
+    EXPECT_GE(q * d, n);        // covers n
+    EXPECT_LT((q - 1) * d, n);  // minimal
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CeilDivProperty,
+                         ::testing::Values(1, 2, 3, 15, 16, 17, 63, 64, 65,
+                                           1000, 12345));
+
+}  // namespace
+}  // namespace uld3d

@@ -1,0 +1,89 @@
+#include "uld3d/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"Layer", "Speedup"});
+  t.add_row({"CONV1", "3.14x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Layer"), std::string::npos);
+  EXPECT_NE(s.find("CONV1"), std::string::npos);
+  EXPECT_NE(s.find("3.14x"), std::string::npos);
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(Table, TitleAppears) {
+  Table t({"x"});
+  EXPECT_NE(t.to_string("My Title").find("=== My Title ==="),
+            std::string::npos);
+  EXPECT_EQ(t.to_string().find("==="), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"name", "v"});
+  t.add_row({"short", "1.00x"});
+  t.add_row({"a much longer name", "12.34x"});
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned line: " << line;
+  }
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({R"(has "quote")", "x"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os, "T");
+  EXPECT_EQ(os.str(), t.to_string("T"));
+}
+
+TEST(FormatHelpers, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(2.5, 3), "2.500");
+}
+
+TEST(FormatHelpers, FormatRatio) {
+  EXPECT_EQ(format_ratio(5.66), "5.66x");
+  EXPECT_EQ(format_ratio(0.99, 3), "0.990x");
+}
+
+}  // namespace
+}  // namespace uld3d

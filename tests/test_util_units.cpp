@@ -1,0 +1,50 @@
+#include "uld3d/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d::units {
+namespace {
+
+TEST(Units, Area) {
+  EXPECT_DOUBLE_EQ(mm2_to_um2(1.0), 1.0e6);
+  EXPECT_DOUBLE_EQ(um2_to_mm2(2.5e6), 2.5);
+  EXPECT_DOUBLE_EQ(nm2_to_um2(1.0e6), 1.0);
+  EXPECT_DOUBLE_EQ(um2_to_mm2(mm2_to_um2(3.7)), 3.7);
+}
+
+TEST(Units, Length) {
+  EXPECT_DOUBLE_EQ(nm_to_um(130.0), 0.13);
+  EXPECT_DOUBLE_EQ(um_to_nm(0.13), 130.0);
+}
+
+TEST(Units, Energy) {
+  EXPECT_DOUBLE_EQ(nj_to_pj(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(uj_to_pj(1.0), 1.0e6);
+  EXPECT_DOUBLE_EQ(fj_to_pj(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(pj_to_uj(uj_to_pj(0.25)), 0.25);
+}
+
+TEST(Units, TimeAndFrequency) {
+  EXPECT_DOUBLE_EQ(mhz_to_period_ns(20.0), 50.0);
+  EXPECT_DOUBLE_EQ(period_ns_to_mhz(50.0), 20.0);
+  EXPECT_DOUBLE_EQ(period_ns_to_mhz(mhz_to_period_ns(123.0)), 123.0);
+  EXPECT_DOUBLE_EQ(s_to_ns(1.0), 1.0e9);
+  EXPECT_DOUBLE_EQ(ns_to_s(5.0e8), 0.5);
+}
+
+TEST(Units, Power) {
+  // 1 pJ per ns is 1 mW.
+  EXPECT_DOUBLE_EQ(pj_per_ns_to_mw(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(mw_to_w(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(w_to_mw(0.002), 2.0);
+}
+
+TEST(Units, Capacity) {
+  EXPECT_DOUBLE_EQ(mb_to_bits(1.0), 8.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(kb_to_bits(1.0), 8192.0);
+  EXPECT_DOUBLE_EQ(bytes_to_bits(16.0), 128.0);
+  EXPECT_DOUBLE_EQ(bits_to_mb(mb_to_bits(64.0)), 64.0);
+}
+
+}  // namespace
+}  // namespace uld3d::units

@@ -1,0 +1,118 @@
+// uld3d — command-line front end.
+//
+//   uld3d_cli compare   [--network N] [--config FILE]   M3D-vs-2D totals
+//   uld3d_cli table1    [--network N] [--config FILE]   per-layer rows
+//   uld3d_cli datasheet [--network N] [--config FILE]   coupled phys run
+//   uld3d_cli arch      --config FILE [--network N]     custom architecture
+//   uld3d_cli dump-config                               print the defaults
+//
+// `--config` files use the INI schema documented in uld3d/io/study_config.hpp.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "uld3d/accel/chip_summary.hpp"
+#include "uld3d/io/study_config.hpp"
+#include "uld3d/mapper/cost_model.hpp"
+#include "uld3d/nn/zoo.hpp"
+#include "uld3d/sim/report.hpp"
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/export.hpp"
+
+namespace {
+
+using namespace uld3d;
+
+struct CliArgs {
+  std::string command;
+  std::string network = "resnet18";
+  std::optional<std::string> config_path;
+};
+
+CliArgs parse_args(int argc, char** argv) {
+  CliArgs args;
+  expects(argc >= 2, "usage: uld3d_cli <command> [--network N] [--config F]");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--network" && i + 1 < argc) {
+      args.network = argv[++i];
+    } else if (flag == "--config" && i + 1 < argc) {
+      args.config_path = argv[++i];
+    } else {
+      expects(false, "unknown argument: " + flag);
+    }
+  }
+  return args;
+}
+
+accel::CaseStudy study_for(const CliArgs& args) {
+  if (args.config_path.has_value()) {
+    return io::case_study_from_config(io::Config::load(*args.config_path));
+  }
+  return accel::CaseStudy{};
+}
+
+int run_compare(const CliArgs& args) {
+  const accel::CaseStudy study = study_for(args);
+  const auto cmp = study.run(nn::make_network(args.network));
+  std::cout << sim::summary_line(cmp) << "\n"
+            << "N = " << study.m3d_cs_count()
+            << " CSs, gamma_cells = " << study.area_model().gamma_cells()
+            << "\n";
+  return 0;
+}
+
+int run_table1(const CliArgs& args) {
+  const accel::CaseStudy study = study_for(args);
+  const auto cmp = study.run(nn::make_network(args.network));
+  emit_table(std::cout, sim::comparison_table(cmp),
+             args.network + ": per-layer M3D vs 2D", "cli_table1");
+  return 0;
+}
+
+int run_datasheet(const CliArgs& args) {
+  const accel::CaseStudy study = study_for(args);
+  const auto summary =
+      accel::summarize_chip(study, nn::make_network(args.network));
+  std::cout << accel::datasheet(summary);
+  return 0;
+}
+
+int run_arch(const CliArgs& args) {
+  expects(args.config_path.has_value(), "arch requires --config FILE");
+  const auto arch =
+      io::architecture_from_config(io::Config::load(*args.config_path));
+  const auto pdk = tech::FoundryM3dPdk::make_130nm();
+  const auto benefit = mapper::evaluate_benefit(nn::make_network(args.network),
+                                                arch, {}, pdk);
+  std::cout << arch.name << " on " << args.network << ": N = " << benefit.n_cs
+            << ", speedup " << benefit.speedup << "x, EDP benefit "
+            << benefit.edp_benefit << "x\n";
+  return 0;
+}
+
+int run_dump_config(const CliArgs&) {
+  std::cout << io::case_study_to_config(accel::CaseStudy{}).to_text();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args = parse_args(argc, argv);
+    if (args.command == "compare") return run_compare(args);
+    if (args.command == "table1") return run_table1(args);
+    if (args.command == "datasheet") return run_datasheet(args);
+    if (args.command == "arch") return run_arch(args);
+    if (args.command == "dump-config") return run_dump_config(args);
+    std::cerr << "unknown command: " << args.command
+              << " (try compare | table1 | datasheet | arch | dump-config)\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
