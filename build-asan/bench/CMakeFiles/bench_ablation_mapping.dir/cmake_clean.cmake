@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mapping.dir/bench_ablation_mapping.cpp.o"
+  "CMakeFiles/bench_ablation_mapping.dir/bench_ablation_mapping.cpp.o.d"
+  "bench_ablation_mapping"
+  "bench_ablation_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

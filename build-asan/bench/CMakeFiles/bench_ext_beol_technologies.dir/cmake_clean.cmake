@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_beol_technologies.dir/bench_ext_beol_technologies.cpp.o"
+  "CMakeFiles/bench_ext_beol_technologies.dir/bench_ext_beol_technologies.cpp.o.d"
+  "bench_ext_beol_technologies"
+  "bench_ext_beol_technologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_beol_technologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

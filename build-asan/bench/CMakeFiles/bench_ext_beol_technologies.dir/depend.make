@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_beol_technologies.
+# This may be replaced when dependencies are built.

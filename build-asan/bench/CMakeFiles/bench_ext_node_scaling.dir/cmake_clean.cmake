@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_node_scaling.dir/bench_ext_node_scaling.cpp.o"
+  "CMakeFiles/bench_ext_node_scaling.dir/bench_ext_node_scaling.cpp.o.d"
+  "bench_ext_node_scaling"
+  "bench_ext_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sensitivity.dir/bench_ext_sensitivity.cpp.o"
+  "CMakeFiles/bench_ext_sensitivity.dir/bench_ext_sensitivity.cpp.o.d"
+  "bench_ext_sensitivity"
+  "bench_ext_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

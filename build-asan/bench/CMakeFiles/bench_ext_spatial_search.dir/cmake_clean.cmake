@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spatial_search.dir/bench_ext_spatial_search.cpp.o"
+  "CMakeFiles/bench_ext_spatial_search.dir/bench_ext_spatial_search.cpp.o.d"
+  "bench_ext_spatial_search"
+  "bench_ext_spatial_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spatial_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

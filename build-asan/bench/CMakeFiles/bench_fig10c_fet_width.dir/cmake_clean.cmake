@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_fet_width.dir/bench_fig10c_fet_width.cpp.o"
+  "CMakeFiles/bench_fig10c_fet_width.dir/bench_fig10c_fet_width.cpp.o.d"
+  "bench_fig10c_fet_width"
+  "bench_fig10c_fet_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_fet_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

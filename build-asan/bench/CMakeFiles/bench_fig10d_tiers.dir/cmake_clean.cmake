@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10d_tiers.dir/bench_fig10d_tiers.cpp.o"
+  "CMakeFiles/bench_fig10d_tiers.dir/bench_fig10d_tiers.cpp.o.d"
+  "bench_fig10d_tiers"
+  "bench_fig10d_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10d_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10d_tiers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_folding_contrast.dir/bench_fig1_folding_contrast.cpp.o"
+  "CMakeFiles/bench_fig1_folding_contrast.dir/bench_fig1_folding_contrast.cpp.o.d"
+  "bench_fig1_folding_contrast"
+  "bench_fig1_folding_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_folding_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

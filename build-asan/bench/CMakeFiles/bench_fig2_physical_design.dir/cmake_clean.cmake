@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_physical_design.dir/bench_fig2_physical_design.cpp.o"
+  "CMakeFiles/bench_fig2_physical_design.dir/bench_fig2_physical_design.cpp.o.d"
+  "bench_fig2_physical_design"
+  "bench_fig2_physical_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_physical_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

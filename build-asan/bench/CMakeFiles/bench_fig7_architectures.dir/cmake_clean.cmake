@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_architectures.dir/bench_fig7_architectures.cpp.o"
+  "CMakeFiles/bench_fig7_architectures.dir/bench_fig7_architectures.cpp.o.d"
+  "bench_fig7_architectures"
+  "bench_fig7_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bandwidth_cs.dir/bench_fig8_bandwidth_cs.cpp.o"
+  "CMakeFiles/bench_fig8_bandwidth_cs.dir/bench_fig8_bandwidth_cs.cpp.o.d"
+  "bench_fig8_bandwidth_cs"
+  "bench_fig8_bandwidth_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bandwidth_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_bandwidth_cs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_capacity.dir/bench_fig9_capacity.cpp.o"
+  "CMakeFiles/bench_fig9_capacity.dir/bench_fig9_capacity.cpp.o.d"
+  "bench_fig9_capacity"
+  "bench_fig9_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

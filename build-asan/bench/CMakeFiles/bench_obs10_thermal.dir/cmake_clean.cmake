@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs10_thermal.dir/bench_obs10_thermal.cpp.o"
+  "CMakeFiles/bench_obs10_thermal.dir/bench_obs10_thermal.cpp.o.d"
+  "bench_obs10_thermal"
+  "bench_obs10_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs10_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obs10_thermal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs3_sram_baseline.dir/bench_obs3_sram_baseline.cpp.o"
+  "CMakeFiles/bench_obs3_sram_baseline.dir/bench_obs3_sram_baseline.cpp.o.d"
+  "bench_obs3_sram_baseline"
+  "bench_obs3_sram_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs3_sram_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obs3_sram_baseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs8_via_pitch.dir/bench_obs8_via_pitch.cpp.o"
+  "CMakeFiles/bench_obs8_via_pitch.dir/bench_obs8_via_pitch.cpp.o.d"
+  "bench_obs8_via_pitch"
+  "bench_obs8_via_pitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs8_via_pitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

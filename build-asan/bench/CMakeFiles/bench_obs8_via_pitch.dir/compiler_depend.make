@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_obs8_via_pitch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obs8_via_pitch.
+# This may be replaced when dependencies are built.

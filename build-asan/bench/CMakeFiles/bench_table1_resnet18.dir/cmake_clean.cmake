@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_resnet18.dir/bench_table1_resnet18.cpp.o"
+  "CMakeFiles/bench_table1_resnet18.dir/bench_table1_resnet18.cpp.o.d"
+  "bench_table1_resnet18"
+  "bench_table1_resnet18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_resnet18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_datasheet.dir/chip_datasheet.cpp.o"
+  "CMakeFiles/chip_datasheet.dir/chip_datasheet.cpp.o.d"
+  "chip_datasheet"
+  "chip_datasheet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_datasheet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chip_datasheet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for chip_datasheet.
+# This may be replaced when dependencies are built.

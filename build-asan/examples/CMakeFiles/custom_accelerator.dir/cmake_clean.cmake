@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_accelerator.dir/custom_accelerator.cpp.o"
+  "CMakeFiles/custom_accelerator.dir/custom_accelerator.cpp.o.d"
+  "custom_accelerator"
+  "custom_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

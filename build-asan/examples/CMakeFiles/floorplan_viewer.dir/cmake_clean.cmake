@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_viewer.dir/floorplan_viewer.cpp.o"
+  "CMakeFiles/floorplan_viewer.dir/floorplan_viewer.cpp.o.d"
+  "floorplan_viewer"
+  "floorplan_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

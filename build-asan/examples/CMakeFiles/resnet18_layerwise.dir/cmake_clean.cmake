@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet18_layerwise.dir/resnet18_layerwise.cpp.o"
+  "CMakeFiles/resnet18_layerwise.dir/resnet18_layerwise.cpp.o.d"
+  "resnet18_layerwise"
+  "resnet18_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet18_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

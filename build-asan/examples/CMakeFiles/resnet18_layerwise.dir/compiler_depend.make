@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for resnet18_layerwise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for resnet18_layerwise.
+# This may be replaced when dependencies are built.

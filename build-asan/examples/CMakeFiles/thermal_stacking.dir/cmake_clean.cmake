@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_stacking.dir/thermal_stacking.cpp.o"
+  "CMakeFiles/thermal_stacking.dir/thermal_stacking.cpp.o.d"
+  "thermal_stacking"
+  "thermal_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

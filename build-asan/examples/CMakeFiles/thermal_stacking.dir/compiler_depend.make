@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thermal_stacking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for thermal_stacking.
+# This may be replaced when dependencies are built.

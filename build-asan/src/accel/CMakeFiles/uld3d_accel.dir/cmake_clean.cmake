@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_accel.dir/case_study.cpp.o"
+  "CMakeFiles/uld3d_accel.dir/case_study.cpp.o.d"
+  "CMakeFiles/uld3d_accel.dir/chip_summary.cpp.o"
+  "CMakeFiles/uld3d_accel.dir/chip_summary.cpp.o.d"
+  "CMakeFiles/uld3d_accel.dir/cs_design.cpp.o"
+  "CMakeFiles/uld3d_accel.dir/cs_design.cpp.o.d"
+  "CMakeFiles/uld3d_accel.dir/cs_netlist.cpp.o"
+  "CMakeFiles/uld3d_accel.dir/cs_netlist.cpp.o.d"
+  "libuld3d_accel.a"
+  "libuld3d_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for uld3d_accel.
+# This may be replaced when dependencies are built.

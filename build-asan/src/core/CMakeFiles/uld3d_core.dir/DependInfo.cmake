@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cpp" "src/core/CMakeFiles/uld3d_core.dir/area_model.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/area_model.cpp.o.d"
+  "/root/repo/src/core/edp_model.cpp" "src/core/CMakeFiles/uld3d_core.dir/edp_model.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/edp_model.cpp.o.d"
+  "/root/repo/src/core/folding.cpp" "src/core/CMakeFiles/uld3d_core.dir/folding.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/folding.cpp.o.d"
+  "/root/repo/src/core/multi_tier.cpp" "src/core/CMakeFiles/uld3d_core.dir/multi_tier.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/multi_tier.cpp.o.d"
+  "/root/repo/src/core/relaxed_baseline.cpp" "src/core/CMakeFiles/uld3d_core.dir/relaxed_baseline.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/relaxed_baseline.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/uld3d_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/thermal.cpp" "src/core/CMakeFiles/uld3d_core.dir/thermal.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/thermal.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/uld3d_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/uld3d_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/uld3d_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tech/CMakeFiles/uld3d_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

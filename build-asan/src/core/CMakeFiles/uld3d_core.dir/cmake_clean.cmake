@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_core.dir/area_model.cpp.o"
+  "CMakeFiles/uld3d_core.dir/area_model.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/edp_model.cpp.o"
+  "CMakeFiles/uld3d_core.dir/edp_model.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/folding.cpp.o"
+  "CMakeFiles/uld3d_core.dir/folding.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/multi_tier.cpp.o"
+  "CMakeFiles/uld3d_core.dir/multi_tier.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/relaxed_baseline.cpp.o"
+  "CMakeFiles/uld3d_core.dir/relaxed_baseline.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/roofline.cpp.o"
+  "CMakeFiles/uld3d_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/thermal.cpp.o"
+  "CMakeFiles/uld3d_core.dir/thermal.cpp.o.d"
+  "CMakeFiles/uld3d_core.dir/workload.cpp.o"
+  "CMakeFiles/uld3d_core.dir/workload.cpp.o.d"
+  "libuld3d_core.a"
+  "libuld3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dse/sensitivity.cpp" "src/dse/CMakeFiles/uld3d_dse.dir/sensitivity.cpp.o" "gcc" "src/dse/CMakeFiles/uld3d_dse.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/dse/sweep.cpp" "src/dse/CMakeFiles/uld3d_dse.dir/sweep.cpp.o" "gcc" "src/dse/CMakeFiles/uld3d_dse.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_dse.dir/sensitivity.cpp.o"
+  "CMakeFiles/uld3d_dse.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/uld3d_dse.dir/sweep.cpp.o"
+  "CMakeFiles/uld3d_dse.dir/sweep.cpp.o.d"
+  "libuld3d_dse.a"
+  "libuld3d_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_io.dir/config.cpp.o"
+  "CMakeFiles/uld3d_io.dir/config.cpp.o.d"
+  "CMakeFiles/uld3d_io.dir/study_config.cpp.o"
+  "CMakeFiles/uld3d_io.dir/study_config.cpp.o.d"
+  "libuld3d_io.a"
+  "libuld3d_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

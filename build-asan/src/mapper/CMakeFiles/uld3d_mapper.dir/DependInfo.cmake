@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapper/architecture.cpp" "src/mapper/CMakeFiles/uld3d_mapper.dir/architecture.cpp.o" "gcc" "src/mapper/CMakeFiles/uld3d_mapper.dir/architecture.cpp.o.d"
+  "/root/repo/src/mapper/cost_model.cpp" "src/mapper/CMakeFiles/uld3d_mapper.dir/cost_model.cpp.o" "gcc" "src/mapper/CMakeFiles/uld3d_mapper.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mapper/spatial_search.cpp" "src/mapper/CMakeFiles/uld3d_mapper.dir/spatial_search.cpp.o" "gcc" "src/mapper/CMakeFiles/uld3d_mapper.dir/spatial_search.cpp.o.d"
+  "/root/repo/src/mapper/table2.cpp" "src/mapper/CMakeFiles/uld3d_mapper.dir/table2.cpp.o" "gcc" "src/mapper/CMakeFiles/uld3d_mapper.dir/table2.cpp.o.d"
+  "/root/repo/src/mapper/temporal_mapping.cpp" "src/mapper/CMakeFiles/uld3d_mapper.dir/temporal_mapping.cpp.o" "gcc" "src/mapper/CMakeFiles/uld3d_mapper.dir/temporal_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/uld3d_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tech/CMakeFiles/uld3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/uld3d_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

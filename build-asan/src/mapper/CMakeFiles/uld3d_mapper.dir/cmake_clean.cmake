@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_mapper.dir/architecture.cpp.o"
+  "CMakeFiles/uld3d_mapper.dir/architecture.cpp.o.d"
+  "CMakeFiles/uld3d_mapper.dir/cost_model.cpp.o"
+  "CMakeFiles/uld3d_mapper.dir/cost_model.cpp.o.d"
+  "CMakeFiles/uld3d_mapper.dir/spatial_search.cpp.o"
+  "CMakeFiles/uld3d_mapper.dir/spatial_search.cpp.o.d"
+  "CMakeFiles/uld3d_mapper.dir/table2.cpp.o"
+  "CMakeFiles/uld3d_mapper.dir/table2.cpp.o.d"
+  "CMakeFiles/uld3d_mapper.dir/temporal_mapping.cpp.o"
+  "CMakeFiles/uld3d_mapper.dir/temporal_mapping.cpp.o.d"
+  "libuld3d_mapper.a"
+  "libuld3d_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuld3d_mapper.a"
+)

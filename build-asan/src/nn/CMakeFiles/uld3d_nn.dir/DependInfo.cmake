@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/generator.cpp" "src/nn/CMakeFiles/uld3d_nn.dir/generator.cpp.o" "gcc" "src/nn/CMakeFiles/uld3d_nn.dir/generator.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/uld3d_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/uld3d_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/uld3d_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/uld3d_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/uld3d_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/uld3d_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_nn.dir/generator.cpp.o"
+  "CMakeFiles/uld3d_nn.dir/generator.cpp.o.d"
+  "CMakeFiles/uld3d_nn.dir/layer.cpp.o"
+  "CMakeFiles/uld3d_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/uld3d_nn.dir/network.cpp.o"
+  "CMakeFiles/uld3d_nn.dir/network.cpp.o.d"
+  "CMakeFiles/uld3d_nn.dir/zoo.cpp.o"
+  "CMakeFiles/uld3d_nn.dir/zoo.cpp.o.d"
+  "libuld3d_nn.a"
+  "libuld3d_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

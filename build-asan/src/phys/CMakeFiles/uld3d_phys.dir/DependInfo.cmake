@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/congestion.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/congestion.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/congestion.cpp.o.d"
+  "/root/repo/src/phys/floorplan.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/floorplan.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/floorplan.cpp.o.d"
+  "/root/repo/src/phys/geometry.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/geometry.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/geometry.cpp.o.d"
+  "/root/repo/src/phys/m3d_flow.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/m3d_flow.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/m3d_flow.cpp.o.d"
+  "/root/repo/src/phys/macro.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/macro.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/macro.cpp.o.d"
+  "/root/repo/src/phys/netlist.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/netlist.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/netlist.cpp.o.d"
+  "/root/repo/src/phys/placer.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/placer.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/placer.cpp.o.d"
+  "/root/repo/src/phys/power.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/power.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/power.cpp.o.d"
+  "/root/repo/src/phys/render.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/render.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/render.cpp.o.d"
+  "/root/repo/src/phys/thermal_map.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/thermal_map.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/thermal_map.cpp.o.d"
+  "/root/repo/src/phys/timing.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/timing.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/timing.cpp.o.d"
+  "/root/repo/src/phys/wirelength.cpp" "src/phys/CMakeFiles/uld3d_phys.dir/wirelength.cpp.o" "gcc" "src/phys/CMakeFiles/uld3d_phys.dir/wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tech/CMakeFiles/uld3d_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

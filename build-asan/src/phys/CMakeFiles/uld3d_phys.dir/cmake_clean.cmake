@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_phys.dir/congestion.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/congestion.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/floorplan.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/floorplan.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/geometry.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/geometry.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/m3d_flow.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/m3d_flow.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/macro.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/macro.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/netlist.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/netlist.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/placer.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/placer.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/power.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/power.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/render.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/render.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/thermal_map.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/thermal_map.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/timing.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/timing.cpp.o.d"
+  "CMakeFiles/uld3d_phys.dir/wirelength.cpp.o"
+  "CMakeFiles/uld3d_phys.dir/wirelength.cpp.o.d"
+  "libuld3d_phys.a"
+  "libuld3d_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

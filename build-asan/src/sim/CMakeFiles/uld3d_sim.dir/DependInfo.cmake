@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerator_config.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/accelerator_config.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/accelerator_config.cpp.o.d"
+  "/root/repo/src/sim/buffer_analysis.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/buffer_analysis.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/buffer_analysis.cpp.o.d"
+  "/root/repo/src/sim/layer_sim.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/layer_sim.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/layer_sim.cpp.o.d"
+  "/root/repo/src/sim/network_sim.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/network_sim.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/network_sim.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/systolic_trace.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/systolic_trace.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/systolic_trace.cpp.o.d"
+  "/root/repo/src/sim/tiling.cpp" "src/sim/CMakeFiles/uld3d_sim.dir/tiling.cpp.o" "gcc" "src/sim/CMakeFiles/uld3d_sim.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/uld3d_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tech/CMakeFiles/uld3d_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

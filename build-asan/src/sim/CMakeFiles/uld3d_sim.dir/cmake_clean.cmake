@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_sim.dir/accelerator_config.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/accelerator_config.cpp.o.d"
+  "CMakeFiles/uld3d_sim.dir/buffer_analysis.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/buffer_analysis.cpp.o.d"
+  "CMakeFiles/uld3d_sim.dir/layer_sim.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/layer_sim.cpp.o.d"
+  "CMakeFiles/uld3d_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/uld3d_sim.dir/report.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/report.cpp.o.d"
+  "CMakeFiles/uld3d_sim.dir/systolic_trace.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/systolic_trace.cpp.o.d"
+  "CMakeFiles/uld3d_sim.dir/tiling.cpp.o"
+  "CMakeFiles/uld3d_sim.dir/tiling.cpp.o.d"
+  "libuld3d_sim.a"
+  "libuld3d_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

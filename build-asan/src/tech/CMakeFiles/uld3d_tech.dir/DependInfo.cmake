@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/beol_device.cpp" "src/tech/CMakeFiles/uld3d_tech.dir/beol_device.cpp.o" "gcc" "src/tech/CMakeFiles/uld3d_tech.dir/beol_device.cpp.o.d"
+  "/root/repo/src/tech/node_scaling.cpp" "src/tech/CMakeFiles/uld3d_tech.dir/node_scaling.cpp.o" "gcc" "src/tech/CMakeFiles/uld3d_tech.dir/node_scaling.cpp.o.d"
+  "/root/repo/src/tech/pdk.cpp" "src/tech/CMakeFiles/uld3d_tech.dir/pdk.cpp.o" "gcc" "src/tech/CMakeFiles/uld3d_tech.dir/pdk.cpp.o.d"
+  "/root/repo/src/tech/std_cell_library.cpp" "src/tech/CMakeFiles/uld3d_tech.dir/std_cell_library.cpp.o" "gcc" "src/tech/CMakeFiles/uld3d_tech.dir/std_cell_library.cpp.o.d"
+  "/root/repo/src/tech/tier_stack.cpp" "src/tech/CMakeFiles/uld3d_tech.dir/tier_stack.cpp.o" "gcc" "src/tech/CMakeFiles/uld3d_tech.dir/tier_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

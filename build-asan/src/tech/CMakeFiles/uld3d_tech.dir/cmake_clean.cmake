@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_tech.dir/beol_device.cpp.o"
+  "CMakeFiles/uld3d_tech.dir/beol_device.cpp.o.d"
+  "CMakeFiles/uld3d_tech.dir/node_scaling.cpp.o"
+  "CMakeFiles/uld3d_tech.dir/node_scaling.cpp.o.d"
+  "CMakeFiles/uld3d_tech.dir/pdk.cpp.o"
+  "CMakeFiles/uld3d_tech.dir/pdk.cpp.o.d"
+  "CMakeFiles/uld3d_tech.dir/std_cell_library.cpp.o"
+  "CMakeFiles/uld3d_tech.dir/std_cell_library.cpp.o.d"
+  "CMakeFiles/uld3d_tech.dir/tier_stack.cpp.o"
+  "CMakeFiles/uld3d_tech.dir/tier_stack.cpp.o.d"
+  "libuld3d_tech.a"
+  "libuld3d_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

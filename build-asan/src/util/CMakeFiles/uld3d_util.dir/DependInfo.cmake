@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/export.cpp" "src/util/CMakeFiles/uld3d_util.dir/export.cpp.o" "gcc" "src/util/CMakeFiles/uld3d_util.dir/export.cpp.o.d"
+  "/root/repo/src/util/fault.cpp" "src/util/CMakeFiles/uld3d_util.dir/fault.cpp.o" "gcc" "src/util/CMakeFiles/uld3d_util.dir/fault.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/uld3d_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/uld3d_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/util/CMakeFiles/uld3d_util.dir/status.cpp.o" "gcc" "src/util/CMakeFiles/uld3d_util.dir/status.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/uld3d_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/uld3d_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_util.dir/export.cpp.o"
+  "CMakeFiles/uld3d_util.dir/export.cpp.o.d"
+  "CMakeFiles/uld3d_util.dir/fault.cpp.o"
+  "CMakeFiles/uld3d_util.dir/fault.cpp.o.d"
+  "CMakeFiles/uld3d_util.dir/log.cpp.o"
+  "CMakeFiles/uld3d_util.dir/log.cpp.o.d"
+  "CMakeFiles/uld3d_util.dir/status.cpp.o"
+  "CMakeFiles/uld3d_util.dir/status.cpp.o.d"
+  "CMakeFiles/uld3d_util.dir/table.cpp.o"
+  "CMakeFiles/uld3d_util.dir/table.cpp.o.d"
+  "libuld3d_util.a"
+  "libuld3d_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

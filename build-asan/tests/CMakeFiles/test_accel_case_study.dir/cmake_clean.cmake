@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_case_study.dir/test_accel_case_study.cpp.o"
+  "CMakeFiles/test_accel_case_study.dir/test_accel_case_study.cpp.o.d"
+  "test_accel_case_study"
+  "test_accel_case_study.pdb"
+  "test_accel_case_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

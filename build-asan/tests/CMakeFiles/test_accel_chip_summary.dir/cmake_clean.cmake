@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_chip_summary.dir/test_accel_chip_summary.cpp.o"
+  "CMakeFiles/test_accel_chip_summary.dir/test_accel_chip_summary.cpp.o.d"
+  "test_accel_chip_summary"
+  "test_accel_chip_summary.pdb"
+  "test_accel_chip_summary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_chip_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_accel_chip_summary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accel_cs_netlist.dir/test_accel_cs_netlist.cpp.o"
+  "CMakeFiles/test_accel_cs_netlist.dir/test_accel_cs_netlist.cpp.o.d"
+  "test_accel_cs_netlist"
+  "test_accel_cs_netlist.pdb"
+  "test_accel_cs_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accel_cs_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_accel_cs_netlist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_area_model.dir/test_core_area_model.cpp.o"
+  "CMakeFiles/test_core_area_model.dir/test_core_area_model.cpp.o.d"
+  "test_core_area_model"
+  "test_core_area_model.pdb"
+  "test_core_area_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_area_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

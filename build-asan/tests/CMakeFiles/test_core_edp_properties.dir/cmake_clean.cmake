@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_edp_properties.dir/test_core_edp_properties.cpp.o"
+  "CMakeFiles/test_core_edp_properties.dir/test_core_edp_properties.cpp.o.d"
+  "test_core_edp_properties"
+  "test_core_edp_properties.pdb"
+  "test_core_edp_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_edp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

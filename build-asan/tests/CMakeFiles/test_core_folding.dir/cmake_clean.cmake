@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_folding.dir/test_core_folding.cpp.o"
+  "CMakeFiles/test_core_folding.dir/test_core_folding.cpp.o.d"
+  "test_core_folding"
+  "test_core_folding.pdb"
+  "test_core_folding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

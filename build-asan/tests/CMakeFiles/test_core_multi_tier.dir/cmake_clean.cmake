@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multi_tier.dir/test_core_multi_tier.cpp.o"
+  "CMakeFiles/test_core_multi_tier.dir/test_core_multi_tier.cpp.o.d"
+  "test_core_multi_tier"
+  "test_core_multi_tier.pdb"
+  "test_core_multi_tier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multi_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

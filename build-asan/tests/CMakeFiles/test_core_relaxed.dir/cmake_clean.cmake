@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_relaxed.dir/test_core_relaxed.cpp.o"
+  "CMakeFiles/test_core_relaxed.dir/test_core_relaxed.cpp.o.d"
+  "test_core_relaxed"
+  "test_core_relaxed.pdb"
+  "test_core_relaxed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_relaxed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_roofline.dir/test_core_roofline.cpp.o"
+  "CMakeFiles/test_core_roofline.dir/test_core_roofline.cpp.o.d"
+  "test_core_roofline"
+  "test_core_roofline.pdb"
+  "test_core_roofline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

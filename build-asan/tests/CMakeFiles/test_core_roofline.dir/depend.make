@@ -1,0 +1,2 @@
+# Empty dependencies file for test_core_roofline.
+# This may be replaced when dependencies are built.

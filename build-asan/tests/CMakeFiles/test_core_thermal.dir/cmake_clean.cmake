@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_thermal.dir/test_core_thermal.cpp.o"
+  "CMakeFiles/test_core_thermal.dir/test_core_thermal.cpp.o.d"
+  "test_core_thermal"
+  "test_core_thermal.pdb"
+  "test_core_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_workload.dir/test_core_workload.cpp.o"
+  "CMakeFiles/test_core_workload.dir/test_core_workload.cpp.o.d"
+  "test_core_workload"
+  "test_core_workload.pdb"
+  "test_core_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

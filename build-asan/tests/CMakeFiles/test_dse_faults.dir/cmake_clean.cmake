@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_faults.dir/test_dse_faults.cpp.o"
+  "CMakeFiles/test_dse_faults.dir/test_dse_faults.cpp.o.d"
+  "test_dse_faults"
+  "test_dse_faults.pdb"
+  "test_dse_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

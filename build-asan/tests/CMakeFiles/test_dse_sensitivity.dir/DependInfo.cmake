@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dse_sensitivity.cpp" "tests/CMakeFiles/test_dse_sensitivity.dir/test_dse_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/test_dse_sensitivity.dir/test_dse_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/io/CMakeFiles/uld3d_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/accel/CMakeFiles/uld3d_accel.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mapper/CMakeFiles/uld3d_mapper.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phys/CMakeFiles/uld3d_phys.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dse/CMakeFiles/uld3d_dse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/uld3d_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/uld3d_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/uld3d_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tech/CMakeFiles/uld3d_tech.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/uld3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_sensitivity.dir/test_dse_sensitivity.cpp.o"
+  "CMakeFiles/test_dse_sensitivity.dir/test_dse_sensitivity.cpp.o.d"
+  "test_dse_sensitivity"
+  "test_dse_sensitivity.pdb"
+  "test_dse_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

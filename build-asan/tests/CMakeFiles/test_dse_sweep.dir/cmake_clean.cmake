@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse_sweep.dir/test_dse_sweep.cpp.o"
+  "CMakeFiles/test_dse_sweep.dir/test_dse_sweep.cpp.o.d"
+  "test_dse_sweep"
+  "test_dse_sweep.pdb"
+  "test_dse_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

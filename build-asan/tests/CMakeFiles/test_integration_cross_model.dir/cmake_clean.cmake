@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_cross_model.dir/test_integration_cross_model.cpp.o"
+  "CMakeFiles/test_integration_cross_model.dir/test_integration_cross_model.cpp.o.d"
+  "test_integration_cross_model"
+  "test_integration_cross_model.pdb"
+  "test_integration_cross_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_cross_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

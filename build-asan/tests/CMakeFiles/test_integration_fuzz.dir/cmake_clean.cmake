@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_fuzz.dir/test_integration_fuzz.cpp.o"
+  "CMakeFiles/test_integration_fuzz.dir/test_integration_fuzz.cpp.o.d"
+  "test_integration_fuzz"
+  "test_integration_fuzz.pdb"
+  "test_integration_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_paper.dir/test_integration_paper.cpp.o"
+  "CMakeFiles/test_integration_paper.dir/test_integration_paper.cpp.o.d"
+  "test_integration_paper"
+  "test_integration_paper.pdb"
+  "test_integration_paper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_config.dir/test_io_config.cpp.o"
+  "CMakeFiles/test_io_config.dir/test_io_config.cpp.o.d"
+  "test_io_config"
+  "test_io_config.pdb"
+  "test_io_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_config_malformed.dir/test_io_config_malformed.cpp.o"
+  "CMakeFiles/test_io_config_malformed.dir/test_io_config_malformed.cpp.o.d"
+  "test_io_config_malformed"
+  "test_io_config_malformed.pdb"
+  "test_io_config_malformed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_config_malformed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_io_config_malformed.
+# This may be replaced when dependencies are built.

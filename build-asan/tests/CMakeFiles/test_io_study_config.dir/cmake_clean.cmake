@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_study_config.dir/test_io_study_config.cpp.o"
+  "CMakeFiles/test_io_study_config.dir/test_io_study_config.cpp.o.d"
+  "test_io_study_config"
+  "test_io_study_config.pdb"
+  "test_io_study_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_study_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_architecture.dir/test_mapper_architecture.cpp.o"
+  "CMakeFiles/test_mapper_architecture.dir/test_mapper_architecture.cpp.o.d"
+  "test_mapper_architecture"
+  "test_mapper_architecture.pdb"
+  "test_mapper_architecture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

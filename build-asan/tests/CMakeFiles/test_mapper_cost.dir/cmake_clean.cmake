@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_cost.dir/test_mapper_cost.cpp.o"
+  "CMakeFiles/test_mapper_cost.dir/test_mapper_cost.cpp.o.d"
+  "test_mapper_cost"
+  "test_mapper_cost.pdb"
+  "test_mapper_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_mapping.dir/test_mapper_mapping.cpp.o"
+  "CMakeFiles/test_mapper_mapping.dir/test_mapper_mapping.cpp.o.d"
+  "test_mapper_mapping"
+  "test_mapper_mapping.pdb"
+  "test_mapper_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

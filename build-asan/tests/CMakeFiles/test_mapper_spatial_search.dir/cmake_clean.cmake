@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_spatial_search.dir/test_mapper_spatial_search.cpp.o"
+  "CMakeFiles/test_mapper_spatial_search.dir/test_mapper_spatial_search.cpp.o.d"
+  "test_mapper_spatial_search"
+  "test_mapper_spatial_search.pdb"
+  "test_mapper_spatial_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_spatial_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

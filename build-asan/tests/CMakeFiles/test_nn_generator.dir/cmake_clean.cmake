@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_generator.dir/test_nn_generator.cpp.o"
+  "CMakeFiles/test_nn_generator.dir/test_nn_generator.cpp.o.d"
+  "test_nn_generator"
+  "test_nn_generator.pdb"
+  "test_nn_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_layer.dir/test_nn_layer.cpp.o"
+  "CMakeFiles/test_nn_layer.dir/test_nn_layer.cpp.o.d"
+  "test_nn_layer"
+  "test_nn_layer.pdb"
+  "test_nn_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_network.dir/test_nn_network.cpp.o"
+  "CMakeFiles/test_nn_network.dir/test_nn_network.cpp.o.d"
+  "test_nn_network"
+  "test_nn_network.pdb"
+  "test_nn_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

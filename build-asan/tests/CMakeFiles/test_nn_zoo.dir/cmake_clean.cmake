@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_zoo.dir/test_nn_zoo.cpp.o"
+  "CMakeFiles/test_nn_zoo.dir/test_nn_zoo.cpp.o.d"
+  "test_nn_zoo"
+  "test_nn_zoo.pdb"
+  "test_nn_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_congestion.dir/test_phys_congestion.cpp.o"
+  "CMakeFiles/test_phys_congestion.dir/test_phys_congestion.cpp.o.d"
+  "test_phys_congestion"
+  "test_phys_congestion.pdb"
+  "test_phys_congestion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_floorplan.dir/test_phys_floorplan.cpp.o"
+  "CMakeFiles/test_phys_floorplan.dir/test_phys_floorplan.cpp.o.d"
+  "test_phys_floorplan"
+  "test_phys_floorplan.pdb"
+  "test_phys_floorplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_flow.dir/test_phys_flow.cpp.o"
+  "CMakeFiles/test_phys_flow.dir/test_phys_flow.cpp.o.d"
+  "test_phys_flow"
+  "test_phys_flow.pdb"
+  "test_phys_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

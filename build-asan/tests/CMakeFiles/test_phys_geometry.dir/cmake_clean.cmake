@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_geometry.dir/test_phys_geometry.cpp.o"
+  "CMakeFiles/test_phys_geometry.dir/test_phys_geometry.cpp.o.d"
+  "test_phys_geometry"
+  "test_phys_geometry.pdb"
+  "test_phys_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_netlist.dir/test_phys_netlist.cpp.o"
+  "CMakeFiles/test_phys_netlist.dir/test_phys_netlist.cpp.o.d"
+  "test_phys_netlist"
+  "test_phys_netlist.pdb"
+  "test_phys_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

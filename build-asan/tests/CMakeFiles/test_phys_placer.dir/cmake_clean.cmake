@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_placer.dir/test_phys_placer.cpp.o"
+  "CMakeFiles/test_phys_placer.dir/test_phys_placer.cpp.o.d"
+  "test_phys_placer"
+  "test_phys_placer.pdb"
+  "test_phys_placer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_power.dir/test_phys_power.cpp.o"
+  "CMakeFiles/test_phys_power.dir/test_phys_power.cpp.o.d"
+  "test_phys_power"
+  "test_phys_power.pdb"
+  "test_phys_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

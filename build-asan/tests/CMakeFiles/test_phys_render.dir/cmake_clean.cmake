@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_render.dir/test_phys_render.cpp.o"
+  "CMakeFiles/test_phys_render.dir/test_phys_render.cpp.o.d"
+  "test_phys_render"
+  "test_phys_render.pdb"
+  "test_phys_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_thermal_map.dir/test_phys_thermal_map.cpp.o"
+  "CMakeFiles/test_phys_thermal_map.dir/test_phys_thermal_map.cpp.o.d"
+  "test_phys_thermal_map"
+  "test_phys_thermal_map.pdb"
+  "test_phys_thermal_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_thermal_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

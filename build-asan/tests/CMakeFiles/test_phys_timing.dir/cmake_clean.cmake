@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_timing.dir/test_phys_timing.cpp.o"
+  "CMakeFiles/test_phys_timing.dir/test_phys_timing.cpp.o.d"
+  "test_phys_timing"
+  "test_phys_timing.pdb"
+  "test_phys_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys_wirelength.dir/test_phys_wirelength.cpp.o"
+  "CMakeFiles/test_phys_wirelength.dir/test_phys_wirelength.cpp.o.d"
+  "test_phys_wirelength"
+  "test_phys_wirelength.pdb"
+  "test_phys_wirelength[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys_wirelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_buffer_analysis.dir/test_sim_buffer_analysis.cpp.o"
+  "CMakeFiles/test_sim_buffer_analysis.dir/test_sim_buffer_analysis.cpp.o.d"
+  "test_sim_buffer_analysis"
+  "test_sim_buffer_analysis.pdb"
+  "test_sim_buffer_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_buffer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

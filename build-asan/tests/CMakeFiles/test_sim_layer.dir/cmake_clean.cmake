@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_layer.dir/test_sim_layer.cpp.o"
+  "CMakeFiles/test_sim_layer.dir/test_sim_layer.cpp.o.d"
+  "test_sim_layer"
+  "test_sim_layer.pdb"
+  "test_sim_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_network.dir/test_sim_network.cpp.o"
+  "CMakeFiles/test_sim_network.dir/test_sim_network.cpp.o.d"
+  "test_sim_network"
+  "test_sim_network.pdb"
+  "test_sim_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_properties.dir/test_sim_properties.cpp.o"
+  "CMakeFiles/test_sim_properties.dir/test_sim_properties.cpp.o.d"
+  "test_sim_properties"
+  "test_sim_properties.pdb"
+  "test_sim_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_report.dir/test_sim_report.cpp.o"
+  "CMakeFiles/test_sim_report.dir/test_sim_report.cpp.o.d"
+  "test_sim_report"
+  "test_sim_report.pdb"
+  "test_sim_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

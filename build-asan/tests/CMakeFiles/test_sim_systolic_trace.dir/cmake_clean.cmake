@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_systolic_trace.dir/test_sim_systolic_trace.cpp.o"
+  "CMakeFiles/test_sim_systolic_trace.dir/test_sim_systolic_trace.cpp.o.d"
+  "test_sim_systolic_trace"
+  "test_sim_systolic_trace.pdb"
+  "test_sim_systolic_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_systolic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tiling.dir/test_sim_tiling.cpp.o"
+  "CMakeFiles/test_sim_tiling.dir/test_sim_tiling.cpp.o.d"
+  "test_sim_tiling"
+  "test_sim_tiling.pdb"
+  "test_sim_tiling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_beol_device.dir/test_tech_beol_device.cpp.o"
+  "CMakeFiles/test_tech_beol_device.dir/test_tech_beol_device.cpp.o.d"
+  "test_tech_beol_device"
+  "test_tech_beol_device.pdb"
+  "test_tech_beol_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_beol_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

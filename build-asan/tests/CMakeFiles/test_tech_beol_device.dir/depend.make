@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tech_beol_device.
+# This may be replaced when dependencies are built.

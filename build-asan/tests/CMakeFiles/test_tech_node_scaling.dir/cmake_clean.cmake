@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_node_scaling.dir/test_tech_node_scaling.cpp.o"
+  "CMakeFiles/test_tech_node_scaling.dir/test_tech_node_scaling.cpp.o.d"
+  "test_tech_node_scaling"
+  "test_tech_node_scaling.pdb"
+  "test_tech_node_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_pdk.dir/test_tech_pdk.cpp.o"
+  "CMakeFiles/test_tech_pdk.dir/test_tech_pdk.cpp.o.d"
+  "test_tech_pdk"
+  "test_tech_pdk.pdb"
+  "test_tech_pdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_pdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

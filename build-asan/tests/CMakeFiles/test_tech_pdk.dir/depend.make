@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tech_pdk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_std_cells.dir/test_tech_std_cells.cpp.o"
+  "CMakeFiles/test_tech_std_cells.dir/test_tech_std_cells.cpp.o.d"
+  "test_tech_std_cells"
+  "test_tech_std_cells.pdb"
+  "test_tech_std_cells[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_std_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_tier_stack.dir/test_tech_tier_stack.cpp.o"
+  "CMakeFiles/test_tech_tier_stack.dir/test_tech_tier_stack.cpp.o.d"
+  "test_tech_tier_stack"
+  "test_tech_tier_stack.pdb"
+  "test_tech_tier_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_tier_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

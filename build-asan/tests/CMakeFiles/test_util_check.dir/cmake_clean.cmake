@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_check.dir/test_util_check.cpp.o"
+  "CMakeFiles/test_util_check.dir/test_util_check.cpp.o.d"
+  "test_util_check"
+  "test_util_check.pdb"
+  "test_util_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

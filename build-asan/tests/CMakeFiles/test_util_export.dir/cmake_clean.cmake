@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_export.dir/test_util_export.cpp.o"
+  "CMakeFiles/test_util_export.dir/test_util_export.cpp.o.d"
+  "test_util_export"
+  "test_util_export.pdb"
+  "test_util_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_fault.dir/test_util_fault.cpp.o"
+  "CMakeFiles/test_util_fault.dir/test_util_fault.cpp.o.d"
+  "test_util_fault"
+  "test_util_fault.pdb"
+  "test_util_fault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

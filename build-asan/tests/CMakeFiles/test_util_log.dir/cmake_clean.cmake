@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_log.dir/test_util_log.cpp.o"
+  "CMakeFiles/test_util_log.dir/test_util_log.cpp.o.d"
+  "test_util_log"
+  "test_util_log.pdb"
+  "test_util_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_math.dir/test_util_math.cpp.o"
+  "CMakeFiles/test_util_math.dir/test_util_math.cpp.o.d"
+  "test_util_math"
+  "test_util_math.pdb"
+  "test_util_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_rng.dir/test_util_rng.cpp.o"
+  "CMakeFiles/test_util_rng.dir/test_util_rng.cpp.o.d"
+  "test_util_rng"
+  "test_util_rng.pdb"
+  "test_util_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

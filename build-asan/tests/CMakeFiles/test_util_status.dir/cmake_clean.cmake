@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_status.dir/test_util_status.cpp.o"
+  "CMakeFiles/test_util_status.dir/test_util_status.cpp.o.d"
+  "test_util_status"
+  "test_util_status.pdb"
+  "test_util_status[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_table.dir/test_util_table.cpp.o"
+  "CMakeFiles/test_util_table.dir/test_util_table.cpp.o.d"
+  "test_util_table"
+  "test_util_table.pdb"
+  "test_util_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

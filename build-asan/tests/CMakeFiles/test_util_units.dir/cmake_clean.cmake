@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_units.dir/test_util_units.cpp.o"
+  "CMakeFiles/test_util_units.dir/test_util_units.cpp.o.d"
+  "test_util_units"
+  "test_util_units.pdb"
+  "test_util_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uld3d_cli.dir/uld3d_cli.cpp.o"
+  "CMakeFiles/uld3d_cli.dir/uld3d_cli.cpp.o.d"
+  "uld3d_cli"
+  "uld3d_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uld3d_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

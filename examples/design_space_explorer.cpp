@@ -2,6 +2,11 @@
 // CS count, and per-CS bandwidth through the analytical framework; print
 // the full grid and the Pareto frontier (footprint vs. EDP benefit).
 //
+// Infeasible points (a CS count that does not fit the freed Si area) throw
+// StatusError(kInfeasiblePoint); under the default
+// ErrorPolicy::kSkipAndRecord they become failed rows that the Pareto
+// front and best-point search skip, summarized on stderr.
+//
 // Usage: ./design_space_explorer [network]
 // Set ULD3D_CSV_DIR to also dump the sweep as CSV.
 #include <iostream>
@@ -32,9 +37,11 @@ int main(int argc, char** argv) {
     const auto n = static_cast<std::int64_t>(p[1]);
     const std::int64_t n_geom = study.m3d_cs_count();
     if (n > n_geom) {
-      // Does not fit the freed Si area: mark infeasible.
-      return std::vector<double>{0.0, study.area_model().total_area_um2() / 1e6,
-                                 0.0};
+      throw StatusError(
+          Failure(ErrorCode::kInfeasiblePoint,
+                  "CS count does not fit the freed Si area")
+              .with("n_cs", n)
+              .with("n_geom", n_geom));
     }
     core::Chip2d c2 = study.chip2d_params();
     core::Chip3d c3 = study.chip3d_params(n);
@@ -52,8 +59,9 @@ int main(int argc, char** argv) {
 
   emit_table(std::cout, result.to_table(),
              "M3D design space for " + net.name() +
-                 " (0 = does not fit the freed Si area)",
+                 " (failed rows = infeasible design points)",
              "design_space_" + name);
+  if (result.failed_count() > 0) std::cerr << result.failure_summary();
 
   const auto front = result.pareto_front("edp_benefit", "footprint_mm2");
   Table pareto({"capacity_mb", "n_cs", "bw_scale", "footprint_mm2",

@@ -1,14 +1,19 @@
 #include "uld3d/core/edp_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/fault.hpp"
+#include "uld3d/util/status.hpp"
 
 namespace uld3d::core {
 
 namespace {
 
 void validate(const WorkloadPoint& w) {
+  expects(std::isfinite(w.f0_ops) && std::isfinite(w.d0_bits),
+          "workload must be finite");
   expects(w.f0_ops >= 0.0 && w.d0_bits >= 0.0, "workload must be non-negative");
   expects(w.f0_ops > 0.0 || w.d0_bits > 0.0, "workload must be non-trivial");
   expects(w.max_partitions >= 1, "N# >= 1");
@@ -92,14 +97,15 @@ double energy_3d(const WorkloadPoint& w, const Chip2d& c2, const Chip3d& c3) {
 
 EdpResult evaluate_edp(const WorkloadPoint& w, const Chip2d& c2,
                        const Chip3d& c3) {
+  fault_site("core.edp.evaluate");
   EdpResult r;
-  r.t2d_cycles = execution_time_2d(w, c2);
-  r.t3d_cycles = execution_time_3d(w, c2, c3);
-  r.speedup = r.t2d_cycles / r.t3d_cycles;
-  r.e2d_pj = energy_2d(w, c2);
-  r.e3d_pj = energy_3d(w, c2, c3);
-  r.energy_ratio = r.e2d_pj / r.e3d_pj;
-  r.edp_benefit = r.speedup * r.energy_ratio;
+  r.t2d_cycles = require_finite(execution_time_2d(w, c2), "T_2D");
+  r.t3d_cycles = require_finite(execution_time_3d(w, c2, c3), "T_3D");
+  r.speedup = require_finite(r.t2d_cycles / r.t3d_cycles, "speedup");
+  r.e2d_pj = require_finite(energy_2d(w, c2), "E_2D");
+  r.e3d_pj = require_finite(energy_3d(w, c2, c3), "E_3D");
+  r.energy_ratio = require_finite(r.e2d_pj / r.e3d_pj, "energy ratio");
+  r.edp_benefit = require_finite(r.speedup * r.energy_ratio, "EDP benefit");
   r.n_max = n_max(w, c3);
   return r;
 }

@@ -32,6 +32,12 @@ class ThermalStack {
   /// Eq. (17): total temperature rise of the hottest (top) tier.
   [[nodiscard]] double temperature_rise_k() const;
 
+  /// Throws StatusError(kThermalLimit) when the stack's rise exceeds
+  /// `max_rise_k` (the typical budget is ~60 K [20]); otherwise returns the
+  /// rise.  Lets sweep evaluators turn a thermal violation into a recorded
+  /// per-point failure instead of a silent out-of-budget design.
+  double require_within_budget(double max_rise_k) const;
+
   /// Largest Y such that a uniform stack of `per_tier` pairs stays within
   /// `max_rise_k` (Observation 10; typical budget ~60 K [20]).
   [[nodiscard]] static std::int64_t max_tier_pairs(double sink_resistance_k_per_w,

@@ -1,8 +1,10 @@
 #include "uld3d/core/roofline.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/status.hpp"
 
 namespace uld3d::core {
 
@@ -21,8 +23,9 @@ double Roofline::ridge_intensity() const {
 double Roofline::execution_time_cycles(const WorkloadPoint& w) const {
   expects(peak_ops_per_cycle > 0.0 && bandwidth_bits_per_cycle > 0.0,
           "roofline parameters must be positive");
-  return std::max(w.d0_bits / bandwidth_bits_per_cycle,
-                  w.f0_ops / peak_ops_per_cycle);
+  return require_finite(std::max(w.d0_bits / bandwidth_bits_per_cycle,
+                                 w.f0_ops / peak_ops_per_cycle),
+                        "roofline execution time");
 }
 
 bool Roofline::memory_bound(const WorkloadPoint& w) const {
@@ -56,7 +59,8 @@ double GablesSoc::execution_time_cycles(const WorkloadPoint& w) const {
     slowest_ip = std::max(slowest_ip, ip.roofline.execution_time_cycles(slice));
   }
   const double shared_memory_time = w.d0_bits / shared_bandwidth_;
-  return std::max(slowest_ip, shared_memory_time);
+  return require_finite(std::max(slowest_ip, shared_memory_time),
+                        "Gables SoC execution time");
 }
 
 GablesSoc GablesSoc::homogeneous(std::int64_t n, const Roofline& per_cs,

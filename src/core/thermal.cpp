@@ -1,15 +1,22 @@
 #include "uld3d/core/thermal.hpp"
 
+#include <cmath>
+
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/fault.hpp"
+#include "uld3d/util/status.hpp"
 
 namespace uld3d::core {
 
 ThermalStack::ThermalStack(double sink_resistance_k_per_w)
     : r0_(sink_resistance_k_per_w) {
+  expects(std::isfinite(r0_), "sink resistance must be finite");
   expects(r0_ >= 0.0, "sink resistance must be non-negative");
 }
 
 void ThermalStack::add_tier(ThermalTier tier) {
+  expects(std::isfinite(tier.resistance_k_per_w) && std::isfinite(tier.power_w),
+          "tier resistance and power must be finite");
   expects(tier.resistance_k_per_w >= 0.0, "tier resistance must be non-negative");
   expects(tier.power_w >= 0.0, "tier power must be non-negative");
   tiers_.push_back(tier);
@@ -23,6 +30,21 @@ double ThermalStack::temperature_rise_k() const {
   for (const auto& tier : tiers_) {
     prefix_r += tier.resistance_k_per_w;
     rise += (prefix_r + r0_) * tier.power_w;
+  }
+  return rise;
+}
+
+double ThermalStack::require_within_budget(double max_rise_k) const {
+  expects(max_rise_k > 0.0, "thermal budget must be positive");
+  fault_site("core.thermal.budget");
+  const double rise = require_finite(temperature_rise_k(), "temperature rise");
+  if (rise > max_rise_k) {
+    throw StatusError(
+        Failure(ErrorCode::kThermalLimit,
+                "stack temperature rise exceeds the thermal budget")
+            .with("rise_k", rise)
+            .with("budget_k", max_rise_k)
+            .with("tiers", static_cast<std::int64_t>(tiers_.size())));
   }
   return rise;
 }

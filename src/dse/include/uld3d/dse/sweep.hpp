@@ -2,12 +2,21 @@
 // Pareto-front extraction, and tabular export.  Used by the benchmark
 // harnesses and the design_space_explorer example; model-agnostic (the
 // evaluation callback closes over whatever chip/workload objects it needs).
+//
+// Fault tolerance: under the default ErrorPolicy::kSkipAndRecord a design
+// point whose evaluation throws (or returns a non-finite metric) becomes a
+// *failed* SweepRow carrying a structured Failure instead of aborting the
+// whole sweep; `pareto_front`/`best` ignore failed rows and
+// `failure_summary()` reports them.  ErrorPolicy::kFailFast rethrows at the
+// first bad point (the pre-diagnostics behaviour).
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "uld3d/util/status.hpp"
 #include "uld3d/util/table.hpp"
 
 namespace uld3d::dse {
@@ -35,10 +44,24 @@ class Grid {
   std::vector<Axis> axes_;
 };
 
-/// One evaluated design point.
+/// What a sweep does when evaluating one design point fails.
+enum class ErrorPolicy {
+  kFailFast,       ///< rethrow: one bad point aborts the sweep
+  kSkipAndRecord,  ///< record a failed row and continue (default)
+};
+
+struct SweepOptions {
+  ErrorPolicy policy = ErrorPolicy::kSkipAndRecord;
+};
+
+/// One evaluated design point.  Failed rows keep their params, carry NaN
+/// metrics, and record why they failed.
 struct SweepRow {
   std::vector<double> params;   ///< one value per axis
-  std::vector<double> metrics;  ///< one value per metric
+  std::vector<double> metrics;  ///< one value per metric (NaN when failed)
+  std::optional<Failure> failure;  ///< set iff evaluation failed
+
+  [[nodiscard]] bool ok() const { return !failure.has_value(); }
 };
 
 /// All evaluated points of a sweep.
@@ -59,16 +82,28 @@ class SweepResult {
   /// Column index of a metric; throws for unknown names.
   [[nodiscard]] std::size_t metric_index(const std::string& name) const;
 
-  /// Indices of rows on the Pareto front that MAXIMIZES `benefit_metric`
-  /// while MINIMIZING `cost_metric`, sorted by ascending cost.
+  [[nodiscard]] std::size_t ok_count() const;
+  [[nodiscard]] std::size_t failed_count() const;
+  [[nodiscard]] std::vector<std::size_t> failed_rows() const;
+
+  /// Indices of *feasible* rows on the Pareto front that MAXIMIZES
+  /// `benefit_metric` while MINIMIZING `cost_metric`, sorted by ascending
+  /// cost.  Failed rows never appear on the front.
   [[nodiscard]] std::vector<std::size_t> pareto_front(
       const std::string& benefit_metric, const std::string& cost_metric) const;
 
-  /// Row index with the best (largest) value of `metric`.
+  /// Row index with the best (largest) value of `metric` among feasible
+  /// rows; throws StatusError(kInfeasiblePoint) when every row failed.
   [[nodiscard]] std::size_t best(const std::string& metric) const;
 
-  /// Render as a uld3d::Table (params then metrics, `digits` decimals).
+  /// Render as a uld3d::Table (params, metrics, then a status column;
+  /// failed rows show "-" metrics and their error code).
   [[nodiscard]] Table to_table(int digits = 2) const;
+
+  /// Human-readable report of the failed points: a header with counts and
+  /// one line per failed row with its parameters and reason.  Empty string
+  /// when every point succeeded.
+  [[nodiscard]] std::string failure_summary() const;
 
  private:
   std::vector<std::string> param_names_;
@@ -77,10 +112,14 @@ class SweepResult {
 };
 
 /// Evaluate `metrics(point)` at every grid point.  The callback returns one
-/// value per metric name (checked).
+/// value per metric name (checked; a mismatch is an evaluator bug and
+/// always throws regardless of policy).  An empty grid yields an empty
+/// SweepResult with the metric names intact.  Per-point behaviour on
+/// failure follows `options.policy`.
 [[nodiscard]] SweepResult run_sweep(
     const Grid& grid, const std::vector<std::string>& metric_names,
     const std::function<std::vector<double>(const std::vector<double>&)>&
-        evaluate);
+        evaluate,
+    const SweepOptions& options = {});
 
 }  // namespace uld3d::dse

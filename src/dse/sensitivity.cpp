@@ -2,21 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/fault.hpp"
 
 namespace uld3d::dse {
+
+namespace {
+
+/// Evaluate one perturbed point; non-finite objectives become
+/// StatusError(kNumericalError) so both failure shapes take the same path.
+double evaluate_checked(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& params, const std::string& parameter,
+    const char* side) {
+  fault_site("dse.sensitivity.point");
+  const double value = objective(params);
+  if (!std::isfinite(value)) {
+    throw StatusError(Failure(ErrorCode::kNumericalError,
+                              "objective is not finite")
+                          .with("parameter", parameter)
+                          .with("side", side));
+  }
+  return value;
+}
+
+}  // namespace
 
 std::vector<Sensitivity> analyze_sensitivity(
     const std::vector<std::string>& names, const std::vector<double>& baseline,
     const std::function<double(const std::vector<double>&)>& objective,
-    double step) {
+    double step, ErrorPolicy policy) {
   expects(names.size() == baseline.size(),
           "one name per baseline parameter required");
   expects(step > 0.0 && step < 1.0, "relative step must be in (0, 1)");
   const double base_objective = objective(baseline);
   expects(std::abs(base_objective) > 0.0,
           "objective must be non-zero at the baseline");
+  expects(std::isfinite(base_objective),
+          "objective must be finite at the baseline");
 
   std::vector<Sensitivity> results;
   results.reserve(names.size());
@@ -24,13 +49,28 @@ std::vector<Sensitivity> analyze_sensitivity(
     Sensitivity s;
     s.parameter = names[i];
     s.baseline_value = baseline[i];
-    std::vector<double> params = baseline;
-    params[i] = baseline[i] * (1.0 - step);
-    s.objective_minus = objective(params);
-    params[i] = baseline[i] * (1.0 + step);
-    s.objective_plus = objective(params);
-    s.elasticity = (s.objective_plus - s.objective_minus) /
-                   (2.0 * step * base_objective);
+    try {
+      std::vector<double> params = baseline;
+      params[i] = baseline[i] * (1.0 - step);
+      s.objective_minus = evaluate_checked(objective, params, names[i], "-");
+      params[i] = baseline[i] * (1.0 + step);
+      s.objective_plus = evaluate_checked(objective, params, names[i], "+");
+      s.elasticity = (s.objective_plus - s.objective_minus) /
+                     (2.0 * step * base_objective);
+    } catch (const InvariantError&) {
+      throw;  // library bug: never downgrade to a per-parameter failure
+    } catch (const std::exception& error) {
+      if (policy == ErrorPolicy::kFailFast) throw;
+      if (const auto* status = dynamic_cast<const StatusError*>(&error)) {
+        s.failure = status->failure();
+      } else {
+        s.failure = Failure(ErrorCode::kInfeasiblePoint, error.what())
+                        .with("parameter", names[i]);
+      }
+      s.objective_minus = std::numeric_limits<double>::quiet_NaN();
+      s.objective_plus = std::numeric_limits<double>::quiet_NaN();
+      s.elasticity = std::numeric_limits<double>::quiet_NaN();
+    }
     results.push_back(std::move(s));
   }
   return results;
@@ -39,15 +79,22 @@ std::vector<Sensitivity> analyze_sensitivity(
 Table sensitivity_table(std::vector<Sensitivity> results) {
   std::sort(results.begin(), results.end(),
             [](const Sensitivity& a, const Sensitivity& b) {
+              if (a.ok() != b.ok()) return a.ok();  // failed rows sink
+              if (!a.ok()) return false;
               return std::abs(a.elasticity) > std::abs(b.elasticity);
             });
   Table table({"Parameter", "Baseline", "Obj @ -5%", "Obj @ +5%",
                "Elasticity"});
   for (const auto& s : results) {
-    table.add_row({s.parameter, format_double(s.baseline_value, 3),
-                   format_double(s.objective_minus, 3),
-                   format_double(s.objective_plus, 3),
-                   format_double(s.elasticity, 3)});
+    if (s.ok()) {
+      table.add_row({s.parameter, format_double(s.baseline_value, 3),
+                     format_double(s.objective_minus, 3),
+                     format_double(s.objective_plus, 3),
+                     format_double(s.elasticity, 3)});
+    } else {
+      table.add_row({s.parameter, format_double(s.baseline_value, 3), "-", "-",
+                     error_code_name(s.failure->code)});
+    }
   }
   return table;
 }

@@ -1,9 +1,13 @@
 #include "uld3d/dse/sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/fault.hpp"
 
 namespace uld3d::dse {
 
@@ -54,12 +58,33 @@ std::size_t SweepResult::metric_index(const std::string& name) const {
   return static_cast<std::size_t>(it - metric_names_.begin());
 }
 
+std::size_t SweepResult::failed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(rows_.begin(), rows_.end(),
+                    [](const SweepRow& r) { return !r.ok(); }));
+}
+
+std::size_t SweepResult::ok_count() const {
+  return rows_.size() - failed_count();
+}
+
+std::vector<std::size_t> SweepResult::failed_rows() const {
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i].ok()) failed.push_back(i);
+  }
+  return failed;
+}
+
 std::vector<std::size_t> SweepResult::pareto_front(
     const std::string& benefit_metric, const std::string& cost_metric) const {
   const std::size_t bi = metric_index(benefit_metric);
   const std::size_t ci = metric_index(cost_metric);
-  std::vector<std::size_t> order(rows_.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> order;
+  order.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].ok()) order.push_back(i);
+  }
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (rows_[a].metrics[ci] != rows_[b].metrics[ci]) {
       return rows_[a].metrics[ci] < rows_[b].metrics[ci];
@@ -80,9 +105,19 @@ std::vector<std::size_t> SweepResult::pareto_front(
 std::size_t SweepResult::best(const std::string& metric) const {
   expects(!rows_.empty(), "empty sweep has no best row");
   const std::size_t mi = metric_index(metric);
-  std::size_t best_row = 0;
-  for (std::size_t i = 1; i < rows_.size(); ++i) {
-    if (rows_[i].metrics[mi] > rows_[best_row].metrics[mi]) best_row = i;
+  std::size_t best_row = rows_.size();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i].ok()) continue;
+    if (best_row == rows_.size() ||
+        rows_[i].metrics[mi] > rows_[best_row].metrics[mi]) {
+      best_row = i;
+    }
+  }
+  if (best_row == rows_.size()) {
+    throw StatusError(
+        Failure(ErrorCode::kInfeasiblePoint,
+                "every design point in the sweep failed; no best row")
+            .with("failed", static_cast<std::int64_t>(failed_count())));
   }
   return best_row;
 }
@@ -90,22 +125,59 @@ std::size_t SweepResult::best(const std::string& metric) const {
 Table SweepResult::to_table(int digits) const {
   std::vector<std::string> headers = param_names_;
   headers.insert(headers.end(), metric_names_.begin(), metric_names_.end());
+  headers.push_back("status");
   Table table(std::move(headers));
   for (const auto& row : rows_) {
     std::vector<std::string> cells;
-    cells.reserve(row.params.size() + row.metrics.size());
+    cells.reserve(row.params.size() + row.metrics.size() + 1);
     for (const double v : row.params) cells.push_back(format_double(v, digits));
-    for (const double v : row.metrics) cells.push_back(format_double(v, digits));
+    for (const double v : row.metrics) {
+      cells.push_back(row.ok() ? format_double(v, digits) : "-");
+    }
+    cells.push_back(row.ok() ? "ok" : error_code_name(row.failure->code));
     table.add_row(std::move(cells));
   }
   return table;
 }
 
+std::string SweepResult::failure_summary() const {
+  const std::size_t failed = failed_count();
+  if (failed == 0) return {};
+  std::ostringstream os;
+  os << failed << " of " << rows_.size() << " design points failed:\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& row = rows_[i];
+    if (row.ok()) continue;
+    os << "  point " << i << " (";
+    for (std::size_t p = 0; p < row.params.size(); ++p) {
+      if (p > 0) os << ", ";
+      os << param_names_[p] << "=" << format_double(row.params[p], 4);
+    }
+    os << "): " << row.failure->to_string() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Classify an evaluation failure into a structured Failure.
+Failure classify(const std::exception& error) {
+  if (const auto* status = dynamic_cast<const StatusError*>(&error)) {
+    return status->failure();
+  }
+  if (dynamic_cast<const PreconditionError*>(&error) != nullptr) {
+    return Failure(ErrorCode::kInfeasiblePoint, error.what());
+  }
+  return Failure(ErrorCode::kInternal, error.what());
+}
+
+}  // namespace
+
 SweepResult run_sweep(
     const Grid& grid, const std::vector<std::string>& metric_names,
     const std::function<std::vector<double>(const std::vector<double>&)>&
-        evaluate) {
-  expects(grid.axis_count() > 0, "sweep needs at least one axis");
+        evaluate,
+    const SweepOptions& options) {
   expects(!metric_names.empty(), "sweep needs at least one metric");
   std::vector<std::string> param_names;
   param_names.reserve(grid.axis_count());
@@ -116,9 +188,39 @@ SweepResult run_sweep(
   for (std::size_t i = 0; i < grid.size(); ++i) {
     SweepRow row;
     row.params = grid.point(i);
-    row.metrics = evaluate(row.params);
-    expects(row.metrics.size() == metric_names.size(),
-            "evaluator returned wrong metric count");
+    std::optional<std::vector<double>> metrics;
+    try {
+      fault_site("dse.sweep.point");
+      metrics = evaluate(row.params);
+    } catch (const InvariantError&) {
+      throw;  // library bug: never downgrade to a per-point failure
+    } catch (const std::exception& error) {
+      if (options.policy == ErrorPolicy::kFailFast) throw;
+      row.failure = classify(error);
+    }
+    if (metrics.has_value()) {
+      // A wrong metric count is an evaluator contract bug, not a bad design
+      // point — it aborts the sweep under every policy.
+      expects(metrics->size() == metric_names.size(),
+              "evaluator returned wrong metric count");
+      for (std::size_t m = 0; m < metrics->size(); ++m) {
+        if (std::isfinite((*metrics)[m])) continue;
+        Failure failure =
+            Failure(ErrorCode::kNumericalError, "metric is not finite")
+                .with("metric", metric_names[m])
+                .with("value", std::isnan((*metrics)[m]) ? "nan" : "inf");
+        if (options.policy == ErrorPolicy::kFailFast) {
+          throw StatusError(std::move(failure));
+        }
+        row.failure = std::move(failure);
+        break;
+      }
+      if (row.ok()) row.metrics = std::move(*metrics);
+    }
+    if (!row.ok()) {
+      row.metrics.assign(metric_names.size(),
+                         std::numeric_limits<double>::quiet_NaN());
+    }
     rows.push_back(std::move(row));
   }
   return SweepResult(std::move(param_names),

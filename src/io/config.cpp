@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/status.hpp"
 
 namespace uld3d::io {
 
@@ -87,30 +88,62 @@ double Config::get_double(const std::string& section, const std::string& key,
                           double fallback) const {
   if (!has(section, key)) return fallback;
   const std::string value = get_string(section, key);
+  // Catch only the parser's own exceptions (narrowly, so an internal
+  // `expects` is never masked) and report overflow distinctly.
+  std::size_t consumed = 0;
+  double parsed = 0.0;
   try {
-    std::size_t consumed = 0;
-    const double parsed = std::stod(value, &consumed);
-    expects(consumed == value.size(), "trailing characters");
-    return parsed;
-  } catch (const std::exception&) {
-    throw PreconditionError("not a number: [" + section + "] " + key + " = " +
-                            value);
+    parsed = std::stod(value, &consumed);
+  } catch (const std::out_of_range&) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig,
+                              "number out of double range (overflow)")
+                          .with("section", section)
+                          .with("key", key)
+                          .with("value", value));
+  } catch (const std::invalid_argument&) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig, "not a number")
+                          .with("section", section)
+                          .with("key", key)
+                          .with("value", value));
   }
+  if (consumed != value.size()) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig,
+                              "trailing characters after number")
+                          .with("section", section)
+                          .with("key", key)
+                          .with("value", value));
+  }
+  return parsed;
 }
 
 std::int64_t Config::get_int(const std::string& section, const std::string& key,
                              std::int64_t fallback) const {
   if (!has(section, key)) return fallback;
   const std::string value = get_string(section, key);
+  std::size_t consumed = 0;
+  long long parsed = 0;
   try {
-    std::size_t consumed = 0;
-    const long long parsed = std::stoll(value, &consumed);
-    expects(consumed == value.size(), "trailing characters");
-    return parsed;
-  } catch (const std::exception&) {
-    throw PreconditionError("not an integer: [" + section + "] " + key +
-                            " = " + value);
+    parsed = std::stoll(value, &consumed);
+  } catch (const std::out_of_range&) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig,
+                              "integer out of 64-bit range (overflow)")
+                          .with("section", section)
+                          .with("key", key)
+                          .with("value", value));
+  } catch (const std::invalid_argument&) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig, "not an integer")
+                          .with("section", section)
+                          .with("key", key)
+                          .with("value", value));
   }
+  if (consumed != value.size()) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig,
+                              "trailing characters after integer")
+                          .with("section", section)
+                          .with("key", key)
+                          .with("value", value));
+  }
+  return parsed;
 }
 
 bool Config::get_bool(const std::string& section, const std::string& key,
@@ -125,6 +158,22 @@ bool Config::get_bool(const std::string& section, const std::string& key,
   }
   expects(false, "not a boolean: [" + section + "] " + key + " = " + value);
   return fallback;
+}
+
+std::vector<std::string> Config::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [section, entries] : sections_) names.push_back(section);
+  return names;
+}
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  std::vector<std::string> names;
+  const auto s = sections_.find(section);
+  if (s == sections_.end()) return names;
+  names.reserve(s->second.size());
+  for (const auto& [key, value] : s->second) names.push_back(key);
+  return names;
 }
 
 void Config::set(const std::string& section, const std::string& key,

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace uld3d::io {
 
@@ -20,6 +21,11 @@ class Config {
   /// True if `[section]` contains `key`.
   [[nodiscard]] bool has(const std::string& section,
                          const std::string& key) const;
+
+  /// All section names, sorted (schema validation iterates these).
+  [[nodiscard]] std::vector<std::string> section_names() const;
+  /// All keys of `section`, sorted; empty for an absent section.
+  [[nodiscard]] std::vector<std::string> keys(const std::string& section) const;
 
   /// Typed getters with defaults; throw on present-but-unparsable values.
   [[nodiscard]] std::string get_string(const std::string& section,

@@ -21,8 +21,18 @@
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/io/config.hpp"
 #include "uld3d/mapper/architecture.hpp"
+#include "uld3d/util/status.hpp"
 
 namespace uld3d::io {
+
+/// Validate `config` against the CaseStudy schema above in ONE pass,
+/// reporting every problem instead of stopping at the first:
+///  - unparsable values and range violations -> kInvalidConfig errors
+///  - unknown sections/keys -> kUnknownKey *warnings*, with a nearest-key
+///    suggestion for likely typos ("did you mean ...?")
+/// A Diagnostics with no errors (`.ok()`) means `case_study_from_config`
+/// will accept the config; strict callers may also reject warnings.
+[[nodiscard]] Diagnostics validate_case_study_config(const Config& config);
 
 /// Build a CaseStudy from `config`, starting from the paper defaults.
 [[nodiscard]] accel::CaseStudy case_study_from_config(const Config& config);

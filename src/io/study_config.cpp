@@ -1,11 +1,116 @@
 #include "uld3d/io/study_config.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/units.hpp"
 
 namespace uld3d::io {
+
+namespace {
+
+/// One schema entry: where the key lives and what range is legal for it.
+struct KeyRule {
+  const char* section;
+  const char* key;
+  bool integer = false;
+  double min = 0.0;  ///< inclusive lower bound
+  bool min_exclusive = true;
+  double max = 1.0e30;  ///< inclusive upper bound
+};
+
+// The CaseStudy schema from the header comment, with physical ranges.
+constexpr KeyRule kStudyRules[] = {
+    {"study", "capacity_mb", false, 0.0, true, 1.0e9},
+    {"study", "mem_density_handicap", false, 0.0, true, 1.0e6},
+    {"node", "feature_nm", false, 0.0, true, 1.0e5},
+    {"node", "target_mhz", false, 0.0, true, 1.0e7},
+    {"rram", "bits_per_cell", false, 0.0, true, 64.0},
+    {"rram", "cell_area_f2", false, 0.0, true, 1.0e6},
+    {"rram", "read_pj_per_bit", false, 0.0, false, 1.0e9},
+    {"rram", "write_pj_per_bit", false, 0.0, false, 1.0e9},
+    {"rram", "read_latency_ns", false, 0.0, false, 1.0e9},
+    {"rram", "bank_read_bits", false, 0.0, true, 1.0e12},
+    {"rram", "periph_area_fraction", false, 0.0, false, 0.999},
+    {"cnfet", "drive_ratio", false, 0.0, true, 1.0e3},
+    {"cnfet", "width_relaxation", false, 0.0, true, 1.0e3},
+    {"cnfet", "access_energy_ratio", false, 0.0, true, 1.0e3},
+    {"ilv", "pitch_nm", false, 0.0, true, 1.0e6},
+    {"ilv", "vias_per_cell", false, 0.0, true, 1.0e6},
+    {"cs", "pe_rows", true, 1.0, false, 1.0e6},
+    {"cs", "pe_cols", true, 1.0, false, 1.0e6},
+    {"cs", "gates_per_pe", true, 1.0, false, 1.0e12},
+    {"cs", "control_gates", true, 0.0, false, 1.0e12},
+    {"cs", "sram_kb", false, 0.0, false, 1.0e9},
+};
+
+}  // namespace
+
+Diagnostics validate_case_study_config(const Config& c) {
+  Diagnostics diag;
+
+  // Pass 1: every schema key that is present must parse and sit in range.
+  for (const KeyRule& rule : kStudyRules) {
+    if (!c.has(rule.section, rule.key)) continue;
+    double value = 0.0;
+    try {
+      value = rule.integer
+                  ? static_cast<double>(c.get_int(rule.section, rule.key, 0))
+                  : c.get_double(rule.section, rule.key, 0.0);
+    } catch (const StatusError& error) {
+      diag.add(error.failure());
+      continue;
+    }
+    const bool below =
+        rule.min_exclusive ? value <= rule.min : value < rule.min;
+    if (below || value > rule.max) {
+      diag.error(ErrorCode::kInvalidConfig, "value out of range")
+          .with("section", rule.section)
+          .with("key", rule.key)
+          .with("value", value)
+          .with("min", rule.min)
+          .with("max", rule.max);
+    }
+  }
+
+  // Pass 2: unknown sections/keys are warnings with a typo suggestion.
+  std::vector<std::string> known_sections;
+  for (const KeyRule& rule : kStudyRules) {
+    if (known_sections.empty() || known_sections.back() != rule.section) {
+      known_sections.emplace_back(rule.section);
+    }
+  }
+  for (const std::string& section : c.section_names()) {
+    const bool known_section =
+        std::find(known_sections.begin(), known_sections.end(), section) !=
+        known_sections.end();
+    if (!known_section) {
+      Failure& f = diag.warn(ErrorCode::kUnknownKey, "unknown section")
+                       .with("section", section);
+      const std::string suggestion = nearest_match(section, known_sections);
+      if (!suggestion.empty()) f.with("did_you_mean", suggestion);
+      continue;
+    }
+    std::vector<std::string> known_keys;
+    for (const KeyRule& rule : kStudyRules) {
+      if (section == rule.section) known_keys.emplace_back(rule.key);
+    }
+    for (const std::string& key : c.keys(section)) {
+      if (std::find(known_keys.begin(), known_keys.end(), key) !=
+          known_keys.end()) {
+        continue;
+      }
+      Failure& f = diag.warn(ErrorCode::kUnknownKey, "unknown key")
+                       .with("section", section)
+                       .with("key", key);
+      const std::string suggestion = nearest_match(key, known_keys);
+      if (!suggestion.empty()) f.with("did_you_mean", suggestion);
+    }
+  }
+  return diag;
+}
 
 accel::CaseStudy case_study_from_config(const Config& c) {
   accel::CaseStudy study;  // paper defaults

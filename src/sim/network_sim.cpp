@@ -1,8 +1,11 @@
 #include "uld3d/sim/network_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/fault.hpp"
+#include "uld3d/util/status.hpp"
 
 namespace uld3d::sim {
 
@@ -12,7 +15,16 @@ NetworkResult simulate_network(const nn::Network& net,
   result.network = net.name();
   result.layers.reserve(net.size());
   for (const auto& layer : net.layers()) {
+    fault_site("sim.network.layer");
     LayerResult r = simulate_layer(layer, cfg);
+    if (r.cycles < 0 || !std::isfinite(r.energy_pj) || r.energy_pj < 0.0) {
+      throw StatusError(Failure(ErrorCode::kNumericalError,
+                                "layer simulation produced a bad result")
+                            .with("network", net.name())
+                            .with("layer", r.name)
+                            .with("cycles", r.cycles)
+                            .with("energy_pj", r.energy_pj));
+    }
     result.total_cycles += r.cycles;
     result.total_energy_pj += r.energy_pj;
     result.layers.push_back(std::move(r));

@@ -1,0 +1,79 @@
+#include "uld3d/util/fault.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace uld3d {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, Failure failure,
+                        std::uint64_t skip, std::uint64_t count) {
+  expects(!site.empty(), "fault site name required");
+  expects(count >= 1, "fault count must be >= 1");
+  plans_[site] = Plan{std::move(failure), skip, count, 0};
+}
+
+void FaultInjector::arm_from_spec(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string text(spec);
+  const std::size_t eq = text.find('=');
+  expects(eq != std::string::npos && eq > 0,
+          "fault spec must be site=kCode[:skip[:count]]: " + text);
+  const std::string site = text.substr(0, eq);
+  std::string rest = text.substr(eq + 1);
+
+  std::uint64_t skip = 0;
+  std::uint64_t count = 1;
+  std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    const std::string tail = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+    colon = tail.find(':');
+    skip = static_cast<std::uint64_t>(
+        std::strtoull(tail.substr(0, colon).c_str(), nullptr, 10));
+    if (colon != std::string::npos) {
+      count = static_cast<std::uint64_t>(
+          std::strtoull(tail.substr(colon + 1).c_str(), nullptr, 10));
+      if (count == 0) count = 1;
+    }
+  }
+
+  static constexpr std::array<ErrorCode, 8> kCodes = {
+      ErrorCode::kInvalidArgument, ErrorCode::kInvalidConfig,
+      ErrorCode::kUnknownKey,      ErrorCode::kInfeasiblePoint,
+      ErrorCode::kThermalLimit,    ErrorCode::kNumericalError,
+      ErrorCode::kNotFound,        ErrorCode::kFaultInjected};
+  ErrorCode code = ErrorCode::kFaultInjected;
+  for (const ErrorCode candidate : kCodes) {
+    if (rest == error_code_name(candidate)) {
+      code = candidate;
+      break;
+    }
+  }
+  arm(site, Failure(code, "injected fault").with("site", site), skip, count);
+}
+
+void FaultInjector::disarm(const std::string& site) { plans_.erase(site); }
+
+void FaultInjector::reset() { plans_.clear(); }
+
+std::uint64_t FaultInjector::hit_count(const std::string& site) const {
+  const auto it = plans_.find(site);
+  return it == plans_.end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::check(const std::string& site) {
+  const auto it = plans_.find(site);
+  if (it == plans_.end()) return;
+  Plan& plan = it->second;
+  const std::uint64_t hit = plan.hits++;
+  if (hit >= plan.skip && hit < plan.skip + plan.count) {
+    throw StatusError(plan.failure);
+  }
+}
+
+}  // namespace uld3d

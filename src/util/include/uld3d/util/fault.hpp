@@ -1,0 +1,67 @@
+// Deterministic fault injection for exercising degraded paths.
+//
+// Model boundaries declare named fault *sites* (`fault_site("core.edp.evaluate")`);
+// tests arm a site with a Failure and a hit window, and the site throws a
+// StatusError exactly on the chosen hits.  Entirely inert unless armed — the
+// hot-path cost of an unarmed process is one boolean load per site.
+//
+//   FaultInjector::instance().arm("dse.sweep.point",
+//       Failure(ErrorCode::kThermalLimit, "injected"), /*skip=*/2);
+//   ... run_sweep(...)   // the 3rd evaluated point fails
+//   FaultInjector::instance().reset();
+//
+// The CLI arms sites from the ULD3D_FAULT environment variable
+// ("site=kCode[:skip[:count]]") so exit-code discipline for model errors is
+// testable end to end without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "uld3d/util/status.hpp"
+
+namespace uld3d {
+
+class FaultInjector {
+ public:
+  /// Process-wide injector (the library is single-threaded per process).
+  static FaultInjector& instance();
+
+  /// Arm `site`: after `skip` passing hits, the next `count` hits throw
+  /// StatusError(failure).  Re-arming a site replaces its previous plan.
+  void arm(const std::string& site, Failure failure, std::uint64_t skip = 0,
+           std::uint64_t count = 1);
+
+  /// Parse "site=kCode[:skip[:count]]" (e.g. from ULD3D_FAULT); unknown code
+  /// names map to kFaultInjected.  Null/empty spec is a no-op.
+  void arm_from_spec(const char* spec);
+
+  void disarm(const std::string& site);
+  void reset();  ///< disarm everything and zero hit counters
+
+  [[nodiscard]] bool armed() const { return !plans_.empty(); }
+  /// Hits observed at `site` since it was armed (0 for unarmed sites).
+  [[nodiscard]] std::uint64_t hit_count(const std::string& site) const;
+
+  /// Called by fault sites; throws when the site is armed and due.
+  void check(const std::string& site);
+
+ private:
+  struct Plan {
+    Failure failure;
+    std::uint64_t skip = 0;
+    std::uint64_t count = 1;
+    std::uint64_t hits = 0;
+  };
+  std::map<std::string, Plan> plans_;
+};
+
+/// Declare a fault site.  No-op unless the injector has at least one armed
+/// site (checked before any map lookup or string work).
+inline void fault_site(const char* name) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.armed()) injector.check(name);
+}
+
+}  // namespace uld3d

@@ -114,13 +114,30 @@ TEST(Sweep, TableHasParamsThenMetrics) {
   EXPECT_EQ(t.row_count(), 6u);
 }
 
-TEST(Sweep, EmptyGridOrMetricsRejected) {
+TEST(Sweep, EmptyGridYieldsEmptyResultWithMetricNames) {
+  // Regression: an empty grid must not abort the caller — it returns an
+  // empty SweepResult whose metric names survive for downstream code.
   const Grid empty;
-  EXPECT_THROW(run_sweep(empty, {"m"},
-                         [](const std::vector<double>&) {
-                           return std::vector<double>{0.0};
-                         }),
-               PreconditionError);
+  int calls = 0;
+  const auto result = run_sweep(empty, {"edp", "speedup"},
+                                [&](const std::vector<double>&) {
+                                  ++calls;
+                                  return std::vector<double>{0.0, 0.0};
+                                });
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(result.rows().empty());
+  EXPECT_EQ(result.metric_names(),
+            (std::vector<std::string>{"edp", "speedup"}));
+  EXPECT_TRUE(result.param_names().empty());
+  EXPECT_EQ(result.metric_index("speedup"), 1u);
+  EXPECT_EQ(result.failed_count(), 0u);
+  EXPECT_TRUE(result.pareto_front("edp", "speedup").empty());
+  EXPECT_TRUE(result.failure_summary().empty());
+  EXPECT_EQ(result.to_table().row_count(), 0u);
+  EXPECT_THROW(result.best("edp"), PreconditionError);
+}
+
+TEST(Sweep, EmptyMetricsRejected) {
   EXPECT_THROW(run_sweep(grid2x3(), {},
                          [](const std::vector<double>&) {
                            return std::vector<double>{};

@@ -1,0 +1,106 @@
+#include "uld3d/util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uld3d {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedSitesAreInert) {
+  EXPECT_FALSE(FaultInjector::instance().armed());
+  EXPECT_NO_THROW(fault_site("core.edp.evaluate"));
+  EXPECT_EQ(FaultInjector::instance().hit_count("core.edp.evaluate"), 0u);
+}
+
+TEST_F(FaultInjectorTest, ArmedSiteThrowsItsFailure) {
+  FaultInjector::instance().arm(
+      "core.edp.evaluate",
+      Failure(ErrorCode::kNumericalError, "injected nan"));
+  try {
+    fault_site("core.edp.evaluate");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kNumericalError);
+    EXPECT_EQ(error.failure().message, "injected nan");
+  }
+}
+
+TEST_F(FaultInjectorTest, SkipAndCountControlWhichHitsFail) {
+  // Skip 2 passing hits, then fail exactly 2.
+  FaultInjector::instance().arm("site",
+                                Failure(ErrorCode::kThermalLimit, "boom"),
+                                /*skip=*/2, /*count=*/2);
+  EXPECT_NO_THROW(fault_site("site"));  // hit 0
+  EXPECT_NO_THROW(fault_site("site"));  // hit 1
+  EXPECT_THROW(fault_site("site"), StatusError);  // hit 2
+  EXPECT_THROW(fault_site("site"), StatusError);  // hit 3
+  EXPECT_NO_THROW(fault_site("site"));  // hit 4: plan exhausted
+  EXPECT_EQ(FaultInjector::instance().hit_count("site"), 5u);
+}
+
+TEST_F(FaultInjectorTest, OtherSitesAreUnaffected) {
+  FaultInjector::instance().arm("a", Failure(ErrorCode::kInternal, "x"));
+  EXPECT_NO_THROW(fault_site("b"));
+  EXPECT_THROW(fault_site("a"), StatusError);
+}
+
+TEST_F(FaultInjectorTest, DisarmAndResetClearPlans) {
+  auto& injector = FaultInjector::instance();
+  injector.arm("a", Failure(ErrorCode::kInternal, "x"));
+  injector.arm("b", Failure(ErrorCode::kInternal, "y"));
+  injector.disarm("a");
+  EXPECT_NO_THROW(fault_site("a"));
+  EXPECT_TRUE(injector.armed());
+  injector.reset();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_NO_THROW(fault_site("b"));
+}
+
+TEST_F(FaultInjectorTest, RearmReplacesThePlan) {
+  auto& injector = FaultInjector::instance();
+  injector.arm("s", Failure(ErrorCode::kInternal, "first"));
+  injector.arm("s", Failure(ErrorCode::kThermalLimit, "second"));
+  try {
+    fault_site("s");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kThermalLimit);
+  }
+}
+
+TEST_F(FaultInjectorTest, ArmFromSpecParsesSiteCodeSkipCount) {
+  auto& injector = FaultInjector::instance();
+  injector.arm_from_spec("dse.sweep.point=kNumericalError:1:2");
+  EXPECT_NO_THROW(fault_site("dse.sweep.point"));  // skipped
+  try {
+    fault_site("dse.sweep.point");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kNumericalError);
+  }
+  EXPECT_THROW(fault_site("dse.sweep.point"), StatusError);
+  EXPECT_NO_THROW(fault_site("dse.sweep.point"));
+}
+
+TEST_F(FaultInjectorTest, ArmFromSpecDefaultsAndEdgeCases) {
+  auto& injector = FaultInjector::instance();
+  injector.arm_from_spec(nullptr);  // no-op
+  injector.arm_from_spec("");       // no-op
+  EXPECT_FALSE(injector.armed());
+  injector.arm_from_spec("site=kBogusCode");  // unknown -> kFaultInjected
+  try {
+    fault_site("site");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kFaultInjected);
+  }
+  EXPECT_THROW(injector.arm_from_spec("missing_equals"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uld3d

@@ -4,35 +4,76 @@
 //   uld3d_cli table1    [--network N] [--config FILE]   per-layer rows
 //   uld3d_cli datasheet [--network N] [--config FILE]   coupled phys run
 //   uld3d_cli arch      --config FILE [--network N]     custom architecture
+//   uld3d_cli sweep     [--network N] [--config FILE]   capacity x N_CS DSE
 //   uld3d_cli dump-config                               print the defaults
 //
+// Global flags: --strict      config warnings (unknown keys) become fatal
+//               --keep-going  sweep records failed design points and
+//                             continues instead of aborting at the first
+//
+// Exit codes: 0 success, 2 usage error, 3 config error, 4 model/evaluation
+// error, 1 internal error.  Diagnostics go to stderr; results to stdout.
+//
 // `--config` files use the INI schema documented in uld3d/io/study_config.hpp.
+// ULD3D_FAULT=site=kCode[:skip[:count]] arms the deterministic fault
+// injector (testing the degraded paths end to end).
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "uld3d/accel/chip_summary.hpp"
+#include "uld3d/core/edp_model.hpp"
+#include "uld3d/core/workload.hpp"
+#include "uld3d/dse/sweep.hpp"
 #include "uld3d/io/study_config.hpp"
 #include "uld3d/mapper/cost_model.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/sim/report.hpp"
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/export.hpp"
+#include "uld3d/util/fault.hpp"
 
 namespace {
 
 using namespace uld3d;
 
+// Exit-code discipline (documented in README.md and tested by
+// tests/cli_exit_codes.sh).
+constexpr int kExitOk = 0;
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitConfig = 3;
+constexpr int kExitModel = 4;
+
+/// Bad command line: distinct from config/model failures.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Config file problems found while loading/validating.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+constexpr const char* kUsage =
+    "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|dump-config>\n"
+    "       [--network N] [--config FILE] [--strict] [--keep-going]";
+
 struct CliArgs {
   std::string command;
   std::string network = "resnet18";
   std::optional<std::string> config_path;
+  bool strict = false;
+  bool keep_going = false;
 };
 
 CliArgs parse_args(int argc, char** argv) {
+  if (argc < 2) throw UsageError(kUsage);
   CliArgs args;
-  expects(argc >= 2, "usage: uld3d_cli <command> [--network N] [--config F]");
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -40,16 +81,47 @@ CliArgs parse_args(int argc, char** argv) {
       args.network = argv[++i];
     } else if (flag == "--config" && i + 1 < argc) {
       args.config_path = argv[++i];
+    } else if (flag == "--strict") {
+      args.strict = true;
+    } else if (flag == "--keep-going") {
+      args.keep_going = true;
     } else {
-      expects(false, "unknown argument: " + flag);
+      throw UsageError("unknown argument: " + flag + "\n" + kUsage);
     }
   }
   return args;
 }
 
+/// Load + validate a config file.  All diagnostics are printed to stderr in
+/// one shot; errors (or, under --strict, warnings too) abort with
+/// ConfigError.
+io::Config load_config(const std::string& path, bool strict) {
+  io::Config config = [&] {
+    try {
+      return io::Config::load(path);
+    } catch (const std::exception& error) {
+      throw ConfigError(std::string("cannot load config: ") + error.what());
+    }
+  }();
+  const Diagnostics diag = io::validate_case_study_config(config);
+  if (!diag.empty()) std::cerr << diag.to_string();
+  if (!diag.ok() || (strict && diag.warning_count() > 0)) {
+    throw ConfigError("config validation failed: " +
+                      std::to_string(diag.error_count()) + " error(s), " +
+                      std::to_string(diag.warning_count()) + " warning(s)" +
+                      (strict ? " [--strict]" : ""));
+  }
+  return config;
+}
+
 accel::CaseStudy study_for(const CliArgs& args) {
   if (args.config_path.has_value()) {
-    return io::case_study_from_config(io::Config::load(*args.config_path));
+    const io::Config config = load_config(*args.config_path, args.strict);
+    try {
+      return io::case_study_from_config(config);
+    } catch (const std::exception& error) {
+      throw ConfigError(std::string("bad config value: ") + error.what());
+    }
   }
   return accel::CaseStudy{};
 }
@@ -61,7 +133,7 @@ int run_compare(const CliArgs& args) {
             << "N = " << study.m3d_cs_count()
             << " CSs, gamma_cells = " << study.area_model().gamma_cells()
             << "\n";
-  return 0;
+  return kExitOk;
 }
 
 int run_table1(const CliArgs& args) {
@@ -69,7 +141,7 @@ int run_table1(const CliArgs& args) {
   const auto cmp = study.run(nn::make_network(args.network));
   emit_table(std::cout, sim::comparison_table(cmp),
              args.network + ": per-layer M3D vs 2D", "cli_table1");
-  return 0;
+  return kExitOk;
 }
 
 int run_datasheet(const CliArgs& args) {
@@ -77,42 +149,115 @@ int run_datasheet(const CliArgs& args) {
   const auto summary =
       accel::summarize_chip(study, nn::make_network(args.network));
   std::cout << accel::datasheet(summary);
-  return 0;
+  return kExitOk;
 }
 
 int run_arch(const CliArgs& args) {
-  expects(args.config_path.has_value(), "arch requires --config FILE");
-  const auto arch =
-      io::architecture_from_config(io::Config::load(*args.config_path));
+  if (!args.config_path.has_value()) {
+    throw UsageError(std::string("arch requires --config FILE\n") + kUsage);
+  }
+  const auto arch = [&] {
+    try {
+      return io::architecture_from_config(
+          io::Config::load(*args.config_path));
+    } catch (const std::exception& error) {
+      throw ConfigError(std::string("bad architecture config: ") +
+                        error.what());
+    }
+  }();
   const auto pdk = tech::FoundryM3dPdk::make_130nm();
   const auto benefit = mapper::evaluate_benefit(nn::make_network(args.network),
                                                 arch, {}, pdk);
   std::cout << arch.name << " on " << args.network << ": N = " << benefit.n_cs
             << ", speedup " << benefit.speedup << "x, EDP benefit "
             << benefit.edp_benefit << "x\n";
-  return 0;
+  return kExitOk;
+}
+
+int run_sweep(const CliArgs& args) {
+  const accel::CaseStudy base = study_for(args);
+  const nn::Network net = nn::make_network(args.network);
+  const auto workloads =
+      core::layer_workloads(net, core::TrafficOptions{},
+                            core::PartitionOptions{});
+
+  dse::Grid grid;
+  grid.axis("capacity_mb", {16.0, 32.0, 64.0, 128.0})
+      .axis("n_cs", {1.0, 2.0, 4.0, 8.0, 16.0});
+
+  const auto evaluate = [&](const std::vector<double>& p) {
+    accel::CaseStudy study = base;
+    study.rram_capacity_mb = p[0];
+    const auto n = static_cast<std::int64_t>(p[1]);
+    const std::int64_t n_geom = study.m3d_cs_count();
+    if (n > n_geom) {
+      throw StatusError(
+          Failure(ErrorCode::kInfeasiblePoint,
+                  "requested CS count does not fit the freed Si area")
+              .with("n_cs", n)
+              .with("n_geom", n_geom));
+    }
+    const core::Chip2d c2 = study.chip2d_params();
+    const core::Chip3d c3 = study.chip3d_params(n);
+    std::vector<core::EdpResult> rs;
+    rs.reserve(workloads.size());
+    for (const auto& w : workloads) rs.push_back(core::evaluate_edp(w, c2, c3));
+    const auto total = core::combine_results(rs);
+    return std::vector<double>{total.edp_benefit, total.speedup};
+  };
+
+  const dse::SweepOptions options{args.keep_going
+                                      ? dse::ErrorPolicy::kSkipAndRecord
+                                      : dse::ErrorPolicy::kFailFast};
+  const dse::SweepResult result =
+      dse::run_sweep(grid, {"edp_benefit", "speedup"}, evaluate, options);
+
+  emit_table(std::cout, result.to_table(),
+             "M3D design space for " + net.name(), "cli_sweep_" + args.network);
+  if (result.failed_count() > 0) std::cerr << result.failure_summary();
+  const auto& best = result.rows()[result.best("edp_benefit")];
+  std::cout << "Best EDP point: " << format_double(best.params[0], 0)
+            << " MB, " << format_double(best.params[1], 0) << " CSs -> "
+            << format_ratio(best.metrics[0]) << "\n";
+  return kExitOk;
 }
 
 int run_dump_config(const CliArgs&) {
   std::cout << io::case_study_to_config(accel::CaseStudy{}).to_text();
-  return 0;
+  return kExitOk;
+}
+
+int dispatch(const CliArgs& args) {
+  if (args.command == "compare") return run_compare(args);
+  if (args.command == "table1") return run_table1(args);
+  if (args.command == "datasheet") return run_datasheet(args);
+  if (args.command == "arch") return run_arch(args);
+  if (args.command == "sweep") return run_sweep(args);
+  if (args.command == "dump-config") return run_dump_config(args);
+  throw UsageError("unknown command: " + args.command + "\n" + kUsage);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args = parse_args(argc, argv);
-    if (args.command == "compare") return run_compare(args);
-    if (args.command == "table1") return run_table1(args);
-    if (args.command == "datasheet") return run_datasheet(args);
-    if (args.command == "arch") return run_arch(args);
-    if (args.command == "dump-config") return run_dump_config(args);
-    std::cerr << "unknown command: " << args.command
-              << " (try compare | table1 | datasheet | arch | dump-config)\n";
-    return 2;
+    FaultInjector::instance().arm_from_spec(std::getenv("ULD3D_FAULT"));
+    return dispatch(parse_args(argc, argv));
+  } catch (const UsageError& error) {
+    std::cerr << "usage error: " << error.what() << "\n";
+    return kExitUsage;
+  } catch (const ConfigError& error) {
+    std::cerr << "config error: " << error.what() << "\n";
+    return kExitConfig;
+  } catch (const StatusError& error) {
+    std::cerr << "model error: " << error.what() << "\n";
+    return error.code() == ErrorCode::kInvalidConfig ? kExitConfig
+                                                     : kExitModel;
+  } catch (const PreconditionError& error) {
+    std::cerr << "model error: " << error.what() << "\n";
+    return kExitModel;
   } catch (const std::exception& error) {
-    std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    std::cerr << "internal error: " << error.what() << "\n";
+    return kExitInternal;
   }
 }
