@@ -11,6 +11,8 @@
 #include "uld3d/mapper/table2.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/phys/m3d_flow.hpp"
+#include "uld3d/util/metrics.hpp"
+#include "uld3d/util/trace.hpp"
 #include "uld3d/util/units.hpp"
 
 namespace {
@@ -99,6 +101,68 @@ void BM_PhysicalDesignFlowM3d(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PhysicalDesignFlowM3d);
+
+// --- instrumentation overhead ------------------------------------------------
+// The contract is zero-cost-when-disabled: a disabled counter add or span is a
+// single relaxed atomic load plus a branch.  The Disabled variants quantify
+// the tax the instrumented kernels above pay by default; the Enabled variants
+// bound the cost when --profile / --trace is on.
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  MetricsRegistry::set_enabled(false);
+  Counter& c = MetricsRegistry::instance().counter("bench.overhead.counter");
+  for (auto _ : state) {
+    c.add();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+  MetricsRegistry::set_enabled(true);
+  Counter& c = MetricsRegistry::instance().counter("bench.overhead.counter");
+  for (auto _ : state) {
+    c.add();
+    benchmark::ClobberMemory();
+  }
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset_values();
+}
+BENCHMARK(BM_MetricsCounterEnabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  TraceRecorder::instance().set_enabled(false);
+  for (auto _ : state) {
+    TraceSpan span("bench.overhead.span", "bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  TraceRecorder::instance().clear();
+  TraceRecorder::instance().set_enabled(true);
+  for (auto _ : state) {
+    TraceSpan span("bench.overhead.span", "bench");
+    benchmark::ClobberMemory();
+  }
+  TraceRecorder::instance().set_enabled(false);
+  TraceRecorder::instance().clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_SimulateResNet18Instrumented(benchmark::State& state) {
+  MetricsRegistry::set_enabled(true);
+  const accel::CaseStudy study;
+  const nn::Network net = nn::make_resnet18();
+  const auto cfg = study.config_3d();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_network(net, cfg));
+  }
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset_values();
+}
+BENCHMARK(BM_SimulateResNet18Instrumented);
 
 }  // namespace
 

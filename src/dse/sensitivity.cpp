@@ -6,6 +6,8 @@
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/metrics.hpp"
+#include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
 
@@ -37,6 +39,11 @@ std::vector<Sensitivity> analyze_sensitivity(
   expects(names.size() == baseline.size(),
           "one name per baseline parameter required");
   expects(step > 0.0 && step < 1.0, "relative step must be in (0, 1)");
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  Counter& m_params = registry.counter("dse.sensitivity.params");
+  Counter& m_failed = registry.counter("dse.sensitivity.failed");
+  Histogram& m_param_us = registry.histogram("dse.sensitivity.param_us");
+  TraceSpan analysis_span("dse.sensitivity", "dse");
   const double base_objective = objective(baseline);
   expects(std::abs(base_objective) > 0.0,
           "objective must be non-zero at the baseline");
@@ -49,6 +56,9 @@ std::vector<Sensitivity> analyze_sensitivity(
     Sensitivity s;
     s.parameter = names[i];
     s.baseline_value = baseline[i];
+    TraceSpan param_span(names[i], "dse");
+    ScopedTimer param_timer(m_param_us);
+    m_params.add();
     try {
       std::vector<double> params = baseline;
       params[i] = baseline[i] * (1.0 - step);
@@ -70,6 +80,7 @@ std::vector<Sensitivity> analyze_sensitivity(
       s.objective_minus = std::numeric_limits<double>::quiet_NaN();
       s.objective_plus = std::numeric_limits<double>::quiet_NaN();
       s.elasticity = std::numeric_limits<double>::quiet_NaN();
+      m_failed.add();
     }
     results.push_back(std::move(s));
   }

@@ -1,6 +1,7 @@
 #include "uld3d/dse/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -8,6 +9,8 @@
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/metrics.hpp"
+#include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
 
@@ -183,6 +186,20 @@ SweepResult run_sweep(
   param_names.reserve(grid.axis_count());
   for (const auto& axis : grid.axes()) param_names.push_back(axis.name);
 
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  Counter& m_runs = registry.counter("dse.sweep.runs");
+  Counter& m_points = registry.counter("dse.sweep.points");
+  Counter& m_ok = registry.counter("dse.sweep.ok");
+  Counter& m_failed = registry.counter("dse.sweep.failed");
+  Counter& m_skipped = registry.counter("dse.sweep.skipped");
+  Histogram& m_point_us = registry.histogram("dse.sweep.point_us");
+  registry.gauge("dse.sweep.grid_size").set(static_cast<double>(grid.size()));
+  m_runs.add();
+  TraceSpan sweep_span("dse.sweep", "dse");
+  const bool timed = metrics_enabled();
+  const auto sweep_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+
   std::vector<SweepRow> rows;
   rows.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -190,6 +207,9 @@ SweepResult run_sweep(
     row.params = grid.point(i);
     std::optional<std::vector<double>> metrics;
     try {
+      TraceSpan point_span("dse.sweep.point", "dse");
+      ScopedTimer point_timer(m_point_us);
+      m_points.add();
       fault_site("dse.sweep.point");
       metrics = evaluate(row.params);
     } catch (const InvariantError&) {
@@ -220,8 +240,25 @@ SweepResult run_sweep(
     if (!row.ok()) {
       row.metrics.assign(metric_names.size(),
                          std::numeric_limits<double>::quiet_NaN());
+      // Counted as both: a failed point, and one the policy skipped-and-
+      // recorded (compare against fault.injected_trips to split a run
+      // report into injected vs organic failures).
+      m_failed.add();
+      m_skipped.add();
+    } else {
+      m_ok.add();
     }
     rows.push_back(std::move(row));
+  }
+  if (timed) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
+    if (seconds > 0.0 && grid.size() > 0) {
+      registry.gauge("dse.sweep.points_per_sec")
+          .set(static_cast<double>(grid.size()) / seconds);
+    }
   }
   return SweepResult(std::move(param_names),
                      std::vector<std::string>(metric_names), std::move(rows));

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/metrics.hpp"
+#include "uld3d/util/trace.hpp"
 
 namespace uld3d::mapper {
 
@@ -30,11 +32,13 @@ double SpatialSearchResult::improvement() const {
 SpatialSearchResult search_spatial(const nn::ConvSpec& conv,
                                    const Architecture& arch,
                                    const SystemCosts& sys, std::int64_t n_cs) {
+  TraceSpan search_span("mapper.spatial_search", "mapper");
   SpatialSearchResult result;
   result.fixed_cost = evaluate_conv(conv, arch, sys, n_cs);
   result.best = arch.spatial;
   result.cost = result.fixed_cost;
 
+  std::int64_t improved = 0;
   double best_edp = result.cost.latency_cycles * result.cost.energy_pj;
   for (const SpatialUnrolling& candidate :
        enumerate_unrollings(arch.spatial.total_pes())) {
@@ -47,7 +51,17 @@ SpatialSearchResult search_spatial(const nn::ConvSpec& conv,
       best_edp = edp;
       result.best = candidate;
       result.cost = cost;
+      ++improved;
     }
+  }
+  if (metrics_enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::instance();
+    registry.counter("mapper.spatial.searches").add();
+    registry.counter("mapper.spatial.candidates")
+        .add(static_cast<std::uint64_t>(result.candidates));
+    registry.counter("mapper.spatial.pruned")
+        .add(static_cast<std::uint64_t>(result.candidates - improved));
+    registry.gauge("mapper.spatial.best_edp").set(best_edp);
   }
   ensures(result.improvement() >= 1.0 - 1e-9,
           "search must never be worse than the fixed dataflow");

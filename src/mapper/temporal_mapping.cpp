@@ -5,6 +5,7 @@
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/math.hpp"
+#include "uld3d/util/metrics.hpp"
 
 namespace uld3d::mapper {
 
@@ -144,6 +145,11 @@ std::vector<TemporalMapping> candidate_mappings(const nn::ConvSpec& conv,
   }
 
   ensures(!candidates.empty(), "mapping candidates must be non-empty");
+  if (metrics_enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::instance();
+    registry.counter("mapper.temporal.calls").add();
+    registry.counter("mapper.temporal.candidates").add(candidates.size());
+  }
   return candidates;
 }
 

@@ -5,7 +5,9 @@
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/log.hpp"
+#include "uld3d/util/metrics.hpp"
 #include "uld3d/util/rng.hpp"
+#include "uld3d/util/trace.hpp"
 
 namespace uld3d::phys {
 
@@ -66,6 +68,9 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
                                       double die_height_um) const {
   DesignReport report;
   report.name = m3d ? "M3D" : "2D";
+  TraceSpan design_span(m3d ? "phys.flow.design_m3d" : "phys.flow.design_2d",
+                        "phys");
+  MetricsRegistry::instance().counter("phys.flow.designs").add();
   const DesignAreas areas = compute_areas(input, m3d, cs_count);
   const std::int64_t banks = m3d ? cs_count : 1;
 
@@ -113,26 +118,34 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
       areas.periph_um2 / static_cast<double>(banks * subarrays_per_bank);
   std::vector<std::size_t> bank_macro_index;
   std::vector<std::size_t> periph_macro_index;
-  for (std::int64_t b = 0; b < banks; ++b) {
-    const std::string suffix = "_bank" + std::to_string(b);
-    for (std::int64_t s = 0; s < subarrays_per_bank; ++s) {
-      const std::string name = "rram" + suffix + "_" + std::to_string(s);
-      const Macro array = m3d ? Macro::rram_array_m3d(name, sub_cells)
-                              : Macro::rram_array_2d(name, sub_cells);
-      if (!place_with_aspects(array)) {
-        log_warning("flow: RRAM array did not fit: " + name);
-        return report;  // infeasible
+  {
+    TraceSpan floorplan_span("phys.flow.floorplan", "phys");
+    for (std::int64_t b = 0; b < banks; ++b) {
+      const std::string suffix = "_bank" + std::to_string(b);
+      for (std::int64_t s = 0; s < subarrays_per_bank; ++s) {
+        const std::string name = "rram" + suffix + "_" + std::to_string(s);
+        const Macro array = m3d ? Macro::rram_array_m3d(name, sub_cells)
+                                : Macro::rram_array_2d(name, sub_cells);
+        if (!place_with_aspects(array)) {
+          log_warning("flow: RRAM array did not fit: " + name);
+          MetricsRegistry::instance().counter("phys.flow.infeasible").add();
+          return report;  // infeasible
+        }
+        if (s == 0) bank_macro_index.push_back(fp.macros().size() - 1);
+        // Each sub-array carries its own strip of sense amps/controllers.
+        const Macro periph = Macro::rram_periph(
+            "periph" + suffix + "_" + std::to_string(s), sub_periph);
+        if (!place_with_aspects(periph)) {
+          log_warning("flow: peripheral strip did not fit: " + periph.name);
+          MetricsRegistry::instance().counter("phys.flow.infeasible").add();
+          return report;
+        }
+        if (s == 0) periph_macro_index.push_back(fp.macros().size() - 1);
       }
-      if (s == 0) bank_macro_index.push_back(fp.macros().size() - 1);
-      // Each sub-array carries its own strip of sense amps/controllers.
-      const Macro periph = Macro::rram_periph(
-          "periph" + suffix + "_" + std::to_string(s), sub_periph);
-      if (!place_with_aspects(periph)) {
-        log_warning("flow: peripheral strip did not fit: " + periph.name);
-        return report;
-      }
-      if (s == 0) periph_macro_index.push_back(fp.macros().size() - 1);
     }
+    MetricsRegistry::instance()
+        .counter("phys.flow.macros_placed")
+        .add(fp.macros().size());
   }
 
   // --- CS placement: logic + SRAM soft blocks, pulled toward their bank ---
@@ -159,7 +172,15 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
   }
   Rng rng(seed_);
   const Placer placer(placer_options_);
-  const PlacementResult placement = placer.place(fp, blocks, rng);
+  const PlacementResult placement = [&] {
+    TraceSpan place_span("phys.flow.place", "phys");
+    return placer.place(fp, blocks, rng);
+  }();
+  if (metrics_enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::instance();
+    registry.counter("phys.flow.blocks_placed").add(placement.blocks.size());
+    if (!placement.success) registry.counter("phys.flow.infeasible").add();
+  }
   report.cs_placed = static_cast<std::int64_t>(placement.blocks.size() / 3);
   report.feasible = placement.success;
   report.unplaced = placement.unplaced;
@@ -169,51 +190,59 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
 
   // --- route estimate ---
   const WirelengthParams wl_params;
-  report.intra_cs_wirelength_um =
-      donath_total_wirelength_um(input.cs_logic_gates, input.cs_logic_area_um2,
-                                 wl_params) *
-      static_cast<double>(cs_count);
-  report.inter_block_wirelength_um = placement.total_hpwl_um * 64.0;  // bus width
-  report.total_wirelength_um =
-      report.intra_cs_wirelength_um + report.inter_block_wirelength_um;
-  report.buffers = estimate_buffers(report.total_wirelength_um, wl_params);
-  if (m3d) {
-    const double cells = input.rram_capacity_bits / input.pdk.rram().bits_per_cell;
-    report.ilv_count = static_cast<std::int64_t>(
-        cells * input.pdk.ilv().vias_per_rram_cell);
-  }
+  {
+    TraceSpan route_span("phys.flow.route", "phys");
+    report.intra_cs_wirelength_um =
+        donath_total_wirelength_um(input.cs_logic_gates,
+                                   input.cs_logic_area_um2, wl_params) *
+        static_cast<double>(cs_count);
+    report.inter_block_wirelength_um = placement.total_hpwl_um * 64.0;  // bus width
+    report.total_wirelength_um =
+        report.intra_cs_wirelength_um + report.inter_block_wirelength_um;
+    report.buffers = estimate_buffers(report.total_wirelength_um, wl_params);
+    if (m3d) {
+      const double cells =
+          input.rram_capacity_bits / input.pdk.rram().bits_per_cell;
+      report.ilv_count = static_cast<std::int64_t>(
+          cells * input.pdk.ilv().vias_per_rram_cell);
+    }
 
-  // --- global-routing congestion: every CS block routes a bus to its
-  //     bank group (64-track data for logic, 32-track for buffer halves) ---
-  std::vector<Route> routes;
-  for (std::size_t i = 0; i < placement.blocks.size(); ++i) {
-    const std::size_t cs = i / 3;  // [logic, sram0, sram1] per CS
-    const std::size_t bank =
-        bank_macro_index[cs % bank_macro_index.size()];
-    const bool is_logic =
-        placement.blocks[i].macro.name.find("_logic") != std::string::npos;
-    routes.push_back({placement.blocks[i].rect.center(),
-                      fp.macros()[bank].rect.center(),
-                      is_logic ? 64.0 : 32.0});
+    // --- global-routing congestion: every CS block routes a bus to its
+    //     bank group (64-track data for logic, 32-track for buffer halves) ---
+    std::vector<Route> routes;
+    for (std::size_t i = 0; i < placement.blocks.size(); ++i) {
+      const std::size_t cs = i / 3;  // [logic, sram0, sram1] per CS
+      const std::size_t bank =
+          bank_macro_index[cs % bank_macro_index.size()];
+      const bool is_logic =
+          placement.blocks[i].macro.name.find("_logic") != std::string::npos;
+      routes.push_back({placement.blocks[i].rect.center(),
+                        fp.macros()[bank].rect.center(),
+                        is_logic ? 64.0 : 32.0});
+    }
+    const CongestionMap congestion(die_width_um, die_height_um, routes);
+    report.congestion_peak = congestion.peak_utilization();
+    report.congestion_overflow = congestion.overflow_fraction();
   }
-  const CongestionMap congestion(die_width_um, die_height_um, routes);
-  report.congestion_peak = congestion.peak_utilization();
-  report.congestion_overflow = congestion.overflow_fraction();
 
   // --- timing ---
-  double critical_wire = 0.0;
-  for (const auto& block : placement.blocks) {
-    for (const std::size_t bank : bank_macro_index) {
-      // Longest CS-to-its-bank route actually used.
-      critical_wire = std::max(
-          critical_wire, center_distance(block.rect, fp.macros()[bank].rect));
+  {
+    TraceSpan timing_span("phys.flow.timing", "phys");
+    double critical_wire = 0.0;
+    for (const auto& block : placement.blocks) {
+      for (const std::size_t bank : bank_macro_index) {
+        // Longest CS-to-its-bank route actually used.
+        critical_wire = std::max(
+            critical_wire, center_distance(block.rect, fp.macros()[bank].rect));
+      }
     }
+    report.timing = estimate_timing(input.pdk.si_library(), TimingParams{},
+                                    critical_wire, wl_params.buffer_interval_um,
+                                    input.target_frequency_mhz);
   }
-  report.timing = estimate_timing(input.pdk.si_library(), TimingParams{},
-                                  critical_wire, wl_params.buffer_interval_um,
-                                  input.target_frequency_mhz);
 
   // --- power ---
+  TraceSpan power_span("phys.flow.power", "phys");
   PowerModel power;
   for (std::size_t i = 0; i < placement.blocks.size(); ++i) {
     const auto& block = placement.blocks[i];

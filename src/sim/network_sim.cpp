@@ -5,16 +5,25 @@
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/metrics.hpp"
 #include "uld3d/util/status.hpp"
+#include "uld3d/util/trace.hpp"
 
 namespace uld3d::sim {
 
 NetworkResult simulate_network(const nn::Network& net,
                                const AcceleratorConfig& cfg) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  Counter& m_layers = registry.counter("sim.network.layers");
+  registry.counter("sim.network.runs").add();
+  TraceSpan network_span("sim.network", "sim");
+
   NetworkResult result;
   result.network = net.name();
   result.layers.reserve(net.size());
   for (const auto& layer : net.layers()) {
+    TraceSpan layer_span(layer.name(), "sim");
+    m_layers.add();
     fault_site("sim.network.layer");
     LayerResult r = simulate_layer(layer, cfg);
     if (r.cycles < 0 || !std::isfinite(r.energy_pj) || r.energy_pj < 0.0) {

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstdlib>
 
+#include "uld3d/util/metrics.hpp"
+
 namespace uld3d {
 
 FaultInjector& FaultInjector::instance() {
@@ -72,6 +74,9 @@ void FaultInjector::check(const std::string& site) {
   Plan& plan = it->second;
   const std::uint64_t hit = plan.hits++;
   if (hit >= plan.skip && hit < plan.skip + plan.count) {
+    // Distinguishes injected from organic failures in run reports: sweep
+    // skip counters tally every failed point, this one only the trips.
+    MetricsRegistry::instance().counter("fault.injected_trips").add();
     throw StatusError(plan.failure);
   }
 }

@@ -1,5 +1,10 @@
 // Minimal leveled logger.  Quiet by default; benchmarks and examples raise
 // the level when they want progress output.
+//
+// Thread-safe: each message is composed off-lock and written to stderr as a
+// single mutex-guarded write, so messages from concurrently evaluated sweep
+// points never interleave mid-line.  `set_log_timestamps(true)` adds a
+// wall-clock `HH:MM:SS.mmm` field to the prefix for long-running sweeps.
 #pragma once
 
 #include <string>
@@ -11,6 +16,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 /// Set the global log threshold (messages below it are dropped).
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Toggle the `HH:MM:SS.mmm` timestamp field in the message prefix
+/// (off by default to keep test/CI output stable).
+void set_log_timestamps(bool enabled);
+[[nodiscard]] bool log_timestamps();
 
 /// Emit a message at `level` to stderr if it passes the threshold.
 void log_message(LogLevel level, const std::string& message);

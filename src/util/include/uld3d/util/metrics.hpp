@@ -1,0 +1,208 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms, cheap enough for inner loops and safe to update from multiple
+// threads.
+//
+// Instrumentation sites obtain a handle once (a registry lookup under a
+// mutex) and then update it lock-free:
+//
+//   Counter& points = MetricsRegistry::instance().counter("dse.sweep.points");
+//   for (...) { points.add(); ... }
+//
+// The whole subsystem is *disabled by default*: every update first performs
+// a single relaxed atomic-bool load (`metrics_enabled()`) and returns, so an
+// uninstrumented-feeling hot path costs one predictable branch — the same
+// policy as `fault_site()` in util/fault.hpp.  `MetricsRegistry::set_enabled`
+// (or the CLI's `--metrics`/`--profile` flags) turns recording on.
+//
+// Exporters: `to_table()` renders a util/table summary, `to_json()` a flat
+// metrics JSON document, `to_csv()` an RFC-4180-ish CSV; `write_file()`
+// picks JSON or CSV from the file extension.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "uld3d/util/table.hpp"
+
+namespace uld3d {
+
+namespace metrics_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace metrics_detail
+
+/// True when metric updates are recorded.  One relaxed load; safe to call
+/// from any thread and from inner loops.
+inline bool metrics_enabled() {
+  return metrics_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing event count (points evaluated, candidates
+/// pruned, faults injected, ...).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (best cost so far, points/sec, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at registration and
+/// never change, so observation is a short scan plus relaxed atomic adds.
+/// An implicit overflow bucket catches values above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return upper_bounds_;
+  }
+  /// Count per bucket; one extra trailing entry for the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const;
+
+  void reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind);
+
+/// One exported data point of `snapshot()`.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;           ///< counter/gauge value; histogram mean
+  std::uint64_t count = 0;      ///< histogram observation count
+  double sum = 0.0;             ///< histogram observation sum
+  std::vector<std::pair<double, std::uint64_t>> buckets;  ///< le -> count
+};
+
+/// The process-wide registry.  Series are registered on first lookup and
+/// live for the process lifetime, so handles stay valid forever.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  static void set_enabled(bool enabled) {
+    metrics_detail::g_enabled.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Find-or-create; a name is permanently bound to its first kind
+  /// (looking it up as a different kind throws PreconditionError).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Default bounds suit microsecond-scale durations (1us .. 10s).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Zero every value; registered series (and histogram bounds) survive.
+  void reset_values();
+
+  /// Consistent-enough view for exporting (each series is read atomically;
+  /// the set of series is read under the registry mutex).  Sorted by name.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  [[nodiscard]] Table to_table() const;
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write JSON when `path` ends in ".json", CSV otherwise.  Returns false
+  /// (and logs a warning) when the file cannot be opened.
+  bool write_file(const std::string& path) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII timer feeding elapsed *microseconds* into a histogram on scope
+/// exit.  Free when metrics are disabled (no clock read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) {
+    if (!metrics_enabled()) return;
+    histogram_ = &histogram;
+    start_ = std::chrono::steady_clock::now();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Escape a string for embedding in a JSON string literal (shared by the
+/// metrics and trace exporters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace uld3d

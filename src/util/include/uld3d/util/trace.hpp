@@ -1,0 +1,122 @@
+// Scoped-timer tracing with Chrome trace_event export.
+//
+// An RAII `TraceSpan` records one wall-clock span into the process-wide
+// `TraceRecorder`; spans nest naturally because inner scopes close first.
+// The recorded timeline exports as Chrome `trace_event` JSON — load it in
+// chrome://tracing or https://ui.perfetto.dev — or aggregates into a
+// per-span-name summary table for end-of-run reports.
+//
+//   TraceSpan sweep("dse.sweep", "dse");
+//   for (...) { TraceSpan point("dse.sweep.point", "dse"); evaluate(...); }
+//   TraceRecorder::instance().write_chrome_trace("trace.json");
+//
+// Like util/metrics and util/fault, tracing is disabled by default and a
+// disabled span costs one relaxed atomic-bool load — no clock read, no
+// string copy, no allocation.  `ULD3D_TRACE=<file>` (or the CLI's
+// `--trace <file>`) enables recording; the event buffer is bounded
+// (`set_capacity`), dropping and counting further events rather than
+// growing without limit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "uld3d/util/table.hpp"
+
+namespace uld3d {
+
+namespace trace_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace trace_detail
+
+/// One completed span ("ph":"X" in the Chrome trace event format).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;   ///< start, microseconds since the recorder epoch
+  double dur_us = 0.0;  ///< wall-clock duration in microseconds
+  std::uint32_t tid = 0;
+};
+
+/// Process-wide bounded buffer of completed spans.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  static bool enabled() {
+    return trace_detail::g_enabled.load(std::memory_order_relaxed);
+  }
+  /// Enabling (re)anchors the epoch when the buffer is empty.
+  void set_enabled(bool enabled);
+
+  /// Reads ULD3D_TRACE; a non-empty value enables recording and is
+  /// remembered as `env_path()` so the CLI can write the file at exit.
+  void configure_from_env();
+  [[nodiscard]] const std::string& env_path() const { return env_path_; }
+
+  /// Maximum buffered events; further events are dropped (and counted).
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the recorder epoch (steady clock).
+  [[nodiscard]] double now_us() const;
+
+  void record(TraceEvent event);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t event_count() const;
+  void clear();  ///< drop all events and re-anchor the epoch
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete events).
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Returns false (and logs a warning) when the file cannot be opened.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Aggregate by span name: calls, total/mean wall time, share of the
+  /// traced wall window.  Sorted by descending total time.
+  [[nodiscard]] Table summary_table() const;
+
+ private:
+  TraceRecorder();
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 1u << 20;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  std::string env_path_;
+};
+
+/// RAII span.  Both arguments are only copied when tracing is enabled, so
+/// passing `layer.name()` in a hot loop is free in the disabled case.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view category = "uld3d") {
+    if (!TraceRecorder::enabled()) return;
+    begin(name, category);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (active_) finish();
+  }
+
+ private:
+  void begin(std::string_view name, std::string_view category);
+  void finish();
+
+  std::string name_;
+  std::string category_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace uld3d

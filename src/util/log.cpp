@@ -1,12 +1,18 @@
 #include "uld3d/util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 namespace uld3d {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<bool> g_timestamps{false};
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,15 +24,50 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::string wall_clock_hms() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+#if defined(_WIN32)
+  localtime_s(&tm, &seconds);
+#else
+  localtime_r(&seconds, &tm);
+#endif
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d.%03d", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_timestamps(bool enabled) { g_timestamps.store(enabled); }
+
+bool log_timestamps() { return g_timestamps.load(); }
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[uld3d " << level_name(level) << "] " << message << '\n';
+  // Compose off-lock, write as one guarded operation: concurrent sweep
+  // threads must never interleave halves of two messages.
+  std::string line = "[uld3d ";
+  line += level_name(level);
+  if (g_timestamps.load()) {
+    line += ' ';
+    line += wall_clock_hms();
+  }
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << line;
 }
 
 }  // namespace uld3d

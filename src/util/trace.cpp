@@ -1,0 +1,190 @@
+#include "uld3d/util/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/log.hpp"
+#include "uld3d/util/metrics.hpp"  // json_escape
+
+namespace uld3d {
+
+namespace trace_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace trace_detail
+
+namespace {
+
+/// Small dense thread ids (Chrome's UI sorts "tid" numerically; the raw
+/// std::thread::id hash is unreadable there).
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string format_us(double us) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << us;
+  return os.str();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_enabled(bool enabled) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (enabled && events_.empty()) {
+      epoch_ = std::chrono::steady_clock::now();
+    }
+  }
+  trace_detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::configure_from_env() {
+  const char* path = std::getenv("ULD3D_TRACE");
+  if (path == nullptr || *path == '\0') return;
+  env_path_ = path;
+  set_enabled(true);
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  expects(capacity >= 1, "trace capacity must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<TraceEvent> events = this->events();
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+       << json_escape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+       << format_us(e.ts_us) << ", \"dur\": " << format_us(e.dur_us)
+       << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  expects(!path.empty(), "trace output path required");
+  std::ofstream file(path);
+  if (!file) {
+    log_warning("could not open trace output file: " + path);
+    return false;
+  }
+  file << to_chrome_json();
+  return true;
+}
+
+Table TraceRecorder::summary_table() const {
+  const std::vector<TraceEvent> events = this->events();
+
+  struct Agg {
+    std::uint64_t calls = 0;
+    double total_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, Agg> by_name;
+  double window_begin = std::numeric_limits<double>::infinity();
+  double window_end = -std::numeric_limits<double>::infinity();
+  for (const auto& e : events) {
+    Agg& a = by_name[e.name];
+    a.calls += 1;
+    a.total_us += e.dur_us;
+    a.max_us = std::max(a.max_us, e.dur_us);
+    window_begin = std::min(window_begin, e.ts_us);
+    window_end = std::max(window_end, e.ts_us + e.dur_us);
+  }
+  const double window_us = events.empty() ? 0.0 : window_end - window_begin;
+
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+
+  Table table({"Span", "Calls", "Total ms", "Mean ms", "Max ms", "% wall"});
+  for (const auto& [name, a] : rows) {
+    const double total_ms = a.total_us / 1000.0;
+    const double mean_ms = total_ms / static_cast<double>(a.calls);
+    const double share =
+        window_us > 0.0 ? 100.0 * a.total_us / window_us : 0.0;
+    table.add_row({name, std::to_string(a.calls), format_double(total_ms, 3),
+                   format_double(mean_ms, 3), format_double(a.max_us / 1000.0, 3),
+                   format_double(share, 1)});
+  }
+  return table;
+}
+
+void TraceSpan::begin(std::string_view name, std::string_view category) {
+  name_.assign(name);
+  category_.assign(category);
+  start_us_ = TraceRecorder::instance().now_us();
+  active_ = true;
+}
+
+void TraceSpan::finish() {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  // A span that was open when tracing stopped still records: its timestamps
+  // are valid and dropping it would truncate the outermost scopes.
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.ts_us = start_us_;
+  event.dur_us = recorder.now_us() - start_us_;
+  event.tid = this_thread_tid();
+  recorder.record(std::move(event));
+}
+
+}  // namespace uld3d

@@ -2,12 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace uld3d {
 namespace {
 
 class LogTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kWarning); }
+  void TearDown() override {
+    set_log_level(LogLevel::kWarning);
+    set_log_timestamps(false);
+  }
 };
 
 TEST_F(LogTest, LevelRoundTrips) {
@@ -31,6 +40,57 @@ TEST_F(LogTest, PassingMessagesReachStderr) {
   const std::string captured = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(captured.find("hello world"), std::string::npos);
   EXPECT_NE(captured.find("INFO"), std::string::npos);
+}
+
+TEST_F(LogTest, TimestampsToggleOnAndOff) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_FALSE(log_timestamps());
+  set_log_timestamps(true);
+  EXPECT_TRUE(log_timestamps());
+
+  ::testing::internal::CaptureStderr();
+  log_info("stamped");
+  const std::string stamped = ::testing::internal::GetCapturedStderr();
+  // Prefix carries an HH:MM:SS.mmm wall-clock field.
+  EXPECT_TRUE(std::regex_search(
+      stamped, std::regex(R"(\d{2}:\d{2}:\d{2}\.\d{3})")))
+      << stamped;
+
+  set_log_timestamps(false);
+  ::testing::internal::CaptureStderr();
+  log_info("plain");
+  const std::string plain = ::testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(std::regex_search(
+      plain, std::regex(R"(\d{2}:\d{2}:\d{2}\.\d{3})")))
+      << plain;
+}
+
+TEST_F(LogTest, ConcurrentMessagesNeverInterleaveMidLine) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_info("thread-" + std::to_string(t) + "-msg-" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  // Every line is one complete message: a prefix, one payload, nothing glued.
+  std::istringstream stream(captured);
+  std::string line;
+  int lines = 0;
+  const std::regex whole_line(R"(^\[uld3d INFO\] thread-\d+-msg-\d+$)");
+  while (std::getline(stream, line)) {
+    ++lines;
+    EXPECT_TRUE(std::regex_match(line, whole_line)) << "garbled line: " << line;
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
 }
 
 TEST_F(LogTest, ThresholdFiltersLowerLevels) {

@@ -1,0 +1,111 @@
+#include "uld3d/util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace uld3d {
+namespace {
+
+// The recorder is process-global; each test starts from an empty, enabled
+// buffer and restores the disabled default.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::instance().clear();
+    TraceRecorder::instance().set_capacity(1u << 20);
+    TraceRecorder::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsOneCompleteEvent) {
+  { TraceSpan span("test.trace.unit", "test"); }
+  const auto events = TraceRecorder::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.trace.unit");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_GE(events[0].ts_us, 0.0);
+  EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, NestedSpansCloseInnerFirstAndNestInTime) {
+  {
+    TraceSpan outer("test.trace.outer");
+    {
+      TraceSpan inner("test.trace.inner");
+    }
+  }
+  const auto events = TraceRecorder::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner scope closes first, so it is recorded first.
+  EXPECT_EQ(events[0].name, "test.trace.inner");
+  EXPECT_EQ(events[1].name, "test.trace.outer");
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder::instance().set_enabled(false);
+  { TraceSpan span("test.trace.disabled"); }
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, CapacityBoundsTheBufferAndCountsDrops) {
+  TraceRecorder::instance().set_capacity(2);
+  { TraceSpan a("a"); }
+  { TraceSpan b("b"); }
+  { TraceSpan c("c"); }
+  EXPECT_EQ(TraceRecorder::instance().event_count(), 2u);
+  EXPECT_EQ(TraceRecorder::instance().dropped(), 1u);
+  TraceRecorder::instance().clear();
+  EXPECT_EQ(TraceRecorder::instance().dropped(), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormedCompleteEvents) {
+  {
+    TraceSpan outer("test.trace.json \"quoted\"");
+    TraceSpan inner("test.trace.child");
+  }
+  const std::string json = TraceRecorder::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(TraceTest, SummaryTableAggregatesByName) {
+  { TraceSpan a("test.trace.agg"); }
+  { TraceSpan b("test.trace.agg"); }
+  { TraceSpan c("test.trace.other"); }
+  const Table table = TraceRecorder::instance().summary_table();
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("test.trace.agg"), std::string::npos);
+  EXPECT_NE(rendered.find("test.trace.other"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearReanchorsTheEpoch) {
+  { TraceSpan a("test.trace.before"); }
+  TraceRecorder::instance().clear();
+  { TraceSpan b("test.trace.after"); }
+  const auto events = TraceRecorder::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  // Fresh epoch: the new span starts near zero, not after the old history.
+  EXPECT_LT(events[0].ts_us, 1.0e6);
+}
+
+}  // namespace
+}  // namespace uld3d

@@ -7,16 +7,22 @@
 //   uld3d_cli sweep     [--network N] [--config FILE]   capacity x N_CS DSE
 //   uld3d_cli dump-config                               print the defaults
 //
-// Global flags: --strict      config warnings (unknown keys) become fatal
-//               --keep-going  sweep records failed design points and
-//                             continues instead of aborting at the first
+// Global flags: --strict        config warnings (unknown keys) become fatal
+//               --keep-going    sweep records failed design points and
+//                               continues instead of aborting at the first
+//               --trace FILE    write a Chrome trace_event JSON timeline
+//                               (open in chrome://tracing or Perfetto)
+//               --metrics FILE  write the metrics registry (.json or CSV)
+//               --profile       print span-summary + metrics tables at exit
 //
 // Exit codes: 0 success, 2 usage error, 3 config error, 4 model/evaluation
 // error, 1 internal error.  Diagnostics go to stderr; results to stdout.
 //
 // `--config` files use the INI schema documented in uld3d/io/study_config.hpp.
 // ULD3D_FAULT=site=kCode[:skip[:count]] arms the deterministic fault
-// injector (testing the degraded paths end to end).
+// injector (testing the degraded paths end to end).  ULD3D_TRACE=FILE
+// mirrors --trace for runs launched by scripts that cannot edit flags.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -34,6 +40,8 @@
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/metrics.hpp"
+#include "uld3d/util/trace.hpp"
 
 namespace {
 
@@ -61,7 +69,8 @@ class ConfigError : public Error {
 
 constexpr const char* kUsage =
     "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|dump-config>\n"
-    "       [--network N] [--config FILE] [--strict] [--keep-going]";
+    "       [--network N] [--config FILE] [--strict] [--keep-going]\n"
+    "       [--trace FILE] [--metrics FILE] [--profile]";
 
 struct CliArgs {
   std::string command;
@@ -69,6 +78,9 @@ struct CliArgs {
   std::optional<std::string> config_path;
   bool strict = false;
   bool keep_going = false;
+  std::string trace_path;    // Chrome trace JSON output ("" = off)
+  std::string metrics_path;  // metrics JSON/CSV output ("" = off)
+  bool profile = false;      // print span/metrics summary tables at exit
 };
 
 CliArgs parse_args(int argc, char** argv) {
@@ -85,12 +97,86 @@ CliArgs parse_args(int argc, char** argv) {
       args.strict = true;
     } else if (flag == "--keep-going") {
       args.keep_going = true;
+    } else if (flag == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (flag == "--metrics" && i + 1 < argc) {
+      args.metrics_path = argv[++i];
+    } else if (flag == "--profile") {
+      args.profile = true;
     } else {
       throw UsageError("unknown argument: " + flag + "\n" + kUsage);
     }
   }
   return args;
 }
+
+/// Arms the instrumentation subsystem up front and — as an RAII guard, so a
+/// failing run still leaves its timeline behind for debugging — writes the
+/// trace/metrics files and prints the --profile report at scope exit.
+class Observability {
+ public:
+  explicit Observability(const CliArgs& args)
+      : trace_path_(args.trace_path),
+        metrics_path_(args.metrics_path),
+        profile_(args.profile),
+        start_(std::chrono::steady_clock::now()) {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    recorder.configure_from_env();  // ULD3D_TRACE mirrors --trace
+    if (trace_path_.empty()) trace_path_ = recorder.env_path();
+    if (!trace_path_.empty() || profile_) recorder.set_enabled(true);
+    if (!metrics_path_.empty() || profile_) {
+      MetricsRegistry::set_enabled(true);
+      // Pre-register so reports show explicit zeros for quiet series.
+      MetricsRegistry::instance().counter("fault.injected_trips");
+      MetricsRegistry::instance().counter("cli.runs").add();
+    }
+  }
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  ~Observability() {
+    try {
+      finish();
+    } catch (const std::exception& error) {
+      std::cerr << "observability error: " << error.what() << "\n";
+    }
+  }
+
+ private:
+  void finish() {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    if (metrics_enabled()) {
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start_)
+                                 .count();
+      MetricsRegistry::instance().gauge("cli.run_seconds").set(seconds);
+    }
+    if (!trace_path_.empty() &&
+        recorder.write_chrome_trace(trace_path_)) {
+      std::cerr << "trace: wrote " << recorder.event_count() << " span(s) to "
+                << trace_path_;
+      if (recorder.dropped() > 0) {
+        std::cerr << " (" << recorder.dropped() << " dropped at capacity)";
+      }
+      std::cerr << "\n";
+    }
+    if (!metrics_path_.empty() &&
+        MetricsRegistry::instance().write_file(metrics_path_)) {
+      std::cerr << "metrics: wrote " << metrics_path_ << "\n";
+    }
+    if (profile_) {
+      emit_table(std::cout, recorder.summary_table(),
+                 "Span summary (wall clock)", "cli_profile_spans");
+      emit_table(std::cout, MetricsRegistry::instance().to_table(),
+                 "Run metrics", "cli_profile_metrics");
+    }
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool profile_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Load + validate a config file.  All diagnostics are printed to stderr in
 /// one shot; errors (or, under --strict, warnings too) abort with
@@ -242,7 +328,12 @@ int dispatch(const CliArgs& args) {
 int main(int argc, char** argv) {
   try {
     FaultInjector::instance().arm_from_spec(std::getenv("ULD3D_FAULT"));
-    return dispatch(parse_args(argc, argv));
+    const CliArgs args = parse_args(argc, argv);
+    // Outlives the command span: writes trace/metrics files even when the
+    // command below throws, so failed runs keep their timeline.
+    Observability observability(args);
+    TraceSpan command_span("cli." + args.command, "cli");
+    return dispatch(args);
   } catch (const UsageError& error) {
     std::cerr << "usage error: " << error.what() << "\n";
     return kExitUsage;
