@@ -7,18 +7,32 @@
 // Expected shape: technologies within the paper's 1.6x width-relaxation
 // tolerance (Obs. 7) retain the full ~5.4x benefit; low-mobility devices
 // (IGZO-class) fall off the Case-1 cliff.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/relaxed_baseline.hpp"
 #include "uld3d/core/workload.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/tech/beol_device.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct DeviceRow {
+  uld3d::tech::BeolDeviceTechnology device;
+  uld3d::core::RelaxedDesignPoint point;
+  uld3d::core::EdpResult total;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("ext_beol_technologies", argc, argv);
   const accel::CaseStudy study;
   const nn::Network net = nn::make_resnet18();
   const core::Chip2d c2 = study.chip2d_params();
@@ -26,24 +40,43 @@ int main() {
   const core::RelaxedBandwidth bw{c2.bandwidth_bits_per_cycle};
   const auto workloads = core::layer_workloads(net, {}, {});
 
+  const auto rows = h.time("technology_sweep", [&] {
+    std::vector<DeviceRow> out;
+    for (const auto& device : tech::beol_technology_catalogue()) {
+      const auto pdk = tech::pdk_with_beol_device(study.pdk, device);
+      DeviceRow row;
+      row.device = device;
+      const double scale =
+          pdk.rram_bit_area_m3d_um2() / pdk.rram_bit_area_um2();
+      row.point = core::relaxed_design_point(area, scale);
+      std::vector<core::EdpResult> rs;
+      for (const auto& w : workloads) {
+        rs.push_back(core::evaluate_relaxed_edp(w, c2, row.point, bw));
+      }
+      row.total = core::combine_results(rs);
+      out.push_back(std::move(row));
+    }
+    return out;
+  });
+
   Table table({"Upper-tier technology", "Drive vs Si", "delta (iso-drive)",
                "BEOL (<400C)", "N_2D", "N_3D", "EDP benefit", "Maturity"});
-  for (const auto& device : tech::beol_technology_catalogue()) {
-    const auto pdk = tech::pdk_with_beol_device(study.pdk, device);
-    const double scale =
-        pdk.rram_bit_area_m3d_um2() / pdk.rram_bit_area_um2();
-    const auto point = core::relaxed_design_point(area, scale);
-    std::vector<core::EdpResult> rs;
-    for (const auto& w : workloads) {
-      rs.push_back(core::evaluate_relaxed_edp(w, c2, point, bw));
-    }
-    const auto total = core::combine_results(rs);
+  double best_edp = 0.0;
+  double worst_edp = 0.0;
+  int beol_compatible_count = 0;
+  for (const auto& row : rows) {
+    const auto& device = row.device;
+    if (device.beol_compatible()) ++beol_compatible_count;
+    if (best_edp == 0.0) best_edp = worst_edp = row.total.edp_benefit;
+    best_edp = std::max(best_edp, row.total.edp_benefit);
+    worst_edp = std::min(worst_edp, row.total.edp_benefit);
     table.add_row({device.name,
                    format_ratio(device.drive_ratio_vs_si, 2),
                    format_ratio(device.width_relaxation_for_iso_drive(), 2),
                    device.beol_compatible() ? "yes" : "NO",
-                   std::to_string(point.n_2d), std::to_string(point.n_3d),
-                   format_ratio(total.edp_benefit), device.maturity});
+                   std::to_string(row.point.n_2d),
+                   std::to_string(row.point.n_3d),
+                   format_ratio(row.total.edp_benefit), device.maturity});
   }
   emit_table(std::cout, table,
               "Extension: M3D EDP benefit per candidate BEOL access-FET "
@@ -51,5 +84,10 @@ int main() {
   std::cout << "Technologies with >= 0.63x Si drive stay inside the paper's "
                "1.6x width-relaxation tolerance (Obs. 7) and keep the full "
                "benefit.\n";
-  return 0;
+
+  h.value("best_edp_benefit", best_edp, "ratio");
+  h.value("worst_edp_benefit", worst_edp, "ratio");
+  h.value("beol_compatible_count", static_cast<double>(beol_compatible_count),
+          "count");
+  return h.finish();
 }

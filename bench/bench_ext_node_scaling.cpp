@@ -3,37 +3,65 @@
 // Area ratios — hence Eq. 2's N — are node-invariant, so the iso-footprint
 // EDP benefit persists while absolute energy and latency improve.
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/tech/node_scaling.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 
-int main() {
+namespace {
+
+struct NodeRow {
+  double node_nm = 0.0;
+  double clock_mhz = 0.0;
+  double gamma_cells = 0.0;
+  std::int64_t n_cs = 0;
+  double footprint_mm2 = 0.0;
+  uld3d::sim::DesignComparison cmp;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("ext_node_scaling", argc, argv);
   const nn::Network net = nn::make_resnet18();
+
+  const auto rows = h.time("node_sweep", [&] {
+    std::vector<NodeRow> out;
+    for (const double node_nm : {130.0, 65.0, 28.0, 14.0, 7.0}) {
+      accel::CaseStudy study;
+      study.pdk = tech::scale_pdk_to_node(study.pdk, node_nm);
+      // The CS logic shrinks through the node-scaled library; the SRAM
+      // bitcell constant scales explicitly (it is not a library cell).
+      const double area_scale = (node_nm / 130.0) * (node_nm / 130.0);
+      study.cs.sram_bit_area_um2 *= area_scale;
+      const auto area = study.area_model();
+      out.push_back({node_nm, study.pdk.node().target_frequency_mhz,
+                     area.gamma_cells(), study.m3d_cs_count(),
+                     area.total_area_um2() / 1.0e6, study.run(net)});
+    }
+    return out;
+  });
 
   Table table({"Node", "Clock (MHz)", "gamma_cells", "N", "Footprint mm2",
                "Speedup", "EDP benefit"});
-  for (const double node_nm : {130.0, 65.0, 28.0, 14.0, 7.0}) {
-    accel::CaseStudy study;
-    study.pdk = tech::scale_pdk_to_node(study.pdk, node_nm);
-    // The CS logic shrinks through the node-scaled library; the SRAM
-    // bitcell constant scales explicitly (it is not a library cell).
-    const double area_scale = (node_nm / 130.0) * (node_nm / 130.0);
-    study.cs.sram_bit_area_um2 *= area_scale;
-    const auto area = study.area_model();
-    const auto cmp = study.run(net);
-    table.add_row({format_double(node_nm, 0) + " nm",
-                   format_double(study.pdk.node().target_frequency_mhz, 0),
-                   format_double(area.gamma_cells(), 2),
-                   std::to_string(study.m3d_cs_count()),
-                   format_double(area.total_area_um2() / 1.0e6, 1),
-                   format_ratio(cmp.speedup), format_ratio(cmp.edp_benefit)});
+  for (const auto& row : rows) {
+    table.add_row({format_double(row.node_nm, 0) + " nm",
+                   format_double(row.clock_mhz, 0),
+                   format_double(row.gamma_cells, 2),
+                   std::to_string(row.n_cs),
+                   format_double(row.footprint_mm2, 1),
+                   format_ratio(row.cmp.speedup),
+                   format_ratio(row.cmp.edp_benefit)});
+    h.value("edp_benefit_" + format_double(row.node_nm, 0) + "nm",
+            row.cmp.edp_benefit, "ratio");
   }
   emit_table(std::cout, table,
              "Extension: node-scaling projection of the Sec.-II case study "
              "(gamma and N are node-invariant; clocks/energies improve)",
              "ext_node_scaling");
-  return 0;
+  return h.finish();
 }

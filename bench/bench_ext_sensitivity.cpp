@@ -3,6 +3,7 @@
 // Ranks which knobs (gamma_cells, bandwidth, access energy, peak compute,
 // idle power) dominate — the quantitative version of the paper's
 // observations 5-8.
+#include <cmath>
 #include <iostream>
 
 #include "uld3d/accel/case_study.hpp"
@@ -10,9 +11,11 @@
 #include "uld3d/core/workload.hpp"
 #include "uld3d/dse/sensitivity.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("ext_sensitivity", argc, argv);
   const accel::CaseStudy study;
   const nn::Network net = nn::make_resnet18();
   const auto workloads = core::layer_workloads(net, {}, {});
@@ -47,7 +50,9 @@ int main() {
     return core::combine_results(rs).edp_benefit;
   };
 
-  const auto results = dse::analyze_sensitivity(names, baseline, objective);
+  const auto results = h.time("analyze_sensitivity", [&] {
+    return dse::analyze_sensitivity(names, baseline, objective);
+  });
   dse::sensitivity_table(results)
       .print(std::cout,
              "Sensitivity of ResNet-18 M3D EDP benefit around the Sec.-II "
@@ -55,5 +60,14 @@ int main() {
   std::cout << "gamma_cells moves in floor() steps (Eq. 2), so its local "
                "elasticity is zero between integer N boundaries and large "
                "at them — exactly the paper's capacity staircase (Fig. 9).\n";
-  return 0;
+
+  double max_abs_elasticity = 0.0;
+  for (const auto& s : results) {
+    if (!s.ok() || !std::isfinite(s.elasticity)) continue;
+    max_abs_elasticity =
+        std::max(max_abs_elasticity, std::abs(s.elasticity));
+    h.value("elasticity_" + s.parameter, s.elasticity, "pct_per_pct");
+  }
+  h.value("max_abs_elasticity", max_abs_elasticity, "pct_per_pct");
+  return h.finish();
 }

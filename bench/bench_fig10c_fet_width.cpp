@@ -6,16 +6,30 @@
 // Paper reference: no loss of EDP benefit up to delta = 1.6x; small benefits
 // retained even at 2.5x.
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/relaxed_baseline.hpp"
 #include "uld3d/core/workload.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct DeltaRow {
+  double delta = 0.0;
+  double scale = 0.0;
+  uld3d::core::RelaxedDesignPoint point;
+  uld3d::core::EdpResult total;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig10c_fet_width", argc, argv);
   const accel::CaseStudy study;
   const nn::Network net = nn::make_resnet18();
   const core::Chip2d c2 = study.chip2d_params();
@@ -26,26 +40,39 @@ int main() {
   const core::PartitionOptions part;
   const auto workloads = core::layer_workloads(net, traffic, part);
 
+  const auto rows = h.time("width_sweep", [&] {
+    std::vector<DeltaRow> out;
+    for (const double delta :
+         {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5, 3.0}) {
+      const auto relaxed_pdk = study.pdk.with_fet_width_relaxation(delta);
+      DeltaRow row;
+      row.delta = delta;
+      row.scale =
+          relaxed_pdk.rram_bit_area_m3d_um2() / study.pdk.rram_bit_area_um2();
+      row.point = core::relaxed_design_point(area, row.scale);
+      std::vector<core::EdpResult> layer_results;
+      for (const auto& w : workloads) {
+        layer_results.push_back(core::evaluate_relaxed_edp(w, c2, row.point, bw));
+      }
+      row.total = core::combine_results(layer_results);
+      out.push_back(row);
+    }
+    return out;
+  });
+
   Table table({"delta (FET width)", "M3D cell area scale", "N_2D (Eq. 9)",
                "N_3D", "Speedup", "EDP benefit"});
-  for (const double delta :
-       {1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.5, 3.0}) {
-    const auto relaxed_pdk = study.pdk.with_fet_width_relaxation(delta);
-    const double scale =
-        relaxed_pdk.rram_bit_area_m3d_um2() / study.pdk.rram_bit_area_um2();
-    const core::RelaxedDesignPoint point =
-        core::relaxed_design_point(area, scale);
-    std::vector<core::EdpResult> layer_results;
-    for (const auto& w : workloads) {
-      layer_results.push_back(core::evaluate_relaxed_edp(w, c2, point, bw));
-    }
-    const core::EdpResult total = core::combine_results(layer_results);
-    table.add_row({format_ratio(delta, 1), format_ratio(scale, 2),
-                   std::to_string(point.n_2d), std::to_string(point.n_3d),
-                   format_ratio(total.speedup), format_ratio(total.edp_benefit)});
+  for (const auto& row : rows) {
+    table.add_row({format_ratio(row.delta, 1), format_ratio(row.scale, 2),
+                   std::to_string(row.point.n_2d),
+                   std::to_string(row.point.n_3d),
+                   format_ratio(row.total.speedup),
+                   format_ratio(row.total.edp_benefit)});
+    h.value("edp_benefit_delta_" + format_double(row.delta, 1),
+            row.total.edp_benefit, "ratio");
   }
   emit_table(std::cout, table,
               "Fig. 10c: EDP benefit vs relaxed M3D FET width, ResNet-18 "
               "(paper: flat to 1.6x, small benefit retained at 2.5x)", "fig10c_fet_width");
-  return 0;
+  return h.finish();
 }

@@ -5,16 +5,30 @@
 // Paper reference: ResNet-18 benefits go 5.7x -> 6.9x (Y=2) and plateau at
 // ~7.1x; a highly parallel single layer (L4.1 CONV) approaches ~23x.
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/multi_tier.hpp"
 #include "uld3d/core/workload.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct TierRow {
+  std::int64_t y = 0;
+  std::int64_t n = 0;
+  uld3d::core::EdpResult total;
+  uld3d::core::EdpResult single;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig10d_tiers", argc, argv);
   const accel::CaseStudy study;
   const nn::Network net = nn::make_resnet18();
   const core::Chip2d c2 = study.chip2d_params();
@@ -32,24 +46,37 @@ int main() {
     if (net.layer(i).name() == "L4.1 CONV2") l41 = workloads[i];
   }
 
+  const auto rows = h.time("tier_sweep", [&] {
+    std::vector<TierRow> out;
+    for (std::int64_t y = 1; y <= 6; ++y) {
+      TierRow row;
+      row.y = y;
+      row.n = core::multi_tier_parallel_cs(area, y);
+      std::vector<core::EdpResult> layer_results;
+      for (const auto& w : workloads) {
+        layer_results.push_back(
+            core::evaluate_multi_tier_edp(w, c2, area, y, per_cs_bw));
+      }
+      row.total = core::combine_results(layer_results);
+      row.single = core::evaluate_multi_tier_edp(l41, c2, area, y, per_cs_bw);
+      out.push_back(row);
+    }
+    return out;
+  });
+
   Table table({"Tier pairs Y", "N (CSs)", "ResNet-18 EDP benefit",
                "L4.1 CONV EDP benefit"});
-  for (std::int64_t y = 1; y <= 6; ++y) {
-    const std::int64_t n = core::multi_tier_parallel_cs(area, y);
-    std::vector<core::EdpResult> layer_results;
-    for (const auto& w : workloads) {
-      layer_results.push_back(
-          core::evaluate_multi_tier_edp(w, c2, area, y, per_cs_bw));
-    }
-    const core::EdpResult total = core::combine_results(layer_results);
-    const core::EdpResult single =
-        core::evaluate_multi_tier_edp(l41, c2, area, y, per_cs_bw);
-    table.add_row({std::to_string(y), std::to_string(n),
-                   format_ratio(total.edp_benefit),
-                   format_ratio(single.edp_benefit)});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.y), std::to_string(row.n),
+                   format_ratio(row.total.edp_benefit),
+                   format_ratio(row.single.edp_benefit)});
+    h.value("resnet18_edp_benefit_y" + std::to_string(row.y),
+            row.total.edp_benefit, "ratio");
   }
   emit_table(std::cout, table,
               "Fig. 10d: EDP benefit vs interleaved M3D tier pairs "
               "(paper: 5.7x -> 6.9x -> plateau ~7.1x; L4.1 CONV -> ~23x)", "fig10d_tiers");
-  return 0;
+
+  h.value("l41_conv_edp_benefit_y6", rows.back().single.edp_benefit, "ratio");
+  return h.finish();
 }

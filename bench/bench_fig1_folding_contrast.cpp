@@ -2,35 +2,44 @@
 // existing 2D design into M3D yields only ~1.1-1.4x EDP [3-4]; the new
 // iso-footprint architectural design points yield 5x+.
 #include <iostream>
+#include <tuple>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/folding.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig1_folding_contrast", argc, argv);
+
+  const auto [fold2, fold3, cmp] = h.time("evaluate", [] {
+    core::FoldingInputs in2;
+    in2.tiers = 2;
+    core::FoldingInputs in3;
+    in3.tiers = 3;
+    const accel::CaseStudy study;
+    return std::make_tuple(core::evaluate_folding(in2),
+                           core::evaluate_folding(in3),
+                           study.run(nn::make_resnet18()));
+  });
 
   Table table({"Approach", "Footprint", "Wirelength", "Energy", "Delay",
                "EDP benefit"});
-
-  // Folding-only M3D at 2 and 3 device tiers.
-  for (const int tiers : {2, 3}) {
-    core::FoldingInputs in;
-    in.tiers = tiers;
-    const core::FoldingBenefit f = core::evaluate_folding(in);
+  const auto fold_row = [&](int tiers, const core::FoldingBenefit& f) {
     table.add_row({"Fold existing design, " + std::to_string(tiers) + " tiers",
                    format_ratio(f.footprint_ratio, 2),
                    format_ratio(f.wirelength_ratio, 2),
                    format_ratio(f.energy_ratio, 2),
                    format_ratio(f.delay_ratio, 2),
                    format_ratio(f.edp_benefit, 2)});
-  }
+  };
+  fold_row(2, fold2);
+  fold_row(3, fold3);
 
   // The paper's architectural design point (iso-footprint!).
-  const accel::CaseStudy study;
-  const auto cmp = study.run(nn::make_resnet18());
   table.add_row({"New M3D arch. point (this paper)", "1.00x", "~1x/CS",
                  format_ratio(cmp.energy_ratio, 2),
                  format_ratio(1.0 / cmp.speedup, 2),
@@ -41,5 +50,10 @@ int main() {
               "paper's architectural design points (ResNet-18)", "fig1_folding_contrast");
   std::cout << "Folding saves wire energy/delay but adds no parallelism or "
                "bandwidth; the architectural co-design does.\n";
-  return 0;
+
+  h.value("fold_2tier_edp_benefit", fold2.edp_benefit, "ratio");
+  h.value("fold_3tier_edp_benefit", fold3.edp_benefit, "ratio");
+  h.value("arch_point_edp_benefit", cmp.edp_benefit, "ratio");
+  h.value("arch_point_speedup", cmp.speedup, "ratio");
+  return h.finish();
 }

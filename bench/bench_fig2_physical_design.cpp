@@ -5,12 +5,14 @@
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/phys/m3d_flow.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 #include "uld3d/util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig2_physical_design", argc, argv);
   const accel::CaseStudy study;
 
   phys::FlowInput input;
@@ -24,8 +26,9 @@ int main() {
   input.cs_logic_gates = study.cs.total_gates();
 
   const phys::M3dFlow flow;
-  const phys::FlowComparison cmp =
-      flow.run_comparison(input, study.m3d_cs_count());
+  const phys::FlowComparison cmp = h.time("run_comparison", [&] {
+    return flow.run_comparison(input, study.m3d_cs_count());
+  });
 
   const auto row = [](const phys::DesignReport& r) {
     return std::vector<std::string>{
@@ -57,5 +60,11 @@ int main() {
             << "  (paper Obs. 2: ~1.01x)"
             << "\nM3D vertical ILVs: " << cmp.design_3d.ilv_count / 1000000
             << "M\n";
-  return 0;
+
+  h.value("iso_footprint", cmp.iso_footprint ? 1.0 : 0.0, "bool");
+  h.value("peak_density_ratio", cmp.peak_density_ratio, "ratio");
+  h.value("wirelength_per_cs_ratio", cmp.wirelength_per_cs_ratio, "ratio");
+  h.value("upper_tier_power_fraction",
+          cmp.design_3d.upper_tier_power_fraction, "fraction");
+  return h.finish();
 }

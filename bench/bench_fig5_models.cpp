@@ -2,27 +2,55 @@
 // accelerator vs. the 2D baseline across AI/ML models.
 //
 // Paper reference: 5.7x-7.5x speedup at ~0.99x energy => 5.7x-7.5x EDP.
+#include <algorithm>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig5_models", argc, argv);
   const accel::CaseStudy study;
+  const char* model_names[] = {"AlexNet", "VGG-16", "ResNet-18",
+                               "ResNet-152"};
+
+  const auto results = h.time("evaluate_models", [&] {
+    std::vector<std::pair<std::string, sim::DesignComparison>> out;
+    for (const char* name : model_names) {
+      const nn::Network net = nn::make_network(name);
+      out.emplace_back(net.name(), study.run(net));
+    }
+    return out;
+  });
 
   Table table({"Model", "Speedup", "Energy (M3D/2D)", "EDP benefit"});
-  for (const char* name : {"AlexNet", "VGG-16", "ResNet-18", "ResNet-152"}) {
-    const nn::Network net = nn::make_network(name);
-    const sim::DesignComparison cmp = study.run(net);
-    table.add_row({net.name(), format_ratio(cmp.speedup),
+  for (const auto& [name, cmp] : results) {
+    table.add_row({name, format_ratio(cmp.speedup),
                    format_ratio(cmp.energy_ratio, 3),
                    format_ratio(cmp.edp_benefit)});
   }
   emit_table(std::cout, table,
               "Fig. 5: M3D vs 2D for AI/ML model inference "
               "(paper range: 5.7x-7.5x EDP at ~0.99x energy)", "fig5_models");
-  return 0;
+
+  double min_edp = results.front().second.edp_benefit;
+  double max_edp = min_edp;
+  for (const auto& [name, cmp] : results) {
+    min_edp = std::min(min_edp, cmp.edp_benefit);
+    max_edp = std::max(max_edp, cmp.edp_benefit);
+    std::string slug = name;
+    std::replace(slug.begin(), slug.end(), '-', '_');
+    std::transform(slug.begin(), slug.end(), slug.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    h.value(slug + "_edp_benefit", cmp.edp_benefit, "ratio");
+  }
+  h.value("min_edp_benefit", min_edp, "ratio");
+  h.value("max_edp_benefit", max_edp, "ratio");
+  return h.finish();
 }

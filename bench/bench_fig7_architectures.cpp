@@ -3,6 +3,8 @@
 // ZigZag-style mapper ("ZZ") and by the paper's analytical framework.
 //
 // Paper reference: EDP benefits 5.3x-11.5x; analytical within 10% of ZigZag.
+#include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -11,8 +13,9 @@
 #include "uld3d/mapper/cost_model.hpp"
 #include "uld3d/mapper/table2.hpp"
 #include "uld3d/nn/zoo.hpp"
-#include "uld3d/util/math.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
+#include "uld3d/util/math.hpp"
 #include "uld3d/util/table.hpp"
 
 namespace {
@@ -57,33 +60,60 @@ uld3d::core::EdpResult analytical_benefit(const uld3d::nn::Network& net,
   return core::combine_results(per_layer);
 }
 
+struct ArchRow {
+  std::string name;
+  uld3d::mapper::DesignPointBenefit zz;
+  uld3d::core::EdpResult model;
+  double diff = 0.0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig7_architectures", argc, argv);
   const auto pdk = tech::FoundryM3dPdk::make_130nm();
   const nn::Network net = nn::make_alexnet();
   const mapper::SystemCosts sys;
 
+  const auto rows = h.time("evaluate_architectures", [&] {
+    std::vector<ArchRow> out;
+    for (const auto& arch : mapper::table2_architectures()) {
+      ArchRow row;
+      row.name = arch.name;
+      row.zz = mapper::evaluate_benefit(net, arch, sys, pdk);
+      row.model = analytical_benefit(net, arch, sys, row.zz.n_cs);
+      row.diff = relative_difference(row.model.edp_benefit, row.zz.edp_benefit);
+      out.push_back(std::move(row));
+    }
+    return out;
+  });
+
   Table table({"Architecture", "N", "ZZ speedup", "ZZ energy", "ZZ EDP",
                "Model speedup", "Model EDP", "|diff|"});
   double worst_diff = 0.0;
-  for (const auto& arch : mapper::table2_architectures()) {
-    const mapper::DesignPointBenefit zz =
-        mapper::evaluate_benefit(net, arch, sys, pdk);
-    const core::EdpResult model = analytical_benefit(net, arch, sys, zz.n_cs);
-    const double diff = relative_difference(model.edp_benefit, zz.edp_benefit);
-    worst_diff = std::max(worst_diff, diff);
-    table.add_row({arch.name, std::to_string(zz.n_cs),
-                   format_ratio(zz.speedup), format_ratio(zz.energy_ratio, 3),
-                   format_ratio(zz.edp_benefit), format_ratio(model.speedup),
-                   format_ratio(model.edp_benefit),
-                   format_double(diff * 100.0, 1) + "%"});
+  for (const auto& row : rows) {
+    worst_diff = std::max(worst_diff, row.diff);
+    table.add_row({row.name, std::to_string(row.zz.n_cs),
+                   format_ratio(row.zz.speedup),
+                   format_ratio(row.zz.energy_ratio, 3),
+                   format_ratio(row.zz.edp_benefit),
+                   format_ratio(row.model.speedup),
+                   format_ratio(row.model.edp_benefit),
+                   format_double(row.diff * 100.0, 1) + "%"});
+    std::string slug = row.name;
+    std::transform(slug.begin(), slug.end(), slug.begin(),
+                   [](unsigned char c) {
+                     return std::isalnum(c) ? std::tolower(c) : '_';
+                   });
+    h.value(slug + "_zz_edp_benefit", row.zz.edp_benefit, "ratio");
   }
   emit_table(std::cout, table,
               "Fig. 7: Table-II architectures on AlexNet, ZigZag-style mapper "
               "vs analytical model (paper: 5.3x-11.5x EDP, <=10% apart)", "fig7_architectures");
   std::cout << "Worst model-vs-mapper difference: "
             << format_double(worst_diff * 100.0, 1) << "% (paper: <10%)\n";
-  return 0;
+
+  h.value("worst_model_vs_mapper_diff", worst_diff, "fraction");
+  return h.finish();
 }

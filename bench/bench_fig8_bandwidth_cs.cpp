@@ -6,8 +6,10 @@
 // CSs at unchanged bandwidth; 16 bits/op (memory-bound) => ~2.1x better EDP
 // from 2x bandwidth per CS even with 2x fewer CSs.
 #include <iostream>
+#include <utility>
 
 #include "uld3d/core/edp_model.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
@@ -38,30 +40,41 @@ uld3d::core::Chip3d design_point(std::int64_t n_cs, double bw_scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig8_bandwidth_cs", argc, argv);
   const core::Chip2d c2 = baseline();
   const double d0 = 64.0 * 1024.0 * 1024.0;  // 8 MB of traffic
 
-  for (const double ops_per_bit : {16.0, 1.0, 1.0 / 16.0}) {
-    const core::WorkloadPoint w =
-        core::synthetic_workload(ops_per_bit, d0, /*max_partitions=*/64);
-    const char* regime = ops_per_bit > 1.0   ? "compute-bound"
-                         : ops_per_bit < 1.0 ? "memory-bound"
-                                             : "balanced";
-    Table table({"CSs \\ BW/CS", "0.5x", "1x", "2x", "4x"});
-    for (const std::int64_t n : {1, 2, 4, 8, 16}) {
-      std::vector<std::string> row{std::to_string(n) + " CS"};
-      for (const double bw : {0.5, 1.0, 2.0, 4.0}) {
-        const core::EdpResult r = core::evaluate_edp(w, c2, design_point(n, bw));
-        row.push_back(format_ratio(r.edp_benefit));
+  const auto sweep = [&] {
+    std::vector<std::pair<std::string, Table>> tables;
+    for (const double ops_per_bit : {16.0, 1.0, 1.0 / 16.0}) {
+      const core::WorkloadPoint w =
+          core::synthetic_workload(ops_per_bit, d0, /*max_partitions=*/64);
+      const char* regime = ops_per_bit > 1.0   ? "compute-bound"
+                           : ops_per_bit < 1.0 ? "memory-bound"
+                                               : "balanced";
+      Table table({"CSs \\ BW/CS", "0.5x", "1x", "2x", "4x"});
+      for (const std::int64_t n : {1, 2, 4, 8, 16}) {
+        std::vector<std::string> row{std::to_string(n) + " CS"};
+        for (const double bw : {0.5, 1.0, 2.0, 4.0}) {
+          const core::EdpResult r =
+              core::evaluate_edp(w, c2, design_point(n, bw));
+          row.push_back(format_ratio(r.edp_benefit));
+        }
+        table.add_row(std::move(row));
       }
-      table.add_row(std::move(row));
+      tables.emplace_back(std::string("Fig. 8: EDP benefit vs (#CS, per-CS "
+                                      "bandwidth), ") +
+                              format_double(ops_per_bit, 3) + " ops/bit (" +
+                              regime + ")",
+                          std::move(table));
     }
-    emit_table(std::cout, table, std::string("Fig. 8: EDP benefit vs (#CS, per-CS "
-                                       "bandwidth), ") +
-                               format_double(ops_per_bit, 3) + " ops/bit (" +
-                               regime + ")", "fig8_bandwidth_cs");
+    return tables;
+  };
+  const auto tables = h.time("sweep_grid", sweep);
+  for (const auto& [title, table] : tables) {
+    emit_table(std::cout, table, title, "fig8_bandwidth_cs");
   }
 
   // Observation 5 headline numbers.
@@ -79,5 +92,8 @@ int main() {
             << "Obs. 5b: memory-bound (16 bits/op), 2x BW with 2x fewer CSs "
                "vs 2x CSs -> "
             << format_ratio(mb_fewer) << " relative EDP gain (paper ~2.1x)\n";
-  return 0;
+
+  h.value("obs5a_compute_bound_edp", cb, "ratio");
+  h.value("obs5b_memory_bound_relative_gain", mb_fewer, "ratio");
+  return h.finish();
 }

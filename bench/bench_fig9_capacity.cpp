@@ -5,31 +5,56 @@
 // Paper reference: benefits grow from ~1x at 12 MB to ~6.8x at 128 MB
 // (5.7x at the 64 MB case-study point).
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct CapacityRow {
+  double mb = 0.0;
+  double gamma_cells = 0.0;
+  std::int64_t n_cs = 0;
+  uld3d::sim::DesignComparison cmp;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("fig9_capacity", argc, argv);
   const nn::Network net = nn::make_resnet18();
+
+  const auto rows = h.time("capacity_sweep", [&] {
+    std::vector<CapacityRow> out;
+    for (const double mb : {12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0}) {
+      accel::CaseStudy study;
+      study.rram_capacity_mb = mb;
+      const auto area = study.area_model();
+      out.push_back({mb, area.gamma_cells(), study.m3d_cs_count(),
+                     study.run(net)});
+    }
+    return out;
+  });
 
   Table table({"RRAM capacity", "gamma_cells", "M3D CSs (Eq. 2)", "Speedup",
                "Energy", "EDP benefit"});
-  for (const double mb : {12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0}) {
-    accel::CaseStudy study;
-    study.rram_capacity_mb = mb;
-    const auto area = study.area_model();
-    const sim::DesignComparison cmp = study.run(net);
-    table.add_row({format_double(mb, 0) + " MB",
-                   format_double(area.gamma_cells(), 2),
-                   std::to_string(study.m3d_cs_count()),
-                   format_ratio(cmp.speedup), format_ratio(cmp.energy_ratio, 3),
-                   format_ratio(cmp.edp_benefit)});
+  for (const auto& row : rows) {
+    table.add_row({format_double(row.mb, 0) + " MB",
+                   format_double(row.gamma_cells, 2),
+                   std::to_string(row.n_cs),
+                   format_ratio(row.cmp.speedup),
+                   format_ratio(row.cmp.energy_ratio, 3),
+                   format_ratio(row.cmp.edp_benefit)});
+    h.value("edp_benefit_" + format_double(row.mb, 0) + "mb",
+            row.cmp.edp_benefit, "ratio");
   }
   emit_table(std::cout, table,
               "Fig. 9: RRAM capacity vs M3D benefit, ResNet-18 "
               "(paper: ~1x @ 12 MB rising to ~6.8x @ 128 MB)", "fig9_capacity");
-  return 0;
+  return h.finish();
 }

@@ -3,15 +3,29 @@
 // a ~60 K budget [20].  Also cross-checks Observation 2: the single-pair
 // Sec.-II M3D design adds negligible heat.
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/multi_tier.hpp"
 #include "uld3d/core/thermal.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct ThermalRow {
+  std::int64_t y = 0;
+  std::int64_t n = 0;
+  double total_power_w = 0.0;
+  double rise_k = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("obs10_thermal", argc, argv);
   const accel::CaseStudy study;
   const core::AreaModel area = study.area_model();
   const double die_mm2 = area.total_area_um2() / 1.0e6;
@@ -24,29 +38,46 @@ int main() {
   const double pair_r = pair_r_mm2 / die_mm2;
   const double sink_r = 1200.0 / die_mm2;  // mm^2*K/W spreader-to-ambient
 
+  const auto rows = h.time("thermal_sweep", [&] {
+    std::vector<ThermalRow> out;
+    for (std::int64_t y = 1; y <= 12; ++y) {
+      ThermalRow row;
+      row.y = y;
+      row.n = core::multi_tier_parallel_cs(area, y);
+      // Each pair dissipates its CS group's power plus its memory tier.
+      const double pair_power_w =
+          (static_cast<double>(row.n) / static_cast<double>(y) * 4.0 + 2.5) *
+          1.0e-3 * 20.0;  // mW-per-MHz scaled to 20 MHz operation, per pair
+      core::ThermalStack thermal(sink_r);
+      for (std::int64_t j = 0; j < y; ++j) {
+        thermal.add_tier({pair_r, pair_power_w});
+      }
+      row.total_power_w = pair_power_w * static_cast<double>(y);
+      row.rise_k = thermal.temperature_rise_k();
+      out.push_back(row);
+    }
+    return out;
+  });
+
   Table table({"Tier pairs Y", "N (CSs)", "Total power (W)", "Temp rise (K)",
                "Within 60 K budget"});
-  for (std::int64_t y = 1; y <= 12; ++y) {
-    const std::int64_t n = core::multi_tier_parallel_cs(area, y);
-    // Each pair dissipates its CS group's power plus its memory tier.
-    const double pair_power_w =
-        (static_cast<double>(n) / static_cast<double>(y) * 4.0 + 2.5) * 1.0e-3 *
-        20.0;  // mW-per-MHz scaled to 20 MHz operation, per pair
-    core::ThermalStack thermal(sink_r);
-    for (std::int64_t j = 0; j < y; ++j) {
-      thermal.add_tier({pair_r, pair_power_w});
-    }
-    const double rise = thermal.temperature_rise_k();
-    table.add_row({std::to_string(y), std::to_string(n),
-                   format_double(pair_power_w * static_cast<double>(y), 3),
-                   format_double(rise, 2), rise <= 60.0 ? "yes" : "NO"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.y), std::to_string(row.n),
+                   format_double(row.total_power_w, 3),
+                   format_double(row.rise_k, 2),
+                   row.rise_k <= 60.0 ? "yes" : "NO"});
   }
   emit_table(std::cout, table,
               "Obs. 10 (Eq. 17): temperature rise vs interleaved tier pairs", "obs10_thermal");
 
   const core::ThermalTier per_tier{pair_r, 8.0 * 4.0 * 20.0 * 1.0e-3 + 0.05};
+  const std::int64_t max_pairs =
+      core::ThermalStack::max_tier_pairs(sink_r, per_tier, 60.0);
   std::cout << "Max tier pairs within a 60 K budget (paper Obs. 10 bound): "
-            << core::ThermalStack::max_tier_pairs(sink_r, per_tier, 60.0)
-            << "\n";
-  return 0;
+            << max_pairs << "\n";
+
+  h.value("temp_rise_y1_k", rows.front().rise_k, "kelvin");
+  h.value("temp_rise_y12_k", rows.back().rise_k, "kelvin");
+  h.value("max_tier_pairs_60k", static_cast<double>(max_pairs), "count");
+  return h.finish();
 }

@@ -6,31 +6,57 @@
 //
 // Paper reference: 8 -> 16 CSs raises ResNet-18 EDP benefit 5.7x -> 6.8x.
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct HandicapRow {
+  double handicap = 0.0;
+  std::int64_t n_cs = 0;
+  uld3d::sim::DesignComparison cmp;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("obs3_sram_baseline", argc, argv);
   const nn::Network net = nn::make_resnet18();
+
+  const auto rows = h.time("handicap_sweep", [&] {
+    std::vector<HandicapRow> out;
+    for (const double handicap : {1.0, 1.5, 2.0}) {
+      accel::CaseStudy study;
+      study.baseline_mem_density_handicap = handicap;
+      out.push_back({handicap, study.m3d_cs_count(), study.run(net)});
+    }
+    return out;
+  });
 
   Table table({"2D memory density", "M3D CSs", "Speedup", "Energy",
                "EDP benefit"});
-  for (const double handicap : {1.0, 1.5, 2.0}) {
-    accel::CaseStudy study;
-    study.baseline_mem_density_handicap = handicap;
-    const sim::DesignComparison cmp = study.run(net);
+  for (const auto& row : rows) {
     const std::string label =
-        handicap == 1.0 ? "RRAM (paper baseline)"
-                        : format_ratio(handicap, 1) + " less dense (SRAM-like)";
-    table.add_row({label, std::to_string(study.m3d_cs_count()),
-                   format_ratio(cmp.speedup), format_ratio(cmp.energy_ratio, 3),
-                   format_ratio(cmp.edp_benefit)});
+        row.handicap == 1.0
+            ? "RRAM (paper baseline)"
+            : format_ratio(row.handicap, 1) + " less dense (SRAM-like)";
+    table.add_row({label, std::to_string(row.n_cs),
+                   format_ratio(row.cmp.speedup),
+                   format_ratio(row.cmp.energy_ratio, 3),
+                   format_ratio(row.cmp.edp_benefit)});
   }
   emit_table(std::cout, table,
               "Obs. 3: denser-than-2D-memory baselines are conservative "
               "(paper: 8 CSs/5.7x -> 16 CSs/6.8x at 2x less dense)", "obs3_sram_baseline");
-  return 0;
+
+  h.value("rram_baseline_edp_benefit", rows.front().cmp.edp_benefit, "ratio");
+  h.value("sram_2x_edp_benefit", rows.back().cmp.edp_benefit, "ratio");
+  h.value("sram_2x_cs_count", static_cast<double>(rows.back().n_cs), "count");
+  return h.finish();
 }

@@ -7,16 +7,31 @@
 // Paper reference: benefits unchanged up to beta ~1.3x; transitioning to
 // coarse-pitch vias (>=1.6x) leaves limited to no benefit over 2D.
 #include <iostream>
+#include <vector>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/relaxed_baseline.hpp"
 #include "uld3d/core/workload.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+namespace {
+
+struct PitchRow {
+  double beta = 0.0;
+  double pitch_nm = 0.0;
+  double scale = 0.0;
+  uld3d::core::RelaxedDesignPoint point;
+  uld3d::core::EdpResult total;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("obs8_via_pitch", argc, argv);
   const accel::CaseStudy study;
   const nn::Network net = nn::make_resnet18();
   const core::Chip2d c2 = study.chip2d_params();
@@ -27,26 +42,40 @@ int main() {
   const core::PartitionOptions part;
   const auto workloads = core::layer_workloads(net, traffic, part);
 
+  const auto rows = h.time("pitch_sweep", [&] {
+    std::vector<PitchRow> out;
+    for (const double beta :
+         {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0, 2.5}) {
+      const auto scaled_pdk = study.pdk.with_ilv_pitch_scale(beta);
+      PitchRow row;
+      row.beta = beta;
+      row.pitch_nm = scaled_pdk.ilv().pitch_nm;
+      row.scale =
+          scaled_pdk.rram_bit_area_m3d_um2() / study.pdk.rram_bit_area_um2();
+      row.point = core::relaxed_design_point(area, row.scale);
+      std::vector<core::EdpResult> layer_results;
+      for (const auto& w : workloads) {
+        layer_results.push_back(core::evaluate_relaxed_edp(w, c2, row.point, bw));
+      }
+      row.total = core::combine_results(layer_results);
+      out.push_back(row);
+    }
+    return out;
+  });
+
   Table table({"beta (ILV pitch)", "pitch (nm)", "M3D cell area scale",
                "N_2D", "N_3D", "EDP benefit"});
-  for (const double beta : {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.8, 2.0, 2.5}) {
-    const auto scaled_pdk = study.pdk.with_ilv_pitch_scale(beta);
-    const double scale =
-        scaled_pdk.rram_bit_area_m3d_um2() / study.pdk.rram_bit_area_um2();
-    const core::RelaxedDesignPoint point =
-        core::relaxed_design_point(area, scale);
-    std::vector<core::EdpResult> layer_results;
-    for (const auto& w : workloads) {
-      layer_results.push_back(core::evaluate_relaxed_edp(w, c2, point, bw));
-    }
-    const core::EdpResult total = core::combine_results(layer_results);
-    table.add_row({format_ratio(beta, 1),
-                   format_double(scaled_pdk.ilv().pitch_nm, 0),
-                   format_ratio(scale, 2), std::to_string(point.n_2d),
-                   std::to_string(point.n_3d), format_ratio(total.edp_benefit)});
+  for (const auto& row : rows) {
+    table.add_row({format_ratio(row.beta, 1),
+                   format_double(row.pitch_nm, 0),
+                   format_ratio(row.scale, 2), std::to_string(row.point.n_2d),
+                   std::to_string(row.point.n_3d),
+                   format_ratio(row.total.edp_benefit)});
+    h.value("edp_benefit_beta_" + format_double(row.beta, 1),
+            row.total.edp_benefit, "ratio");
   }
   emit_table(std::cout, table,
               "Obs. 8: EDP benefit vs ILV pitch scale, ResNet-18 "
               "(paper: flat to ~1.3x, limited benefit at >=1.6x)", "obs8_via_pitch");
-  return 0;
+  return h.finish();
 }

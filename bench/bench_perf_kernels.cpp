@@ -1,8 +1,16 @@
-// google-benchmark microbenchmarks of the library's computational kernels:
-// network simulation, mapper evaluation, analytical model, placement, and
-// the full flow.  These measure the cost of the tools themselves (useful
-// when sweeping large design spaces), not the modeled hardware.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the library's computational kernels: network
+// simulation, mapper evaluation, analytical model, placement, and the full
+// flow.  These measure the cost of the tools themselves (useful when
+// sweeping large design spaces), not the modeled hardware.
+//
+// Formerly a google-benchmark binary; now on the shared util/bench harness
+// so the kernels emit the same BENCH_*.json artifact as the reproduction
+// suites.  Fast kernels time a fixed inner-loop batch and report ns/op as
+// named values; the instrumentation-overhead numbers keep their contract:
+// a *disabled* counter add or trace span must stay in the
+// single-relaxed-load-plus-branch cost class.
+#include <cstdint>
+#include <iostream>
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/core/edp_model.hpp"
@@ -11,6 +19,7 @@
 #include "uld3d/mapper/table2.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/phys/m3d_flow.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/trace.hpp"
 #include "uld3d/util/units.hpp"
@@ -19,57 +28,8 @@ namespace {
 
 using namespace uld3d;
 
-void BM_SimulateResNet18(benchmark::State& state) {
-  const accel::CaseStudy study;
-  const nn::Network net = nn::make_resnet18();
-  const auto cfg = study.config_3d();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_network(net, cfg));
-  }
-}
-BENCHMARK(BM_SimulateResNet18);
-
-void BM_SimulateResNet152(benchmark::State& state) {
-  const accel::CaseStudy study;
-  const nn::Network net = nn::make_resnet152();
-  const auto cfg = study.config_3d();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_network(net, cfg));
-  }
-}
-BENCHMARK(BM_SimulateResNet152);
-
-void BM_MapperAlexNet(benchmark::State& state) {
-  const auto arch = mapper::make_table2_architecture(
-      static_cast<int>(state.range(0)));
-  const nn::Network net = nn::make_alexnet();
-  const mapper::SystemCosts sys;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mapper::evaluate_network(net, arch, sys, 8));
-  }
-}
-BENCHMARK(BM_MapperAlexNet)->DenseRange(1, 6);
-
-void BM_AnalyticalNetworkWorkload(benchmark::State& state) {
-  const nn::Network net = nn::make_resnet152();
-  const core::TrafficOptions traffic;
-  const core::PartitionOptions part;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::network_workload(net, traffic, part));
-  }
-}
-BENCHMARK(BM_AnalyticalNetworkWorkload);
-
-void BM_AnalyticalEdp(benchmark::State& state) {
-  const accel::CaseStudy study;
-  const core::Chip2d c2 = study.chip2d_params();
-  const core::Chip3d c3 = study.chip3d_params();
-  const core::WorkloadPoint w = core::synthetic_workload(4.0, 1.0e9, 16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::evaluate_edp(w, c2, c3));
-  }
-}
-BENCHMARK(BM_AnalyticalEdp);
+constexpr std::int64_t kCounterOps = 1 << 20;  // 1Mi adds per timed sample
+constexpr std::int64_t kSpanOps = 1 << 16;     // 64Ki spans per timed sample
 
 phys::FlowInput case_study_flow_input() {
   const accel::CaseStudy study;
@@ -84,86 +44,133 @@ phys::FlowInput case_study_flow_input() {
   return input;
 }
 
-void BM_PhysicalDesignFlow2d(benchmark::State& state) {
-  const phys::FlowInput input = case_study_flow_input();
-  const phys::M3dFlow flow;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(flow.run_design(input, false, 1));
-  }
+double ns_per_op(const bench::Stats& stats, std::int64_t ops) {
+  return stats.median_s / static_cast<double>(ops) * 1e9;
 }
-BENCHMARK(BM_PhysicalDesignFlow2d);
-
-void BM_PhysicalDesignFlowM3d(benchmark::State& state) {
-  const phys::FlowInput input = case_study_flow_input();
-  const phys::M3dFlow flow;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(flow.run_design(input, true, 8));
-  }
-}
-BENCHMARK(BM_PhysicalDesignFlowM3d);
-
-// --- instrumentation overhead ------------------------------------------------
-// The contract is zero-cost-when-disabled: a disabled counter add or span is a
-// single relaxed atomic load plus a branch.  The Disabled variants quantify
-// the tax the instrumented kernels above pay by default; the Enabled variants
-// bound the cost when --profile / --trace is on.
-
-void BM_MetricsCounterDisabled(benchmark::State& state) {
-  MetricsRegistry::set_enabled(false);
-  Counter& c = MetricsRegistry::instance().counter("bench.overhead.counter");
-  for (auto _ : state) {
-    c.add();
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_MetricsCounterDisabled);
-
-void BM_MetricsCounterEnabled(benchmark::State& state) {
-  MetricsRegistry::set_enabled(true);
-  Counter& c = MetricsRegistry::instance().counter("bench.overhead.counter");
-  for (auto _ : state) {
-    c.add();
-    benchmark::ClobberMemory();
-  }
-  MetricsRegistry::set_enabled(false);
-  MetricsRegistry::instance().reset_values();
-}
-BENCHMARK(BM_MetricsCounterEnabled);
-
-void BM_TraceSpanDisabled(benchmark::State& state) {
-  TraceRecorder::instance().set_enabled(false);
-  for (auto _ : state) {
-    TraceSpan span("bench.overhead.span", "bench");
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_TraceSpanDisabled);
-
-void BM_TraceSpanEnabled(benchmark::State& state) {
-  TraceRecorder::instance().clear();
-  TraceRecorder::instance().set_enabled(true);
-  for (auto _ : state) {
-    TraceSpan span("bench.overhead.span", "bench");
-    benchmark::ClobberMemory();
-  }
-  TraceRecorder::instance().set_enabled(false);
-  TraceRecorder::instance().clear();
-}
-BENCHMARK(BM_TraceSpanEnabled);
-
-void BM_SimulateResNet18Instrumented(benchmark::State& state) {
-  MetricsRegistry::set_enabled(true);
-  const accel::CaseStudy study;
-  const nn::Network net = nn::make_resnet18();
-  const auto cfg = study.config_3d();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::simulate_network(net, cfg));
-  }
-  MetricsRegistry::set_enabled(false);
-  MetricsRegistry::instance().reset_values();
-}
-BENCHMARK(BM_SimulateResNet18Instrumented);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("perf_kernels", argc, argv);
+  const accel::CaseStudy study;
+  const nn::Network resnet18 = nn::make_resnet18();
+  const nn::Network resnet152 = nn::make_resnet152();
+  const auto cfg3d = study.config_3d();
+
+  // --- simulation / mapper / analytical kernels -----------------------------
+  const auto sim18 = h.time("simulate_resnet18",
+                            [&] { return sim::simulate_network(resnet18, cfg3d); });
+  h.time("simulate_resnet152",
+         [&] { return sim::simulate_network(resnet152, cfg3d); });
+
+  {
+    const auto arch = mapper::make_table2_architecture(1);
+    const nn::Network alexnet = nn::make_alexnet();
+    const mapper::SystemCosts sys;
+    h.time("mapper_alexnet_arch1",
+           [&] { return mapper::evaluate_network(alexnet, arch, sys, 8); });
+  }
+
+  {
+    const core::TrafficOptions traffic;
+    const core::PartitionOptions part;
+    h.time("analytical_network_workload",
+           [&] { return core::network_workload(resnet152, traffic, part); });
+  }
+
+  double anchor_edp_benefit = 0.0;
+  {
+    const core::Chip2d c2 = study.chip2d_params();
+    const core::Chip3d c3 = study.chip3d_params();
+    const core::WorkloadPoint w = core::synthetic_workload(4.0, 1.0e9, 16);
+    anchor_edp_benefit = core::evaluate_edp(w, c2, c3).edp_benefit;
+    h.time("analytical_edp_4096", [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 4096; ++i) {
+        acc += core::evaluate_edp(w, c2, c3).edp_benefit;
+      }
+      return acc;
+    });
+  }
+
+  {
+    const phys::FlowInput input = case_study_flow_input();
+    const phys::M3dFlow flow;
+    h.time("phys_flow_2d", [&] { return flow.run_design(input, false, 1); });
+    h.time("phys_flow_m3d", [&] { return flow.run_design(input, true, 8); });
+  }
+
+  // --- instrumentation overhead ---------------------------------------------
+  // The contract is zero-cost-when-disabled: a disabled counter add or span
+  // is a single relaxed atomic load plus a branch.  The Disabled timings
+  // quantify the tax the instrumented kernels above pay by default; the
+  // Enabled timings bound the cost when --profile / --trace is on.
+  Counter& counter = MetricsRegistry::instance().counter("bench.overhead.counter");
+
+  MetricsRegistry::set_enabled(false);
+  h.time("metrics_counter_disabled_1m", [&] {
+    for (std::int64_t i = 0; i < kCounterOps; ++i) {
+      counter.add();
+      bench::do_not_optimize(counter);
+    }
+  });
+  MetricsRegistry::set_enabled(true);
+  h.time("metrics_counter_enabled_1m", [&] {
+    for (std::int64_t i = 0; i < kCounterOps; ++i) {
+      counter.add();
+      bench::do_not_optimize(counter);
+    }
+  });
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset_values();
+
+  TraceRecorder::instance().set_enabled(false);
+  h.time("trace_span_disabled_64k", [&] {
+    for (std::int64_t i = 0; i < kSpanOps; ++i) {
+      TraceSpan span("bench.overhead.span", "bench");
+      bench::do_not_optimize(span);
+    }
+  });
+  TraceRecorder::instance().clear();
+  TraceRecorder::instance().set_enabled(true);
+  h.time("trace_span_enabled_64k", [&] {
+    TraceRecorder::instance().clear();
+    for (std::int64_t i = 0; i < kSpanOps; ++i) {
+      TraceSpan span("bench.overhead.span", "bench");
+      bench::do_not_optimize(span);
+    }
+  });
+  TraceRecorder::instance().set_enabled(false);
+  TraceRecorder::instance().clear();
+
+  MetricsRegistry::set_enabled(true);
+  h.time("simulate_resnet18_instrumented",
+         [&] { return sim::simulate_network(resnet18, cfg3d); });
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset_values();
+
+  // --- named values: per-op overheads + a model-fidelity anchor -------------
+  h.value("counter_disabled_ns_per_op",
+          ns_per_op(h.stats("metrics_counter_disabled_1m"), kCounterOps),
+          "ns");
+  h.value("counter_enabled_ns_per_op",
+          ns_per_op(h.stats("metrics_counter_enabled_1m"), kCounterOps),
+          "ns");
+  h.value("trace_span_disabled_ns_per_op",
+          ns_per_op(h.stats("trace_span_disabled_64k"), kSpanOps), "ns");
+  h.value("trace_span_enabled_ns_per_op",
+          ns_per_op(h.stats("trace_span_enabled_64k"), kSpanOps), "ns");
+  {
+    const double plain = h.stats("simulate_resnet18").median_s;
+    const double instrumented =
+        h.stats("simulate_resnet18_instrumented").median_s;
+    if (plain > 0.0) {
+      h.value("sim_instrumentation_overhead", instrumented / plain, "ratio");
+    }
+  }
+  // A deterministic model output pins fidelity alongside the timings: the
+  // synthetic-workload EDP benefit the analytical kernel computes.
+  h.value("synthetic_edp_benefit_anchor", anchor_edp_benefit, "ratio");
+  bench::do_not_optimize(sim18);
+  return h.finish();
+}

@@ -7,14 +7,17 @@
 
 #include "uld3d/accel/case_study.hpp"
 #include "uld3d/nn/zoo.hpp"
+#include "uld3d/util/bench.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace uld3d;
+  bench::Harness h("table1_resnet18", argc, argv);
   const accel::CaseStudy study;
   const nn::Network net = nn::make_resnet18();
-  sim::DesignComparison cmp = study.run(net);
+  sim::DesignComparison cmp =
+      h.time("case_study_run", [&] { return study.run(net); });
   // Table I reports CONV1 and the max-pool as one row.
   sim::merge_rows(cmp, "CONV1", "POOL1", "CONV1+POOL");
 
@@ -36,5 +39,10 @@ int main() {
               "(paper total: 5.64x / 0.99x / 5.66x)", "table1_resnet18");
   std::cout << "M3D parallel CSs (Eq. 2): " << study.m3d_cs_count()
             << "  (paper: 8)\n";
-  return 0;
+
+  h.value("total_speedup", cmp.speedup, "ratio");
+  h.value("total_energy_ratio", cmp.energy_ratio, "ratio");
+  h.value("total_edp_benefit", cmp.edp_benefit, "ratio");
+  h.value("m3d_cs_count", static_cast<double>(study.m3d_cs_count()), "count");
+  return h.finish();
 }

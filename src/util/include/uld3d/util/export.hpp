@@ -1,4 +1,7 @@
-// Optional CSV export for benchmark/reproduction tables.
+// Shared export helpers: CSV table export plus the single home of the
+// CSV/JSON string-escaping entry points used by every emitter in the tree
+// (util/table CSV cells, util/metrics + util/trace JSON documents, and the
+// util/bench BENCH_*.json files).
 //
 // Every harness prints its table to stdout; setting the environment
 // variable ULD3D_CSV_DIR additionally writes each table as
@@ -21,5 +24,16 @@ std::string emit_table(std::ostream& os, const Table& table,
 
 /// The directory configured via ULD3D_CSV_DIR, or empty.
 [[nodiscard]] std::string csv_export_dir();
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters become escape sequences; non-ASCII
+/// bytes pass through untouched so UTF-8 survives).  This is the single
+/// definition; util/metrics re-exports it for back compatibility.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Escape one CSV cell RFC-4180 style: cells containing commas, quotes, or
+/// newlines are wrapped in double quotes with embedded quotes doubled;
+/// anything else is returned verbatim.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
 
 }  // namespace uld3d

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "uld3d/util/export.hpp"  // re-exports json_escape (its home moved there)
 #include "uld3d/util/table.hpp"
 
 namespace uld3d {
@@ -201,8 +202,8 @@ class ScopedTimer {
   std::chrono::steady_clock::time_point start_{};
 };
 
-/// Escape a string for embedding in a JSON string literal (shared by the
-/// metrics and trace exporters).
-[[nodiscard]] std::string json_escape(const std::string& text);
+// json_escape used to be declared here; it now lives in util/export.hpp
+// (included above), next to csv_escape, so there is a single escaping home.
+// Existing `#include "uld3d/util/metrics.hpp"` users keep compiling.
 
 }  // namespace uld3d

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/export.hpp"
 
 namespace uld3d {
 
@@ -19,17 +20,6 @@ bool looks_numeric(const std::string& cell) {
   }
   // Ratios like "5.66x" and percentages count as numeric for alignment.
   return digits * 2 >= cell.size();
-}
-
-std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  std::string out = "\"";
-  for (const char c : cell) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
 }
 
 }  // namespace

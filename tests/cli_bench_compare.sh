@@ -1,0 +1,118 @@
+#!/bin/sh
+# Exercises uld3d-bench-compare's exit-code contract:
+#   0 pass (or timing-only regressions under --time-advisory)
+#   1 timing regression
+#   2 fidelity regression (dominates timing)
+#   3 usage error / malformed JSON
+# Usage: cli_bench_compare.sh /path/to/uld3d-bench-compare [/path/to/a/bench]
+set -u
+
+cmp="$1"
+bench="${2:-}"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+failures=0
+
+check() {
+  expected="$1"
+  shift
+  "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$expected" ]; then
+    echo "FAIL: expected exit $expected, got $got: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# A minimal schema-1 suite document.  median 10ms with a tight CI so a 2x
+# slowdown is unambiguously outside noise.
+write_suite() {
+  path="$1"
+  median="$2"
+  edp="$3"
+  cat > "$path" <<EOF
+{
+  "schema_version": 1,
+  "suite": "toy_suite",
+  "provenance": {"git_sha": "test", "git_dirty": false, "compiler": "t",
+                 "compiler_flags": "", "build_type": "Release",
+                 "system": "test", "project_version": "0", "hostname": "t",
+                 "timestamp_utc": "2026-01-01T00:00:00Z", "unix_time_s": 0,
+                 "config_hashes": {}},
+  "benchmarks": [
+    {"name": "stage", "iterations": 5, "warmup": 1,
+     "min_s": $median, "max_s": $median, "mean_s": $median,
+     "median_s": $median, "mad_s": 0.0001, "ci95_half_width_s": 0.0002,
+     "samples_s": [$median, $median, $median, $median, $median]}
+  ],
+  "values": [
+    {"name": "edp_benefit", "value": $edp, "unit": "ratio"}
+  ]
+}
+EOF
+}
+
+write_suite "$tmpdir/base.json" 0.010 5.4
+write_suite "$tmpdir/same.json" 0.010 5.4
+write_suite "$tmpdir/slow.json" 0.020 5.4            # 2x slowdown
+write_suite "$tmpdir/perturbed.json" 0.010 5.4000054  # rel diff 1e-6
+write_suite "$tmpdir/both.json" 0.020 5.4000054
+
+# 0: identical runs pass
+check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/same.json"
+
+# 1: synthetic 2x slowdown trips the timing gate
+check 1 "$cmp" "$tmpdir/base.json" "$tmpdir/slow.json" --time-tol 15%
+
+# ...but is advisory-only when the runner is known to be noisy
+check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/slow.json" --time-tol 15% --time-advisory
+
+# ...and a generous tolerance accepts it
+check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/slow.json" --time-tol 150%
+
+# 2: a 1e-6 fidelity perturbation trips the value gate at tol 1e-9
+check 2 "$cmp" "$tmpdir/base.json" "$tmpdir/perturbed.json" --value-tol 1e-9
+
+# ...fidelity dominates a simultaneous timing regression
+check 2 "$cmp" "$tmpdir/base.json" "$tmpdir/both.json" --time-tol 15%
+
+# ...and --time-advisory never demotes fidelity failures
+check 2 "$cmp" "$tmpdir/base.json" "$tmpdir/both.json" --time-advisory
+
+# ...but a loose value tolerance accepts the perturbation
+check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/perturbed.json" --value-tol 1e-3
+
+# 3: usage errors and malformed input
+check 3 "$cmp"
+check 3 "$cmp" "$tmpdir/base.json"
+check 3 "$cmp" "$tmpdir/base.json" "$tmpdir/same.json" --bogus-flag
+check 3 "$cmp" "$tmpdir/missing.json" "$tmpdir/same.json"
+printf 'not json at all' > "$tmpdir/garbage.json"
+check 3 "$cmp" "$tmpdir/base.json" "$tmpdir/garbage.json"
+printf '{"schema_version": 99, "suite": "x", "benchmarks": [], "values": []}' \
+  > "$tmpdir/future.json"
+check 3 "$cmp" "$tmpdir/base.json" "$tmpdir/future.json"
+
+# merge: round-trips through the comparator
+check 0 "$cmp" merge "$tmpdir/all.json" "$tmpdir/base.json"
+check 0 "$cmp" "$tmpdir/all.json" "$tmpdir/same.json"
+check 3 "$cmp" merge "$tmpdir/bad_merge.json" "$tmpdir/garbage.json"
+
+# end-to-end against a real bench binary when one is provided: its JSON
+# artifact must self-compare clean
+if [ -n "$bench" ]; then
+  ULD3D_BENCH_DIR="$tmpdir" "$bench" --iterations 2 --warmup 0 >/dev/null 2>&1
+  produced=$(ls "$tmpdir"/BENCH_*.json 2>/dev/null | head -1)
+  if [ -z "$produced" ]; then
+    echo "FAIL: bench binary produced no BENCH_*.json" >&2
+    failures=$((failures + 1))
+  else
+    check 0 "$cmp" "$produced" "$produced"
+  fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures bench-compare check(s) failed" >&2
+  exit 1
+fi
+echo "all bench-compare checks passed"

@@ -1,0 +1,175 @@
+#include "uld3d/util/bench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/jsonv.hpp"
+#include "uld3d/util/provenance.hpp"
+
+namespace uld3d {
+namespace {
+
+using bench::compute_stats;
+using bench::Stats;
+
+TEST(ComputeStatsTest, KnownOddSequence) {
+  const Stats s = compute_stats({3.0, 1.0, 4.0, 5.0, 2.0});
+  EXPECT_EQ(s.iterations, 5);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.median_s, 3.0);
+  // |x - 3| = {0, 2, 1, 2, 1} -> median 1.
+  EXPECT_DOUBLE_EQ(s.mad_s, 1.0);
+  EXPECT_NEAR(s.ci95_half_width_s, 1.96 * 1.4826 * 1.0 / std::sqrt(5.0),
+              1e-12);
+}
+
+TEST(ComputeStatsTest, KnownEvenSequence) {
+  const Stats s = compute_stats({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.iterations, 4);
+  EXPECT_DOUBLE_EQ(s.median_s, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean_s, 2.5);
+  // |x - 2.5| = {1.5, 1.5, 0.5, 0.5} -> median 1.0.
+  EXPECT_DOUBLE_EQ(s.mad_s, 1.0);
+}
+
+TEST(ComputeStatsTest, OutlierShiftsMedianLittle) {
+  const Stats clean = compute_stats({1.0, 1.0, 1.0, 1.0, 1.0});
+  const Stats noisy = compute_stats({1.0, 1.0, 1.0, 1.0, 100.0});
+  EXPECT_DOUBLE_EQ(clean.median_s, 1.0);
+  EXPECT_DOUBLE_EQ(noisy.median_s, 1.0);   // robust center unmoved
+  EXPECT_GT(noisy.mean_s, 20.0);           // mean is not
+}
+
+TEST(ComputeStatsTest, EmptySampleYieldsZeros) {
+  const Stats s = compute_stats({});
+  EXPECT_EQ(s.iterations, 0);
+  EXPECT_DOUBLE_EQ(s.min_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.median_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.mad_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width_s, 0.0);
+}
+
+TEST(ComputeStatsTest, SingleSampleHasZeroSpread) {
+  const Stats s = compute_stats({0.25});
+  EXPECT_EQ(s.iterations, 1);
+  EXPECT_DOUBLE_EQ(s.min_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.median_s, 0.25);
+  EXPECT_DOUBLE_EQ(s.mad_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width_s, 0.0);
+}
+
+TEST(ProvenanceTest, CaptureIsPopulated) {
+  const Provenance p = capture_provenance();
+  EXPECT_FALSE(p.git_sha.empty());
+  EXPECT_FALSE(p.compiler.empty());
+  EXPECT_FALSE(p.build_type.empty());
+  EXPECT_FALSE(p.system.empty());
+  EXPECT_FALSE(p.hostname.empty());
+  EXPECT_GT(p.unix_time_s, 1700000000);  // after Nov 2023: clock is sane
+  // ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SSZ"
+  ASSERT_EQ(p.timestamp_utc.size(), 20u);
+  EXPECT_EQ(p.timestamp_utc[10], 'T');
+  EXPECT_EQ(p.timestamp_utc.back(), 'Z');
+}
+
+TEST(ProvenanceTest, JsonIsValidAndCarriesFields) {
+  Provenance p = capture_provenance();
+  p.config_hashes.emplace_back("paper_sec2.ini", fnv1a_hex("contents"));
+  const JsonValue doc = json_parse(provenance_json(p));
+  EXPECT_EQ(doc.at("git_sha").as_string(), p.git_sha);
+  EXPECT_EQ(doc.at("hostname").as_string(), p.hostname);
+  EXPECT_EQ(doc.at("build_type").as_string(), p.build_type);
+  EXPECT_DOUBLE_EQ(doc.at("unix_time_s").as_number(),
+                   static_cast<double>(p.unix_time_s));
+  const JsonValue& hashes = doc.at("config_hashes");
+  EXPECT_EQ(hashes.at("paper_sec2.ini").as_string(), fnv1a_hex("contents"));
+}
+
+TEST(ProvenanceTest, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a_hash(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a_hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a_hash("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_EQ(fnv1a_hex("foobar"), "85944171f73967e8");
+  EXPECT_EQ(fnv1a_hex("").size(), 16u);
+}
+
+TEST(HarnessTest, TimeReturnsLastResultAndRecordsSamples) {
+  bench::Harness h("unit_suite");
+  int calls = 0;
+  const int result = h.time("kernel", [&] { return ++calls; });
+  // default options: 1 warmup (discarded) + 5 timed iterations.
+  EXPECT_EQ(h.options().warmup, 1);
+  EXPECT_EQ(h.options().iterations, 5);
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(result, 6);  // value of the last timed invocation
+  const Stats& s = h.stats("kernel");
+  EXPECT_EQ(s.iterations, 5);
+  EXPECT_GE(s.min_s, 0.0);
+  EXPECT_GE(s.max_s, s.min_s);
+}
+
+TEST(HarnessTest, VoidCallableIsTimedToo) {
+  bench::Harness h("unit_suite");
+  int calls = 0;
+  h.time("void_kernel", [&] { ++calls; });
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(h.stats("void_kernel").iterations, 5);
+}
+
+TEST(HarnessTest, StatsThrowsForUnknownBenchmark) {
+  bench::Harness h("unit_suite");
+  EXPECT_THROW((void)h.stats("never_recorded"), PreconditionError);
+}
+
+TEST(HarnessTest, ToJsonIsValidSchemaVersionedDocument) {
+  bench::Harness h("unit_suite");
+  h.record_samples("stage", {0.010, 0.012, 0.011});
+  h.value("edp_benefit", 5.4321, "ratio");
+  h.note_config("workload", "resnet18");
+  const JsonValue doc = json_parse(h.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("schema_version").as_number(),
+                   static_cast<double>(bench::kBenchSchemaVersion));
+  EXPECT_EQ(doc.at("suite").as_string(), "unit_suite");
+  EXPECT_FALSE(doc.at("provenance").at("git_sha").as_string().empty());
+
+  const JsonValue& benches = doc.at("benchmarks");
+  ASSERT_EQ(benches.as_array().size(), 1u);
+  const JsonValue& b = benches.as_array().front();
+  EXPECT_EQ(b.at("name").as_string(), "stage");
+  EXPECT_DOUBLE_EQ(b.at("median_s").as_number(), 0.011);
+  EXPECT_EQ(b.at("samples_s").as_array().size(), 3u);
+
+  const JsonValue& values = doc.at("values");
+  ASSERT_EQ(values.as_array().size(), 1u);
+  EXPECT_EQ(values.as_array().front().at("name").as_string(), "edp_benefit");
+  EXPECT_DOUBLE_EQ(values.as_array().front().at("value").as_number(), 5.4321);
+  EXPECT_EQ(values.as_array().front().at("unit").as_string(), "ratio");
+
+  const JsonValue& hashes = doc.at("provenance").at("config_hashes");
+  EXPECT_EQ(hashes.at("workload").as_string(), fnv1a_hex("resnet18"));
+}
+
+TEST(HarnessTest, NonFiniteValuesSurviveJsonRoundTrip) {
+  bench::Harness h("unit_suite");
+  h.record_samples("stage", {0.010});
+  h.value("bad_ratio", std::nan(""), "ratio");
+  const JsonValue doc = json_parse(h.to_json());  // must still parse
+  EXPECT_EQ(doc.at("values").as_array().front().at("value").as_string(),
+            "nan");
+}
+
+TEST(HarnessTest, EmptySamplesRejected) {
+  bench::Harness h("unit_suite");
+  EXPECT_THROW(h.record_samples("empty", {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace uld3d

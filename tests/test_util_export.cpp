@@ -66,5 +66,54 @@ TEST_F(ExportTest, DirAccessorReflectsEnvironment) {
   EXPECT_EQ(csv_export_dir(), "/tmp");
 }
 
+// json_escape / csv_escape live in export.hpp (single definition shared by
+// metrics, table CSV, and the bench harness).
+
+TEST(JsonEscapeTest, PlainStringUnchanged) {
+  EXPECT_EQ(json_escape("hello world_123"), "hello world_123");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, CommonControlCharacters) {
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+}
+
+TEST(JsonEscapeTest, OtherControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(json_escape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscapeTest, NonAsciiBytesPassThrough) {
+  // UTF-8 multi-byte sequences are valid inside JSON strings unescaped.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x82\xac";
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(CsvEscapeTest, PlainFieldUnquoted) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, SeparatorsAndQuotesForceQuoting) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"no\""), "\"he said \"\"no\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvEscapeTest, NonAsciiBytesPassThrough) {
+  const std::string utf8 = "\xc3\xbcml\xc3\xa4ut";
+  EXPECT_EQ(csv_escape(utf8), utf8);
+}
+
 }  // namespace
 }  // namespace uld3d

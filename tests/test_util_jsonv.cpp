@@ -1,0 +1,95 @@
+#include "uld3d/util/jsonv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "uld3d/util/check.hpp"
+
+namespace uld3d {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, RoundTripPrecision) {
+  // Doubles written at precision 17 must re-parse exactly (the fidelity
+  // gate compares at 1e-9 relative tolerance).
+  const double x = 5.4760983372718347;
+  const JsonValue v = json_parse("5.4760983372718347");
+  EXPECT_EQ(v.as_number(), x);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(json_parse("\"a\\nb\"").as_string(), "a\nb");
+  EXPECT_EQ(json_parse("\"q\\\"q\"").as_string(), "q\"q");
+  EXPECT_EQ(json_parse("\"back\\\\slash\"").as_string(), "back\\slash");
+  EXPECT_EQ(json_parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(json_parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é as UTF-8
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  const JsonValue v = json_parse(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), PreconditionError);
+}
+
+TEST(JsonParseTest, ObjectPreservesInsertionOrder) {
+  const JsonValue v = json_parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonParseTest, MalformedInputsThrow) {
+  EXPECT_THROW((void)json_parse(""), JsonParseError);
+  EXPECT_THROW((void)json_parse("not json"), JsonParseError);
+  EXPECT_THROW((void)json_parse("{"), JsonParseError);
+  EXPECT_THROW((void)json_parse("[1, 2,]"), JsonParseError);
+  EXPECT_THROW((void)json_parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW((void)json_parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW((void)json_parse("{} trailing"), JsonParseError);
+  EXPECT_THROW((void)json_parse("nul"), JsonParseError);
+}
+
+TEST(JsonParseTest, TypeMismatchesThrow) {
+  const JsonValue v = json_parse("[1]");
+  EXPECT_THROW((void)v.as_object(), PreconditionError);
+  EXPECT_THROW((void)v.as_number(), PreconditionError);
+  EXPECT_THROW((void)v.as_string(), PreconditionError);
+}
+
+TEST(JsonParseTest, ConvenienceAccessors) {
+  const JsonValue v = json_parse(R"({"n": 7, "s": "x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(v.number_or("s", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -2.0), -2.0);
+  EXPECT_EQ(v.string_or("s", "d"), "x");
+  EXPECT_EQ(v.string_or("n", "d"), "d");
+}
+
+TEST(JsonParseTest, FileMissingThrows) {
+  EXPECT_THROW((void)json_parse_file("/nonexistent/zzz.json"),
+               JsonParseError);
+}
+
+TEST(JsonParseTest, NestedDepthAndWhitespace) {
+  const JsonValue v = json_parse(" \n\t[ { \"k\" : [ 1 ,\n 2 ] } ] ");
+  EXPECT_DOUBLE_EQ(v.as_array()[0].at("k").as_array()[1].as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace uld3d

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Refresh the committed benchmark baselines in bench/baselines/.
+#
+# Usage: tools/refresh_baselines.sh [BUILD_DIR]
+#
+# Rebuilds in Release mode (the only mode whose timings are meaningful as a
+# baseline), runs the full suite via tools/run_benches.sh, and rewrites
+# bench/baselines/BENCH_*.json.  Review the fidelity-value diff before
+# committing: value changes mean the model output moved, not just the clock.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+      -DULD3D_BUILD_BENCHMARKS=ON
+cmake --build "$build_dir" -j
+
+out_dir="$repo_root/bench/baselines"
+"$repo_root/tools/run_benches.sh" "$build_dir" "$out_dir"
+
+echo ""
+echo "Baselines refreshed under $out_dir."
+echo "Inspect 'git diff bench/baselines' — timing drift is expected between"
+echo "machines, but fidelity-value changes must be explainable by a model"
+echo "change before you commit them."

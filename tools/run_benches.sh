@@ -1,0 +1,48 @@
+#!/bin/sh
+# Run the full benchmark suite and merge the per-suite JSON artifacts.
+#
+# Usage: tools/run_benches.sh BUILD_DIR OUT_DIR [extra bench args...]
+#
+# Runs every bench_* binary under BUILD_DIR/bench with BENCH_<suite>.json
+# emission redirected to OUT_DIR, then merges them into OUT_DIR/BENCH_all.json
+# with `uld3d-bench-compare merge`.  Extra arguments (e.g. --iterations 9)
+# are passed through to every bench binary.
+set -eu
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 BUILD_DIR OUT_DIR [extra bench args...]" >&2
+  exit 3
+fi
+
+build_dir=$1
+out_dir=$2
+shift 2
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "error: $build_dir/bench does not exist (build with ULD3D_BUILD_BENCHMARKS=ON first)" >&2
+  exit 3
+fi
+mkdir -p "$out_dir"
+
+compare="$build_dir/tools/uld3d-bench-compare"
+if [ ! -x "$compare" ]; then
+  echo "error: $compare not built" >&2
+  exit 3
+fi
+
+count=0
+for bench in "$build_dir"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name =="
+  ULD3D_BENCH_DIR="$out_dir" "$bench" "$@"
+  count=$((count + 1))
+done
+
+if [ "$count" -eq 0 ]; then
+  echo "error: no bench binaries found under $build_dir/bench" >&2
+  exit 3
+fi
+
+"$compare" merge "$out_dir/BENCH_all.json" "$out_dir"/BENCH_*.json
+echo "Ran $count bench binaries; artifacts in $out_dir"
