@@ -77,8 +77,11 @@ Stats compute_stats(std::vector<double> samples_s) {
   s.mad_s = median_of(deviations);
 
   if (samples_s.size() > 1) {
-    // Normal approximation with the robust sigma estimate 1.4826 * MAD.
-    s.ci95_half_width_s = 1.96 * 1.4826 * s.mad_s /
+    // Normal approximation with the robust sigma estimate 1.4826 * MAD,
+    // inflated by sqrt(pi/2) because the sample median's asymptotic
+    // standard error is sqrt(pi/2) * sigma / sqrt(n), not sigma / sqrt(n).
+    const double median_se_inflation = std::sqrt(std::acos(-1.0) / 2.0);
+    s.ci95_half_width_s = 1.96 * median_se_inflation * 1.4826 * s.mad_s /
                           std::sqrt(static_cast<double>(samples_s.size()));
   }
   return s;
@@ -182,6 +185,12 @@ void Harness::value(const std::string& name, double v,
   values_.push_back({name, v, unit});
 }
 
+void Harness::timing_value(const std::string& name, double v,
+                           const std::string& unit) {
+  expects(!name.empty(), "timing value name must be non-empty");
+  timing_values_.push_back({name, v, unit});
+}
+
 void Harness::note_config(const std::string& name,
                           const std::string& content) {
   expects(!name.empty(), "config name must be non-empty");
@@ -222,14 +231,20 @@ std::string Harness::to_json() const {
     os << "]}";
   }
   os << "\n  ],\n";
+  const auto emit_values = [&](const std::vector<ValueResult>& values) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const ValueResult& v = values[i];
+      if (i > 0) os << ",";
+      os << "\n    {\"name\": \"" << json_escape(v.name) << "\", \"value\": "
+         << json_number(v.value) << ", \"unit\": \"" << json_escape(v.unit)
+         << "\"}";
+    }
+  };
   os << "  \"values\": [";
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    const ValueResult& v = values_[i];
-    if (i > 0) os << ",";
-    os << "\n    {\"name\": \"" << json_escape(v.name) << "\", \"value\": "
-       << json_number(v.value) << ", \"unit\": \"" << json_escape(v.unit)
-       << "\"}";
-  }
+  emit_values(values_);
+  os << "\n  ],\n";
+  os << "  \"timing_values\": [";
+  emit_values(timing_values_);
   os << "\n  ]\n}\n";
   return os.str();
 }
@@ -257,6 +272,13 @@ int Harness::finish() {
       table.add_row({v.name, format_double(v.value, 6), v.unit});
     }
     table.print(std::cout, "Recorded values: " + suite_);
+  }
+  if (!timing_values_.empty()) {
+    Table table({"Timing-derived value", "Value", "Unit"});
+    for (const auto& v : timing_values_) {
+      table.add_row({v.name, format_double(v.value, 6), v.unit});
+    }
+    table.print(std::cout, "Timing-derived values: " + suite_);
   }
   if (!options_.write_json || options_.json_path.empty()) return 0;
   std::ofstream file(options_.json_path);

@@ -28,8 +28,10 @@
 // ------
 // `finish()` prints a timing-summary table to stdout and, unless `--no-json`
 // was given, writes a schema-versioned `BENCH_<suite>.json` containing the
-// provenance block (util/provenance), all timing samples + statistics, and
-// the named fidelity values.  `--json PATH` picks the file, otherwise
+// provenance block (util/provenance), all timing samples + statistics, the
+// named fidelity values ("values", hard-gated by the comparator), and the
+// named timing-derived values ("timing_values", tolerance-gated like the
+// benchmark medians).  `--json PATH` picks the file, otherwise
 // `$ULD3D_BENCH_DIR/BENCH_<suite>.json` (or `./BENCH_<suite>.json`).
 #pragma once
 
@@ -66,8 +68,10 @@ struct Stats {
   /// Median absolute deviation from the median (robust spread).
   double mad_s = 0.0;
   /// Half-width of an approximate 95% confidence interval for the median:
-  /// 1.96 * 1.4826 * MAD / sqrt(n) (normal approximation with the robust
-  /// sigma estimate).  Zero for n <= 1.
+  /// 1.96 * sqrt(pi/2) * 1.4826 * MAD / sqrt(n).  The normal approximation
+  /// with the robust sigma estimate (1.4826 * MAD), inflated by
+  /// sqrt(pi/2) ~= 1.2533 because the sample median's asymptotic standard
+  /// error is that much wider than the mean's.  Zero for n <= 1.
   double ci95_half_width_s = 0.0;
 };
 
@@ -83,7 +87,9 @@ struct BenchResult {
   Stats stats;
 };
 
-/// One named model-fidelity scalar (EDP benefit, worst deviation, ...).
+/// One named scalar result.  Used for both model-fidelity values (emitted
+/// under "values", hard-gated by the comparator) and timing-derived values
+/// (emitted under "timing_values", noise/tolerance-gated like benchmarks).
 struct ValueResult {
   std::string name;
   double value = 0.0;
@@ -161,8 +167,16 @@ class Harness {
   /// `samples_s` must be non-empty.
   void record_samples(const std::string& name, std::vector<double> samples_s);
 
-  /// Record one named model-fidelity scalar.
+  /// Record one named model-fidelity scalar.  These are deterministic model
+  /// outputs: the comparator hard-fails when one drifts beyond --value-tol.
   void value(const std::string& name, double v, const std::string& unit = "");
+
+  /// Record one named timing-derived scalar (ns/op, overhead ratio, ...).
+  /// These come from the wall clock and can never reproduce exactly, so the
+  /// comparator gates them with the timing tolerance (and --time-advisory
+  /// demotes their regressions), never with the fidelity gate.
+  void timing_value(const std::string& name, double v,
+                    const std::string& unit = "");
 
   /// Fingerprint a named configuration (file content, parameter string...)
   /// into the provenance block, so config drift is visible across runs.
@@ -188,6 +202,7 @@ class Harness {
   Provenance provenance_;
   std::vector<BenchResult> benchmarks_;
   std::vector<ValueResult> values_;
+  std::vector<ValueResult> timing_values_;
 };
 
 }  // namespace uld3d::bench

@@ -25,11 +25,13 @@ check() {
 }
 
 # A minimal schema-1 suite document.  median 10ms with a tight CI so a 2x
-# slowdown is unambiguously outside noise.
+# slowdown is unambiguously outside noise; ns_per_op is a timing-derived
+# value gated by --time-tol, not --value-tol.
 write_suite() {
   path="$1"
   median="$2"
   edp="$3"
+  nspo="$4"
   cat > "$path" <<EOF
 {
   "schema_version": 1,
@@ -47,16 +49,21 @@ write_suite() {
   ],
   "values": [
     {"name": "edp_benefit", "value": $edp, "unit": "ratio"}
+  ],
+  "timing_values": [
+    {"name": "ns_per_op", "value": $nspo, "unit": "ns"}
   ]
 }
 EOF
 }
 
-write_suite "$tmpdir/base.json" 0.010 5.4
-write_suite "$tmpdir/same.json" 0.010 5.4
-write_suite "$tmpdir/slow.json" 0.020 5.4            # 2x slowdown
-write_suite "$tmpdir/perturbed.json" 0.010 5.4000054  # rel diff 1e-6
-write_suite "$tmpdir/both.json" 0.020 5.4000054
+write_suite "$tmpdir/base.json" 0.010 5.4 2.0
+write_suite "$tmpdir/same.json" 0.010 5.4 2.0
+write_suite "$tmpdir/slow.json" 0.020 5.4 2.0             # 2x slowdown
+write_suite "$tmpdir/perturbed.json" 0.010 5.4000054 2.0  # rel diff 1e-6
+write_suite "$tmpdir/both.json" 0.020 5.4000054 2.0
+write_suite "$tmpdir/tv_slow.json" 0.010 5.4 4.0          # 2x ns/op only
+write_suite "$tmpdir/tv_jitter.json" 0.010 5.4 2.00002    # 1e-5 rel drift
 
 # 0: identical runs pass
 check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/same.json"
@@ -81,6 +88,16 @@ check 2 "$cmp" "$tmpdir/base.json" "$tmpdir/both.json" --time-advisory
 
 # ...but a loose value tolerance accepts the perturbation
 check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/perturbed.json" --value-tol 1e-3
+
+# timing-derived values are TIMING-class: a 2x ns/op regression exits 1,
+# is demoted by --time-advisory, and never trips the fidelity gate even at
+# --value-tol 1e-9
+check 1 "$cmp" "$tmpdir/base.json" "$tmpdir/tv_slow.json" --time-tol 15%
+check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/tv_slow.json" --time-tol 15% --time-advisory
+check 1 "$cmp" "$tmpdir/base.json" "$tmpdir/tv_slow.json" --value-tol 1e-9 --time-tol 15%
+
+# ...and wall-clock jitter far beyond --value-tol but inside --time-tol passes
+check 0 "$cmp" "$tmpdir/base.json" "$tmpdir/tv_jitter.json" --time-tol 15% --value-tol 1e-9
 
 # 3: usage errors and malformed input
 check 3 "$cmp"

@@ -25,7 +25,11 @@ TEST(ComputeStatsTest, KnownOddSequence) {
   EXPECT_DOUBLE_EQ(s.median_s, 3.0);
   // |x - 3| = {0, 2, 1, 2, 1} -> median 1.
   EXPECT_DOUBLE_EQ(s.mad_s, 1.0);
-  EXPECT_NEAR(s.ci95_half_width_s, 1.96 * 1.4826 * 1.0 / std::sqrt(5.0),
+  // Median CI: 1.96 * sqrt(pi/2) * 1.4826 * MAD / sqrt(n) — the sqrt(pi/2)
+  // factor is the median's standard-error inflation over the mean's.
+  EXPECT_NEAR(s.ci95_half_width_s,
+              1.96 * std::sqrt(std::acos(-1.0) / 2.0) * 1.4826 * 1.0 /
+                  std::sqrt(5.0),
               1e-12);
 }
 
@@ -155,6 +159,32 @@ TEST(HarnessTest, ToJsonIsValidSchemaVersionedDocument) {
 
   const JsonValue& hashes = doc.at("provenance").at("config_hashes");
   EXPECT_EQ(hashes.at("workload").as_string(), fnv1a_hex("resnet18"));
+}
+
+TEST(HarnessTest, TimingValuesLiveInTheirOwnArray) {
+  bench::Harness h("unit_suite");
+  h.record_samples("stage", {0.010});
+  h.value("edp_benefit", 5.4, "ratio");
+  h.timing_value("kernel_ns_per_op", 1.75, "ns");
+  const JsonValue doc = json_parse(h.to_json());
+  // Timing-derived scalars must NOT land in the hard-gated "values" array.
+  ASSERT_EQ(doc.at("values").as_array().size(), 1u);
+  EXPECT_EQ(doc.at("values").as_array().front().at("name").as_string(),
+            "edp_benefit");
+  const JsonValue& timing = doc.at("timing_values");
+  ASSERT_EQ(timing.as_array().size(), 1u);
+  EXPECT_EQ(timing.as_array().front().at("name").as_string(),
+            "kernel_ns_per_op");
+  EXPECT_DOUBLE_EQ(timing.as_array().front().at("value").as_number(), 1.75);
+  EXPECT_EQ(timing.as_array().front().at("unit").as_string(), "ns");
+}
+
+TEST(HarnessTest, TimingValuesArrayPresentWhenEmpty) {
+  bench::Harness h("unit_suite");
+  h.record_samples("stage", {0.010});
+  const JsonValue doc = json_parse(h.to_json());
+  EXPECT_TRUE(doc.at("timing_values").is_array());
+  EXPECT_TRUE(doc.at("timing_values").as_array().empty());
 }
 
 TEST(HarnessTest, NonFiniteValuesSurviveJsonRoundTrip) {

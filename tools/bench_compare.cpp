@@ -7,13 +7,19 @@
 //   uld3d-bench-compare merge OUT.json IN1.json [IN2.json ...]
 //
 // Compare mode matches suites by name, then:
-//   * fidelity values: fails when the relative difference of a named value
-//     exceeds --value-tol (default 1e-9), or when a baseline value/suite
-//     is missing from the current run — model drift is never "noise";
+//   * fidelity values ("values"): fails when the relative difference of a
+//     named value exceeds --value-tol (default 1e-9), or when a baseline
+//     value/suite is missing from the current run — model drift is never
+//     "noise";
 //   * timings: fails when the current median exceeds the baseline median by
 //     more than --time-tol (default 15%) AND the gap exceeds
 //     --noise-mult x the summed 95% CI half-widths of both runs, so a
-//     noisy CI machine does not produce flaky timing verdicts.
+//     noisy CI machine does not produce flaky timing verdicts;
+//   * timing-derived values ("timing_values": ns/op, overhead ratios, ...):
+//     wall-clock-derived scalars that can never reproduce exactly, so they
+//     fail only when the current value exceeds the baseline by more than
+//     --time-tol, and their regressions are TIMING-class (demoted by
+//     --time-advisory), never fidelity failures.
 //
 // Exit codes (this tool's contract, asserted by tests/cli_bench_compare.sh):
 //   0  no regression
@@ -54,7 +60,8 @@ struct CompareOptions {
       "usage: uld3d-bench-compare BASELINE.json CURRENT.json [options]\n"
       "       uld3d-bench-compare merge OUT.json IN1.json [IN2.json ...]\n"
       "options:\n"
-      "  --time-tol PCT    allowed median slowdown, e.g. 15% or 0.15\n"
+      "  --time-tol PCT    allowed median (and timing-value) slowdown,\n"
+      "                    e.g. 15% or 0.15\n"
       "  --value-tol REL   allowed relative fidelity-value drift (1e-9)\n"
       "  --noise-mult K    slowdown must exceed K x summed CI95 half-widths\n"
       "  --time-advisory   report timing regressions but exit 0 for them\n"
@@ -214,6 +221,43 @@ int run_compare(const CompareOptions& opts) {
         } else if (opts.verbose) {
           std::cout << "ok value " << base_suite.name << "/" << name << " ("
                     << delta_text << ")\n";
+        }
+      }
+    }
+
+    // Timing-derived values (ns/op, overhead ratios): wall-clock numbers
+    // without per-sample CIs, gated one-sided at the timing tolerance and
+    // reported with the TIMING class so --time-advisory demotes them.
+    if (const JsonValue* tvalues = base_suite.doc->find("timing_values");
+        tvalues != nullptr && tvalues->is_array()) {
+      for (const JsonValue& base_value : tvalues->as_array()) {
+        const std::string name = base_value.string_or("name", "");
+        if (name.empty()) continue;
+        ++timing_checks;
+        const JsonValue* cur_value = find_named(*cur, "timing_values", name);
+        if (cur_value == nullptr) {
+          failures.add_row({base_suite.name, name, "present", "MISSING", "-",
+                            "TIMING"});
+          ++timing_regressions;
+          continue;
+        }
+        const JsonValue* bv = base_value.find("value");
+        const JsonValue* cv = cur_value->find("value");
+        const bool both_num = bv != nullptr && bv->is_number() &&
+                              cv != nullptr && cv->is_number();
+        if (!both_num) continue;  // "nan"/"inf" strings: nothing to gate
+        const double base_v = bv->as_number();
+        const double cur_v = cv->as_number();
+        if (!(base_v > 0.0)) continue;  // nothing to gate against
+        const double slowdown = cur_v / base_v;
+        if (cur_v > base_v * (1.0 + opts.time_tol)) {
+          failures.add_row({base_suite.name, name, format_double(base_v, 4),
+                            format_double(cur_v, 4), format_ratio(slowdown, 2),
+                            "TIMING"});
+          ++timing_regressions;
+        } else if (opts.verbose) {
+          std::cout << "ok timing value " << base_suite.name << "/" << name
+                    << " (" << format_ratio(slowdown, 2) << ")\n";
         }
       }
     }

@@ -23,6 +23,10 @@ if [ ! -d "$build_dir/bench" ]; then
   exit 3
 fi
 mkdir -p "$out_dir"
+# A previous run (or the committed baselines when OUT_DIR=bench/baselines)
+# leaves a merged BENCH_all.json behind; the merge glob below would pick it
+# up and refuse to double-merge it.  It is regenerated at the end anyway.
+rm -f "$out_dir/BENCH_all.json"
 
 compare="$build_dir/tools/uld3d-bench-compare"
 if [ ! -x "$compare" ]; then
