@@ -38,10 +38,14 @@ struct Sensitivity {
 /// Compute elasticities of `objective(params)` around `baseline`, one
 /// parameter at a time, with a relative `step` (default 5%).  Per-parameter
 /// failures follow `policy`; failed entries carry NaN elasticities.
+/// Parameters are evaluated on `jobs` threads (0 = global parallel::jobs())
+/// into pre-sized slots, so the result is bit-identical at any jobs count;
+/// an armed FaultInjector pins the analysis to jobs=1 (arrival-order trips).
 [[nodiscard]] std::vector<Sensitivity> analyze_sensitivity(
     const std::vector<std::string>& names, const std::vector<double>& baseline,
     const std::function<double(const std::vector<double>&)>& objective,
-    double step = 0.05, ErrorPolicy policy = ErrorPolicy::kSkipAndRecord);
+    double step = 0.05, ErrorPolicy policy = ErrorPolicy::kSkipAndRecord,
+    int jobs = 0);
 
 /// Render sensitivities as a table, largest |elasticity| first; failed
 /// entries sink to the bottom with their error code in place of numbers.

@@ -34,7 +34,9 @@ class Grid {
   Grid& axis(std::string name, std::vector<double> values);
 
   [[nodiscard]] std::size_t axis_count() const { return axes_.size(); }
-  [[nodiscard]] std::size_t size() const;  ///< product of axis lengths
+  /// Product of axis lengths; throws StatusError(kInvalidArgument) naming
+  /// the offending axis when the product overflows std::size_t.
+  [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
 
   /// The `index`-th grid point (row-major over axes in insertion order).
@@ -52,6 +54,12 @@ enum class ErrorPolicy {
 
 struct SweepOptions {
   ErrorPolicy policy = ErrorPolicy::kSkipAndRecord;
+  /// Worker threads evaluating points (0 = the global parallel::jobs()).
+  /// Any jobs count yields bit-identical rows; kFailFast still rethrows
+  /// the first failure in INDEX order (later points may have been
+  /// speculatively evaluated before cancellation).  An armed FaultInjector
+  /// pins the sweep to jobs=1 so trip arrival order stays deterministic.
+  int jobs = 0;
 };
 
 /// One evaluated design point.  Failed rows keep their params, carry NaN

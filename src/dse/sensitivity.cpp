@@ -7,6 +7,7 @@
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
+#include "uld3d/util/parallel.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
@@ -35,7 +36,7 @@ double evaluate_checked(
 std::vector<Sensitivity> analyze_sensitivity(
     const std::vector<std::string>& names, const std::vector<double>& baseline,
     const std::function<double(const std::vector<double>&)>& objective,
-    double step, ErrorPolicy policy) {
+    double step, ErrorPolicy policy, int jobs) {
   expects(names.size() == baseline.size(),
           "one name per baseline parameter required");
   expects(step > 0.0 && step < 1.0, "relative step must be in (0, 1)");
@@ -44,16 +45,23 @@ std::vector<Sensitivity> analyze_sensitivity(
   Counter& m_failed = registry.counter("dse.sensitivity.failed");
   Histogram& m_param_us = registry.histogram("dse.sensitivity.param_us");
   TraceSpan analysis_span("dse.sensitivity", "dse");
+  // The baseline evaluation is always serial and fail-fast — without it no
+  // elasticity is defined.
   const double base_objective = objective(baseline);
   expects(std::abs(base_objective) > 0.0,
           "objective must be non-zero at the baseline");
   expects(std::isfinite(base_objective),
           "objective must be finite at the baseline");
 
-  std::vector<Sensitivity> results;
-  results.reserve(names.size());
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    Sensitivity s;
+  // Same serial-fallback rule as run_sweep: injected trips are arrival-
+  // ordered, so an armed injector forces one thread.
+  const int effective_jobs = FaultInjector::instance().armed()
+                                 ? 1
+                                 : parallel::resolve_jobs(jobs);
+
+  std::vector<Sensitivity> results(names.size());
+  const auto evaluate_parameter = [&](std::size_t i) {
+    Sensitivity& s = results[i];
     s.parameter = names[i];
     s.baseline_value = baseline[i];
     TraceSpan param_span(names[i], "dse");
@@ -82,8 +90,9 @@ std::vector<Sensitivity> analyze_sensitivity(
       s.elasticity = std::numeric_limits<double>::quiet_NaN();
       m_failed.add();
     }
-    results.push_back(std::move(s));
-  }
+  };
+  parallel::parallel_for_indexed(names.size(), evaluate_parameter,
+                                 {.jobs = effective_jobs});
   return results;
 }
 

@@ -10,6 +10,7 @@
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
+#include "uld3d/util/parallel.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
@@ -24,8 +25,18 @@ Grid& Grid::axis(std::string name, std::vector<double> values) {
 }
 
 std::size_t Grid::size() const {
-  std::size_t n = axes_.empty() ? 0 : 1;
-  for (const auto& a : axes_) n *= a.values.size();
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const auto& a : axes_) {
+    const std::size_t len = a.values.size();
+    if (n > std::numeric_limits<std::size_t>::max() / len) {
+      throw StatusError(
+          Failure(ErrorCode::kInvalidArgument,
+                  "grid size overflows std::size_t")
+              .with("axis", a.name));
+    }
+    n *= len;
+  }
   return n;
 }
 
@@ -146,17 +157,27 @@ Table SweepResult::to_table(int digits) const {
 std::string SweepResult::failure_summary() const {
   const std::size_t failed = failed_count();
   if (failed == 0) return {};
+  // A mostly-failed 10k-point sweep would otherwise build a multi-megabyte
+  // string; the first few points carry all the diagnostic signal.
+  constexpr std::size_t kMaxReported = 20;
   std::ostringstream os;
   os << failed << " of " << rows_.size() << " design points failed:\n";
+  std::size_t reported = 0;
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const auto& row = rows_[i];
     if (row.ok()) continue;
+    if (reported == kMaxReported) {
+      os << "  ... and " << (failed - kMaxReported)
+         << " more failing point(s)\n";
+      break;
+    }
     os << "  point " << i << " (";
     for (std::size_t p = 0; p < row.params.size(); ++p) {
       if (p > 0) os << ", ";
       os << param_names_[p] << "=" << format_double(row.params[p], 4);
     }
     os << "): " << row.failure->to_string() << "\n";
+    ++reported;
   }
   return os.str();
 }
@@ -182,6 +203,7 @@ SweepResult run_sweep(
         evaluate,
     const SweepOptions& options) {
   expects(!metric_names.empty(), "sweep needs at least one metric");
+  const std::size_t grid_size = grid.size();
   std::vector<std::string> param_names;
   param_names.reserve(grid.axis_count());
   for (const auto& axis : grid.axes()) param_names.push_back(axis.name);
@@ -193,17 +215,25 @@ SweepResult run_sweep(
   Counter& m_failed = registry.counter("dse.sweep.failed");
   Counter& m_skipped = registry.counter("dse.sweep.skipped");
   Histogram& m_point_us = registry.histogram("dse.sweep.point_us");
-  registry.gauge("dse.sweep.grid_size").set(static_cast<double>(grid.size()));
+  registry.gauge("dse.sweep.grid_size").set(static_cast<double>(grid_size));
   m_runs.add();
   TraceSpan sweep_span("dse.sweep", "dse");
   const bool timed = metrics_enabled();
   const auto sweep_start = timed ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
 
-  std::vector<SweepRow> rows;
-  rows.reserve(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    SweepRow row;
+  // Fault plans trip on ARRIVAL order at each site, which only the serial
+  // loop reproduces — an armed injector pins the sweep to one thread.
+  const int jobs = FaultInjector::instance().armed()
+                       ? 1
+                       : parallel::resolve_jobs(options.jobs);
+  registry.gauge("dse.sweep.jobs").set(static_cast<double>(jobs));
+
+  // Pre-sized row slots indexed by grid index: assembly order (and thus
+  // the result) is bit-identical to the serial loop at any jobs count.
+  std::vector<SweepRow> rows(grid_size);
+  const auto evaluate_point = [&](std::size_t i) {
+    SweepRow& row = rows[i];
     row.params = grid.point(i);
     std::optional<std::vector<double>> metrics;
     try {
@@ -248,16 +278,16 @@ SweepResult run_sweep(
     } else {
       m_ok.add();
     }
-    rows.push_back(std::move(row));
-  }
+  };
+  parallel::parallel_for_indexed(grid_size, evaluate_point, {.jobs = jobs});
   if (timed) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       sweep_start)
             .count();
-    if (seconds > 0.0 && grid.size() > 0) {
+    if (seconds > 0.0 && grid_size > 0) {
       registry.gauge("dse.sweep.points_per_sec")
-          .set(static_cast<double>(grid.size()) / seconds);
+          .set(static_cast<double>(grid_size) / seconds);
     }
   }
   return SweepResult(std::move(param_names),

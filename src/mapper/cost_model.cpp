@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "uld3d/mapper/map_cache.hpp"
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/math.hpp"
 
@@ -144,6 +145,17 @@ LayerCost price_vector_layer(const nn::Layer& layer, const Architecture& arch,
 LayerCost evaluate_conv(const nn::ConvSpec& conv, const Architecture& arch,
                         const SystemCosts& sys, std::int64_t n_cs) {
   expects(n_cs >= 1, "need at least one CS");
+  MapCache& cache = MapCache::instance();
+  MapCache::Key cache_key;
+  if (cache.enabled()) {
+    cache_key = MapCache::key(conv, arch, sys, n_cs);
+    if (std::optional<LayerCost> hit = cache.lookup(cache_key)) {
+      // The key excludes layer names; restore the caller's so cache-on and
+      // cache-off outputs are byte-identical.
+      hit->layer = conv.name;
+      return std::move(*hit);
+    }
+  }
   const auto candidates = candidate_mappings(conv, arch);
   LayerCost best;
   double best_edp = std::numeric_limits<double>::infinity();
@@ -155,6 +167,7 @@ LayerCost evaluate_conv(const nn::ConvSpec& conv, const Architecture& arch,
       best = std::move(c);
     }
   }
+  if (cache.enabled()) cache.insert(cache_key, best);
   return best;
 }
 

@@ -1,0 +1,118 @@
+// Sharded memoization cache for temporal-mapping layer costs.
+//
+// Networks repeat layer shapes heavily (every ResNet block re-prices the
+// same 3x3 conv) and the spatial search re-prices each layer under dozens
+// of PE-array variants, so `evaluate_conv` sees the same (ConvSpec,
+// Architecture, SystemCosts, n_cs) tuple thousands of times per sweep.
+// The cache keys on the EXACT content of those inputs — every numeric
+// field captured bit-for-bit in a fixed word array, names excluded — so a
+// hit returns a cost that is bit-identical to recomputation (no
+// hash-collision risk: equality compares the full word array; the hash
+// only picks a shard/bucket).  The cached LayerCost carries the first
+// computing layer's name; lookups patch in the caller's name, keeping
+// cache-on and cache-off outputs byte-equal.
+//
+// The key is deliberately a flat POD (no heap allocation, hash computed
+// once at build time): `evaluate_conv` runs in ~1 microsecond, so a
+// std::string key with per-lookup rehashing would cost more than the
+// pricing it saves.
+//
+// Sharded (16 ways) so parallel sweep/search threads rarely contend on one
+// mutex.  Racing inserts of the same key are benign: both threads computed
+// the same value, first-in wins, the duplicate is dropped.
+//
+// `ULD3D_NO_MAPCACHE` (set non-empty) disables the cache at startup;
+// `set_enabled` toggles it at runtime (tests, cache-off baselines).
+// Hit/miss totals are mirrored into the MetricsRegistry as
+// "mapper.mapcache.hits"/"mapper.mapcache.misses".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "uld3d/mapper/cost_model.hpp"
+
+namespace uld3d::mapper {
+
+class MapCache {
+ public:
+  /// Number of 64-bit words of exact key content (ConvSpec 7, spatial 4,
+  /// 3 operand buffers x 3 levels x 3 fields, RRAM/MAC energies 5, bit
+  /// widths 3, SystemCosts 5, n_cs 1).
+  static constexpr std::size_t kKeyWords = 52;
+
+  /// Exact-content cache key: every numeric input bit-for-bit, plus a hash
+  /// computed once at construction.  Equality ignores the hash and compares
+  /// the full content, so colliding hashes can never alias two pricings.
+  struct Key {
+    std::array<std::uint64_t, kKeyWords> words{};
+    std::uint64_t hash = 0;
+
+    [[nodiscard]] bool operator==(const Key& other) const {
+      return words == other.words;
+    }
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+
+  /// Process-wide instance (lazy; reads ULD3D_NO_MAPCACHE once on first use).
+  static MapCache& instance();
+
+  MapCache(const MapCache&) = delete;
+  MapCache& operator=(const MapCache&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Build the key for one pricing call; `conv.name`/`arch.name` are
+  /// excluded so same-shape layers share entries.
+  [[nodiscard]] static Key key(const nn::ConvSpec& conv,
+                               const Architecture& arch,
+                               const SystemCosts& sys, std::int64_t n_cs);
+
+  /// Cached cost for `key`, or nullopt.  Counts a hit or a miss.
+  [[nodiscard]] std::optional<LayerCost> lookup(const Key& key);
+
+  /// Insert-if-absent (racing inserts carry identical values; first wins).
+  void insert(const Key& key, const LayerCost& cost);
+
+  void clear();           ///< drop every entry (counters untouched)
+  void reset_counters();  ///< zero the hit/miss counters
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MapCache();
+
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, LayerCost, KeyHash> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const Key& key);
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace uld3d::mapper

@@ -1,0 +1,174 @@
+#include "uld3d/mapper/map_cache.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "uld3d/util/metrics.hpp"
+
+namespace uld3d::mapper {
+
+namespace {
+
+/// Fills a Key's word array in a fixed field order and stamps the hash.
+/// Ints and doubles both land as raw 64-bit patterns (so -0.0 vs 0.0 or
+/// distinct NaN payloads conservatively read as different keys).
+class KeyBuilder {
+ public:
+  explicit KeyBuilder(MapCache::Key& key) : key_(key) {}
+
+  void add_i64(std::int64_t v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_word(bits);
+  }
+
+  void add_f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    add_word(bits);
+  }
+
+  void add_level(const BufferLevel& level) {
+    add_f64(level.capacity_bits);
+    add_f64(level.access_energy_pj_per_bit);
+    add_f64(level.bandwidth_bits_per_cycle);
+  }
+
+  void add_buffers(const OperandBuffers& buffers) {
+    add_level(buffers.reg);
+    add_level(buffers.local);
+    add_level(buffers.global);
+  }
+
+  /// Word-wise FNV-1a over the filled array; valid only when every slot is
+  /// written (in-process bucket/shard picking only — never persisted).
+  void finish() {
+    assert(next_ == MapCache::kKeyWords);
+    std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (const std::uint64_t w : key_.words) {
+      h ^= w;
+      h *= 1099511628211ull;  // FNV prime
+    }
+    key_.hash = h;
+  }
+
+ private:
+  void add_word(std::uint64_t bits) {
+    assert(next_ < MapCache::kKeyWords);
+    key_.words[next_++] = bits;
+  }
+
+  MapCache::Key& key_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+MapCache::MapCache() {
+  const char* env = std::getenv("ULD3D_NO_MAPCACHE");
+  if (env != nullptr && *env != '\0') {
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+}
+
+MapCache& MapCache::instance() {
+  static MapCache cache;
+  return cache;
+}
+
+MapCache::Key MapCache::key(const nn::ConvSpec& conv, const Architecture& arch,
+                            const SystemCosts& sys, std::int64_t n_cs) {
+  Key key;
+  KeyBuilder b(key);
+  // ConvSpec (name excluded)
+  b.add_i64(conv.k);
+  b.add_i64(conv.c);
+  b.add_i64(conv.ox);
+  b.add_i64(conv.oy);
+  b.add_i64(conv.fx);
+  b.add_i64(conv.fy);
+  b.add_i64(conv.stride);
+  // Architecture (name excluded)
+  b.add_i64(arch.spatial.k);
+  b.add_i64(arch.spatial.c);
+  b.add_i64(arch.spatial.ox);
+  b.add_i64(arch.spatial.oy);
+  b.add_buffers(arch.weights);
+  b.add_buffers(arch.inputs);
+  b.add_buffers(arch.outputs);
+  b.add_f64(arch.rram_capacity_bits);
+  b.add_f64(arch.rram_bandwidth_bits_per_cycle);
+  b.add_f64(arch.rram_read_pj_per_bit);
+  b.add_f64(arch.rram_write_pj_per_bit);
+  b.add_f64(arch.mac_energy_pj);
+  b.add_i64(arch.weight_bits);
+  b.add_i64(arch.activation_bits);
+  b.add_i64(arch.psum_bits);
+  // SystemCosts
+  b.add_f64(sys.mem_idle_pj_per_cycle);
+  b.add_f64(sys.extra_bank_idle_fraction);
+  b.add_f64(sys.cs_idle_pj_per_cycle);
+  b.add_f64(sys.m3d_access_energy_scale);
+  b.add_f64(sys.rram_write_occupancy);
+  b.add_i64(n_cs);
+  b.finish();
+  return key;
+}
+
+MapCache::Shard& MapCache::shard_for(const Key& key) {
+  return shards_[key.hash % kShards];
+}
+
+std::optional<LayerCost> MapCache::lookup(const Key& key) {
+  // References are stable once registered; resolving them through the
+  // registry map on every lookup would serialize parallel threads.
+  static Counter& m_hits =
+      MetricsRegistry::instance().counter("mapper.mapcache.hits");
+  static Counter& m_misses =
+      MetricsRegistry::instance().counter("mapper.mapcache.misses");
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      m_hits.add();
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  m_misses.add();
+  return std::nullopt;
+}
+
+void MapCache::insert(const Key& key, const LayerCost& cost) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map.try_emplace(key, cost);
+}
+
+void MapCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+}
+
+void MapCache::reset_counters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t MapCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace uld3d::mapper

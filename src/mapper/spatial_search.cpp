@@ -1,9 +1,12 @@
 #include "uld3d/mapper/spatial_search.hpp"
 
 #include <limits>
+#include <optional>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
+#include "uld3d/util/parallel.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::mapper {
@@ -38,19 +41,31 @@ SpatialSearchResult search_spatial(const nn::ConvSpec& conv,
   result.best = arch.spatial;
   result.cost = result.fixed_cost;
 
+  // Price all candidates into pre-sized slots (parallel), then reduce in
+  // enumeration order — the strict `<` keeps first-in-order tie wins, so
+  // the winner is bit-identical to the serial loop at any jobs count.
+  const auto candidates = enumerate_unrollings(arch.spatial.total_pes());
+  std::vector<LayerCost> costs(candidates.size());
+  const int jobs =
+      FaultInjector::instance().armed() ? 1 : parallel::jobs();
+  parallel::parallel_for_indexed(
+      candidates.size(),
+      [&](std::size_t i) {
+        Architecture variant = arch;
+        variant.spatial = candidates[i];
+        costs[i] = evaluate_conv(conv, variant, sys, n_cs);
+      },
+      {.jobs = jobs, .grain = 4});
+
   std::int64_t improved = 0;
   double best_edp = result.cost.latency_cycles * result.cost.energy_pj;
-  for (const SpatialUnrolling& candidate :
-       enumerate_unrollings(arch.spatial.total_pes())) {
-    Architecture variant = arch;
-    variant.spatial = candidate;
-    const LayerCost cost = evaluate_conv(conv, variant, sys, n_cs);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
     ++result.candidates;
-    const double edp = cost.latency_cycles * cost.energy_pj;
+    const double edp = costs[i].latency_cycles * costs[i].energy_pj;
     if (edp < best_edp) {
       best_edp = edp;
-      result.best = candidate;
-      result.cost = cost;
+      result.best = candidates[i];
+      result.cost = costs[i];
       ++improved;
     }
   }
@@ -77,10 +92,24 @@ SearchedNetworkCost evaluate_network_with_search(const nn::Network& net,
   out.searched.network = net.name();
   out.searched.architecture = arch.name + " + spatial search";
   out.searched.n_cs = n_cs;
-  for (const auto& layer : net.layers()) {
-    if (layer.is_conv()) {
-      const SpatialSearchResult r =
-          search_spatial(layer.conv(), arch, sys, n_cs);
+  // Per-layer fan-out into pre-sized slots (each layer task runs its own
+  // nested per-unrolling search), then a serial in-order accumulation so
+  // the double sums are bit-identical to the serial loop.
+  const auto& layers = net.layers();
+  std::vector<std::optional<SpatialSearchResult>> searched(layers.size());
+  const int jobs =
+      FaultInjector::instance().armed() ? 1 : parallel::jobs();
+  parallel::parallel_for_indexed(
+      layers.size(),
+      [&](std::size_t i) {
+        if (layers[i].is_conv()) {
+          searched[i] = search_spatial(layers[i].conv(), arch, sys, n_cs);
+        }
+      },
+      {.jobs = jobs});
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (searched[i].has_value()) {
+      const SpatialSearchResult& r = *searched[i];
       out.searched.latency_cycles += r.cost.latency_cycles;
       out.searched.energy_pj += r.cost.energy_pj;
       out.searched.layers.push_back(r.cost);

@@ -1,11 +1,13 @@
 #include "uld3d/sim/network_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
+#include "uld3d/util/parallel.hpp"
 #include "uld3d/util/status.hpp"
 #include "uld3d/util/trace.hpp"
 
@@ -62,8 +64,21 @@ DesignComparison compare_designs(const nn::Network& net,
                                  const AcceleratorConfig& cfg_3d) {
   DesignComparison cmp;
   cmp.network = net.name();
-  cmp.run_2d = simulate_network(net, cfg_2d);
-  cmp.run_3d = simulate_network(net, cfg_3d);
+  // The two runs are independent pure evaluations; run them concurrently
+  // when jobs allow.  Slot 0 is the 2D run, so a failure there is rethrown
+  // first — the same order the serial code reported.  An armed injector
+  // forces serial so "sim.network.layer" trips keep their arrival order.
+  const int jobs =
+      FaultInjector::instance().armed() ? 1 : parallel::jobs();
+  std::array<NetworkResult, 2> runs;
+  parallel::parallel_for_indexed(
+      2,
+      [&](std::size_t i) {
+        runs[i] = simulate_network(net, i == 0 ? cfg_2d : cfg_3d);
+      },
+      {.jobs = jobs});
+  cmp.run_2d = std::move(runs[0]);
+  cmp.run_3d = std::move(runs[1]);
   ensures(cmp.run_2d.layers.size() == cmp.run_3d.layers.size(),
           "designs must simulate the same layer list");
   for (std::size_t i = 0; i < cmp.run_2d.layers.size(); ++i) {

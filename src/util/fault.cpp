@@ -16,7 +16,9 @@ void FaultInjector::arm(const std::string& site, Failure failure,
                         std::uint64_t skip, std::uint64_t count) {
   expects(!site.empty(), "fault site name required");
   expects(count >= 1, "fault count must be >= 1");
+  std::lock_guard<std::mutex> lock(mutex_);
   plans_[site] = Plan{std::move(failure), skip, count, 0};
+  armed_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::arm_from_spec(const char* spec) {
@@ -59,16 +61,26 @@ void FaultInjector::arm_from_spec(const char* spec) {
   arm(site, Failure(code, "injected fault").with("site", site), skip, count);
 }
 
-void FaultInjector::disarm(const std::string& site) { plans_.erase(site); }
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.erase(site);
+  armed_.store(!plans_.empty(), std::memory_order_relaxed);
+}
 
-void FaultInjector::reset() { plans_.clear(); }
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
 
 std::uint64_t FaultInjector::hit_count(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = plans_.find(site);
   return it == plans_.end() ? 0 : it->second.hits;
 }
 
 void FaultInjector::check(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = plans_.find(site);
   if (it == plans_.end()) return;
   Plan& plan = it->second;

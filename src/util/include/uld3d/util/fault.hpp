@@ -15,8 +15,10 @@
 // testable end to end without recompiling.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "uld3d/util/status.hpp"
@@ -25,7 +27,12 @@ namespace uld3d {
 
 class FaultInjector {
  public:
-  /// Process-wide injector (the library is single-threaded per process).
+  /// Process-wide injector.  Thread-safe: sites may be checked from
+  /// util/parallel pool threads (the unarmed fast path is one relaxed
+  /// atomic load; armed plans mutate under a mutex).  Note that trip
+  /// *ordering* is arrival order, so parallel call sites that need
+  /// deterministic trips fall back to serial while the injector is armed
+  /// (see dse/sweep.cpp).
   static FaultInjector& instance();
 
   /// Arm `site`: after `skip` passing hits, the next `count` hits throw
@@ -40,7 +47,9 @@ class FaultInjector {
   void disarm(const std::string& site);
   void reset();  ///< disarm everything and zero hit counters
 
-  [[nodiscard]] bool armed() const { return !plans_.empty(); }
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
   /// Hits observed at `site` since it was armed (0 for unarmed sites).
   [[nodiscard]] std::uint64_t hit_count(const std::string& site) const;
 
@@ -54,6 +63,8 @@ class FaultInjector {
     std::uint64_t count = 1;
     std::uint64_t hits = 0;
   };
+  mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
   std::map<std::string, Plan> plans_;
 };
 

@@ -29,6 +29,8 @@ struct Provenance {
   std::string hostname;       ///< captured at runtime
   std::string timestamp_utc;  ///< ISO-8601 UTC at capture, e.g. 2026-08-06T12:00:00Z
   std::int64_t unix_time_s = 0;
+  int jobs = 1;                  ///< parallel::jobs() at capture time
+  int hardware_concurrency = 1;  ///< cores visible to the process
   /// Named configuration fingerprints: (name, fnv1a hex of the content).
   std::vector<std::pair<std::string, std::string>> config_hashes;
 };

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "uld3d/util/export.hpp"
+#include "uld3d/util/parallel.hpp"
 #include "uld3d/util/provenance_config.hpp"
 
 #if defined(_WIN32)
@@ -42,6 +43,8 @@ Provenance capture_provenance() {
   p.system = ULD3D_PROV_SYSTEM;
   p.project_version = ULD3D_PROV_PROJECT_VERSION;
   p.hostname = capture_hostname();
+  p.jobs = parallel::jobs();
+  p.hardware_concurrency = parallel::hardware_concurrency();
 
   const auto now = std::chrono::system_clock::now();
   const std::time_t now_t = std::chrono::system_clock::to_time_t(now);
@@ -97,6 +100,9 @@ std::string provenance_json(const Provenance& p, int indent) {
   field("hostname", p.hostname);
   field("timestamp_utc", p.timestamp_utc);
   os << pad << "  \"unix_time_s\": " << p.unix_time_s << ",\n";
+  os << pad << "  \"jobs\": " << p.jobs << ",\n";
+  os << pad << "  \"hardware_concurrency\": " << p.hardware_concurrency
+     << ",\n";
   os << pad << "  \"config_hashes\": {";
   for (std::size_t i = 0; i < p.config_hashes.size(); ++i) {
     if (i > 0) os << ",";

@@ -10,6 +10,9 @@
 // Global flags: --strict        config warnings (unknown keys) become fatal
 //               --keep-going    sweep records failed design points and
 //                               continues instead of aborting at the first
+//               --jobs N        worker threads for sweeps/searches (default:
+//                               ULD3D_JOBS, else all hardware threads; the
+//                               results are bit-identical at any N)
 //               --trace FILE    write a Chrome trace_event JSON timeline
 //                               (open in chrome://tracing or Perfetto)
 //               --metrics FILE  write the metrics registry (.json or CSV)
@@ -41,6 +44,7 @@
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
+#include "uld3d/util/parallel.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace {
@@ -70,7 +74,7 @@ class ConfigError : public Error {
 constexpr const char* kUsage =
     "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|dump-config>\n"
     "       [--network N] [--config FILE] [--strict] [--keep-going]\n"
-    "       [--trace FILE] [--metrics FILE] [--profile]";
+    "       [--jobs N] [--trace FILE] [--metrics FILE] [--profile]";
 
 struct CliArgs {
   std::string command;
@@ -78,6 +82,7 @@ struct CliArgs {
   std::optional<std::string> config_path;
   bool strict = false;
   bool keep_going = false;
+  int jobs = 0;              // 0 = ULD3D_JOBS, else hardware concurrency
   std::string trace_path;    // Chrome trace JSON output ("" = off)
   std::string metrics_path;  // metrics JSON/CSV output ("" = off)
   bool profile = false;      // print span/metrics summary tables at exit
@@ -97,6 +102,16 @@ CliArgs parse_args(int argc, char** argv) {
       args.strict = true;
     } else if (flag == "--keep-going") {
       args.keep_going = true;
+    } else if (flag == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1 ||
+          n > parallel::kMaxJobs) {
+        throw UsageError(std::string("--jobs expects an integer in [1, ") +
+                         std::to_string(parallel::kMaxJobs) + "]: " +
+                         argv[i] + "\n" + kUsage);
+      }
+      args.jobs = static_cast<int>(n);
     } else if (flag == "--trace" && i + 1 < argc) {
       args.trace_path = argv[++i];
     } else if (flag == "--metrics" && i + 1 < argc) {
@@ -329,6 +344,14 @@ int main(int argc, char** argv) {
   try {
     FaultInjector::instance().arm_from_spec(std::getenv("ULD3D_FAULT"));
     const CliArgs args = parse_args(argc, argv);
+    // Precedence: --jobs > ULD3D_JOBS > all hardware threads.  The library
+    // default without either is serial; the CLI opts into full parallelism
+    // because its commands are top-level batch runs.
+    if (args.jobs > 0) {
+      parallel::set_jobs(args.jobs);
+    } else if (std::getenv("ULD3D_JOBS") == nullptr) {
+      parallel::set_jobs(parallel::hardware_concurrency());
+    }
     // Outlives the command span: writes trace/metrics files even when the
     // command below throws, so failed runs keep their timeline.
     Observability observability(args);
