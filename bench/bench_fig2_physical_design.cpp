@@ -61,6 +61,24 @@ int main(int argc, char** argv) {
             << "\nM3D vertical ILVs: " << cmp.design_3d.ilv_count / 1000000
             << "M\n";
 
+  // Placement scaling: one auto-sized M3D run_design per bank count.  The
+  // RRAM capacity scales with the banks (8 MB per CS, the case-study ratio)
+  // so every point is feasible at its own die; wall-clock tracks how the
+  // placement engine scales with design size, and the HPWL/utilization
+  // fidelity values pin the placement itself bit-for-bit.
+  for (const std::int64_t banks : {std::int64_t{1}, std::int64_t{8},
+                                   std::int64_t{32}}) {
+    phys::FlowInput scaled = input;
+    scaled.rram_capacity_bits = units::mb_to_bits(8.0 * static_cast<double>(banks));
+    const phys::DesignReport r =
+        h.time("run_design_banks" + std::to_string(banks),
+               [&] { return flow.run_design(scaled, /*m3d=*/true, banks); });
+    const std::string prefix = "banks" + std::to_string(banks) + "_";
+    h.value(prefix + "feasible", r.feasible ? 1.0 : 0.0, "bool");
+    h.value(prefix + "total_hpwl_um", r.placement_hpwl_um, "um");
+    h.value(prefix + "si_utilization", r.si_utilization, "fraction");
+  }
+
   h.value("iso_footprint", cmp.iso_footprint ? 1.0 : 0.0, "bool");
   h.value("peak_density_ratio", cmp.peak_density_ratio, "ratio");
   h.value("wirelength_per_cs_ratio", cmp.wirelength_per_cs_ratio, "ratio");

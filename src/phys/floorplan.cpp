@@ -25,7 +25,8 @@ Floorplan::Floorplan(double width_um, double height_um, tech::TierStack stack,
     if (tier.kind == tech::TierKind::kBeolMetal) continue;  // routing only
     grids_.push_back(
         {tier.kind, std::vector<std::uint8_t>(
-                        static_cast<std::size_t>(nx_ * ny_), 0)});
+                        static_cast<std::size_t>(nx_ * ny_), 0),
+         OccupancyIndex{}});
   }
 }
 
@@ -43,37 +44,66 @@ Floorplan::TierGrid* Floorplan::grid_for(tech::TierKind tier) {
   return nullptr;
 }
 
-void Floorplan::bin_range(const Rect& rect, std::int64_t& bx0, std::int64_t& by0,
-                          std::int64_t& bx1, std::int64_t& by1) const {
-  bx0 = std::clamp<std::int64_t>(
+BinSpan Floorplan::bin_span(const Rect& rect) const {
+  BinSpan s;
+  s.x0 = std::clamp<std::int64_t>(
       static_cast<std::int64_t>(std::floor(rect.x0 / bin_um_)), 0, nx_);
-  by0 = std::clamp<std::int64_t>(
+  s.y0 = std::clamp<std::int64_t>(
       static_cast<std::int64_t>(std::floor(rect.y0 / bin_um_)), 0, ny_);
-  bx1 = std::clamp<std::int64_t>(ceil_to_int(rect.x1 / bin_um_), 0, nx_);
-  by1 = std::clamp<std::int64_t>(ceil_to_int(rect.y1 / bin_um_), 0, ny_);
+  s.x1 = std::clamp<std::int64_t>(ceil_to_int(rect.x1 / bin_um_), 0, nx_);
+  s.y1 = std::clamp<std::int64_t>(ceil_to_int(rect.y1 / bin_um_), 0, ny_);
+  return s;
+}
+
+void Floorplan::refresh_index(const TierGrid& grid) const {
+  grid.index.refresh(grid.occupied.data(), nx_, ny_);
 }
 
 void Floorplan::mark(TierGrid& grid, const Rect& rect) {
-  std::int64_t bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;
-  bin_range(rect, bx0, by0, bx1, by1);
-  for (std::int64_t y = by0; y < by1; ++y) {
-    for (std::int64_t x = bx0; x < bx1; ++x) {
+  const BinSpan s = bin_span(rect);
+  for (std::int64_t y = s.y0; y < s.y1; ++y) {
+    for (std::int64_t x = s.x0; x < s.x1; ++x) {
       grid.occupied[static_cast<std::size_t>(y * nx_ + x)] = 1;
     }
   }
+  grid.index.invalidate();
 }
 
 bool Floorplan::clear_in(const TierGrid& grid, const Rect& rect) const {
-  std::int64_t bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;
-  bin_range(rect, bx0, by0, bx1, by1);
-  for (std::int64_t y = by0; y < by1; ++y) {
-    for (std::int64_t x = bx0; x < bx1; ++x) {
+  const BinSpan s = bin_span(rect);
+  if (placer_index_enabled()) {
+    refresh_index(grid);
+    return grid.index.rect_clear(s.x0, s.y0, s.x1, s.y1);
+  }
+  for (std::int64_t y = s.y0; y < s.y1; ++y) {
+    for (std::int64_t x = s.x0; x < s.x1; ++x) {
       if (grid.occupied[static_cast<std::size_t>(y * nx_ + x)] != 0) {
         return false;
       }
     }
   }
   return true;
+}
+
+std::int64_t Floorplan::rightmost_occupied_col(tech::TierKind tier,
+                                               const Rect& rect) const {
+  const TierGrid* grid = grid_for(tier);
+  expects(grid != nullptr, "tier has no placement grid");
+  const BinSpan s = bin_span(rect);
+  if (placer_index_enabled()) {
+    refresh_index(*grid);
+    return grid->index.rightmost_occupied(s.x0, s.y0, s.x1, s.y1);
+  }
+  std::int64_t rightmost = -1;
+  for (std::int64_t y = s.y0; y < s.y1; ++y) {
+    for (std::int64_t x = s.x1 - 1; x > rightmost; --x) {
+      if (grid->occupied[static_cast<std::size_t>(y * nx_ + x)] != 0) {
+        if (x >= s.x0) rightmost = x;
+        break;
+      }
+    }
+  }
+  return rightmost;
 }
 
 bool Floorplan::place_macro(const Macro& macro, double x, double y) {
@@ -93,10 +123,50 @@ bool Floorplan::place_macro(const Macro& macro, double x, double y) {
 }
 
 std::optional<Rect> Floorplan::place_macro_anywhere(const Macro& macro) {
+  if (!placer_index_enabled()) {
+    // Naive reference scan: try every bin position in row-major order.
+    for (std::int64_t by = 0; by < ny_; ++by) {
+      for (std::int64_t bx = 0; bx < nx_; ++bx) {
+        const double x = static_cast<double>(bx) * bin_um_;
+        const double y = static_cast<double>(by) * bin_um_;
+        if (place_macro(macro, x, y)) {
+          return Rect::at(x, y, macro.width_um, macro.height_um);
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  // Run-skipping scan, same first-fit order as the naive loop: a blocked
+  // candidate learns the rightmost occupied column inside its bin window
+  // and every following candidate whose window still starts at or before
+  // that column is rejected without re-querying (it provably contains the
+  // same occupied bin — the window rows are fixed along a scan row and the
+  // window right edge only grows).
   for (std::int64_t by = 0; by < ny_; ++by) {
+    const double y = static_cast<double>(by) * bin_um_;
+    if (y + macro.height_um > height_um_ + 1e-6) {
+      // place_macro rejects on the die's top edge; y only grows from here,
+      // so no later row can succeed either (same comparison, monotone y).
+      return std::nullopt;
+    }
+    std::int64_t skip_col = -1;
     for (std::int64_t bx = 0; bx < nx_; ++bx) {
       const double x = static_cast<double>(bx) * bin_um_;
-      const double y = static_cast<double>(by) * bin_um_;
+      const Rect rect = Rect::at(x, y, macro.width_um, macro.height_um);
+      if (rect.x1 > width_um_ + 1e-6) break;  // off the right edge; monotone
+      const BinSpan s = bin_span(rect);
+      if (s.x0 <= skip_col) continue;
+      bool blocked = false;
+      for (const auto& g : grids_) {
+        if (!macro.blocks(g.kind)) continue;
+        refresh_index(g);
+        if (!g.index.rect_clear(s.x0, s.y0, s.x1, s.y1)) {
+          skip_col = g.index.rightmost_occupied(s.x0, s.y0, s.x1, s.y1);
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
       if (place_macro(macro, x, y)) {
         return Rect::at(x, y, macro.width_um, macro.height_um);
       }
@@ -126,12 +196,24 @@ std::optional<Rect> Floorplan::find_free_region(tech::TierKind tier,
   expects(grid != nullptr, "tier has no placement grid");
   const std::int64_t bw = ceil_to_int(w_um / bin_um_);
   const std::int64_t bh = ceil_to_int(h_um / bin_um_);
+  const bool fast = placer_index_enabled();
+  if (fast) refresh_index(*grid);
   for (std::int64_t by = 0; by + bh <= ny_; ++by) {
+    std::int64_t skip_col = -1;
     for (std::int64_t bx = 0; bx + bw <= nx_; ++bx) {
       const Rect rect = Rect::at(static_cast<double>(bx) * bin_um_,
                                  static_cast<double>(by) * bin_um_,
                                  static_cast<double>(bw) * bin_um_,
                                  static_cast<double>(bh) * bin_um_);
+      if (fast) {
+        const BinSpan s = bin_span(rect);
+        if (s.x0 <= skip_col) continue;
+        if (!grid->index.rect_clear(s.x0, s.y0, s.x1, s.y1)) {
+          skip_col = grid->index.rightmost_occupied(s.x0, s.y0, s.x1, s.y1);
+          continue;
+        }
+        return rect;
+      }
       if (clear_in(*grid, rect)) return rect;
     }
   }
@@ -141,6 +223,11 @@ std::optional<Rect> Floorplan::find_free_region(tech::TierKind tier,
 double Floorplan::free_area_um2(tech::TierKind tier) const {
   const TierGrid* grid = grid_for(tier);
   expects(grid != nullptr, "tier has no placement grid");
+  if (placer_index_enabled()) {
+    refresh_index(*grid);
+    return static_cast<double>(nx_ * ny_ - grid->index.occupied_bins()) *
+           bin_um_ * bin_um_;
+  }
   std::int64_t free_bins = 0;
   for (const std::uint8_t occ : grid->occupied) {
     if (occ == 0) ++free_bins;
@@ -151,6 +238,11 @@ double Floorplan::free_area_um2(tech::TierKind tier) const {
 double Floorplan::utilization(tech::TierKind tier) const {
   const TierGrid* grid = grid_for(tier);
   expects(grid != nullptr, "tier has no placement grid");
+  if (placer_index_enabled()) {
+    refresh_index(*grid);
+    return static_cast<double>(grid->index.occupied_bins()) /
+           static_cast<double>(nx_ * ny_);
+  }
   std::int64_t used = 0;
   for (const std::uint8_t occ : grid->occupied) {
     if (occ != 0) ++used;

@@ -13,9 +13,22 @@
 #include <vector>
 
 #include "uld3d/phys/macro.hpp"
+#include "uld3d/phys/occupancy_index.hpp"
 #include "uld3d/tech/tier_stack.hpp"
 
 namespace uld3d::phys {
+
+/// A rectangle's (clamped) window of grid bins: columns [x0, x1), rows
+/// [y0, y1).  The single source of truth for um -> bin quantization; every
+/// occupancy query and every fast-path skip decision goes through it, so
+/// the run-skipping scans can never disagree with the naive loops about
+/// which bins a rectangle covers.
+struct BinSpan {
+  std::int64_t x0 = 0;
+  std::int64_t y0 = 0;
+  std::int64_t x1 = 0;
+  std::int64_t y1 = 0;
+};
 
 class Floorplan {
  public:
@@ -62,18 +75,33 @@ class Floorplan {
   [[nodiscard]] std::int64_t bins_x() const { return nx_; }
   [[nodiscard]] std::int64_t bins_y() const { return ny_; }
 
+  /// The grid-bin window `rect` covers (clamped to the grid).
+  [[nodiscard]] BinSpan bin_span(const Rect& rect) const;
+
+  /// Rightmost occupied column of `tier` inside `rect`'s bin window, or -1
+  /// when the window is clear.  Skip hint for left-to-right candidate
+  /// scans: any window starting at or before the returned column over the
+  /// same rows is still blocked by that bin.
+  [[nodiscard]] std::int64_t rightmost_occupied_col(tech::TierKind tier,
+                                                    const Rect& rect) const;
+
  private:
   struct TierGrid {
     tech::TierKind kind;
     std::vector<std::uint8_t> occupied;  // nx * ny
+    /// Lazily rebuilt query accelerator over `occupied`; mutable because a
+    /// stale index is refreshed from const queries (it is a cache).  Lazy
+    /// rebuild makes even const queries non-reentrant: one thread per
+    /// Floorplan.
+    mutable OccupancyIndex index;
   };
 
   [[nodiscard]] const TierGrid* grid_for(tech::TierKind tier) const;
   [[nodiscard]] TierGrid* grid_for(tech::TierKind tier);
   void mark(TierGrid& grid, const Rect& rect);
   [[nodiscard]] bool clear_in(const TierGrid& grid, const Rect& rect) const;
-  void bin_range(const Rect& rect, std::int64_t& bx0, std::int64_t& by0,
-                 std::int64_t& bx1, std::int64_t& by1) const;
+  /// Refresh the grid's occupancy index if stale.
+  void refresh_index(const TierGrid& grid) const;
 
   double width_um_;
   double height_um_;

@@ -52,8 +52,15 @@ struct DesignReport {
   double si_utilization = 0.0;
   std::int64_t cs_placed = 0;
   double intra_cs_wirelength_um = 0.0;   ///< Donath, all CSs
+  double placement_hpwl_um = 0.0;  ///< weighted anchor HPWL of the placement
   double inter_block_wirelength_um = 0.0;  ///< placement HPWL (memory buses)
   double total_wirelength_um = 0.0;
+  /// The CS-to-bank bus connections fed to the congestion estimate, one per
+  /// placed soft block, in `placed_blocks` order.  Each block routes to the
+  /// bank group of its *source* CS (recovered through
+  /// PlacementResult::source_index, so unplaced blocks cannot shift later
+  /// blocks onto the wrong bank).
+  std::vector<Route> bus_routes;
   std::int64_t buffers = 0;
   std::int64_t ilv_count = 0;      ///< vertical ILVs (M3D only)
   double congestion_peak = 0.0;      ///< worst-bin routing utilization

@@ -22,7 +22,9 @@ struct SoftBlock {
   double aspect = 1.0;           ///< width/height ratio
   tech::TierKind tier = tech::TierKind::kSiCmosFeol;
   /// (fixed-macro index in the floorplan, connection weight) pairs; the
-  /// placer pulls the block toward these anchors.
+  /// placer pulls the block toward these anchors.  Every index must refer
+  /// to a macro already placed in the floorplan handed to Placer::place
+  /// (checked there; an out-of-range index is a caller bug).
   std::vector<std::pair<std::size_t, double>> affinities;
 
   [[nodiscard]] double width_um() const;
@@ -42,6 +44,12 @@ struct PlacerOptions {
 struct PlacementResult {
   bool success = false;           ///< every block found a legal spot
   std::vector<PlacedMacro> blocks;  ///< placed soft blocks (as macros)
+  /// For each entry of `blocks`, the index of its source block in the
+  /// vector handed to Placer::place.  `blocks` omits unplaced blocks, so
+  /// positions alone cannot recover which input a placement belongs to —
+  /// callers that map blocks back to their design unit (e.g. the flow's
+  /// block -> bank routing) must go through this.
+  std::vector<std::size_t> source_index;
   double total_hpwl_um = 0.0;     ///< weighted anchor HPWL after refinement
   std::vector<std::string> unplaced;  ///< names of blocks that did not fit
 };

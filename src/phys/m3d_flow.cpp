@@ -196,6 +196,7 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
         donath_total_wirelength_um(input.cs_logic_gates,
                                    input.cs_logic_area_um2, wl_params) *
         static_cast<double>(cs_count);
+    report.placement_hpwl_um = placement.total_hpwl_um;
     report.inter_block_wirelength_um = placement.total_hpwl_um * 64.0;  // bus width
     report.total_wirelength_um =
         report.intra_cs_wirelength_um + report.inter_block_wirelength_um;
@@ -209,9 +210,13 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
 
     // --- global-routing congestion: every CS block routes a bus to its
     //     bank group (64-track data for logic, 32-track for buffer halves) ---
+    // `placement.blocks` omits unplaced blocks, so the source CS must come
+    // from source_index (the soft blocks were pushed [logic, sram0, sram1]
+    // per CS) — deriving it from the position `i` would shift every block
+    // after an unplaced one onto the wrong bank.
     std::vector<Route> routes;
     for (std::size_t i = 0; i < placement.blocks.size(); ++i) {
-      const std::size_t cs = i / 3;  // [logic, sram0, sram1] per CS
+      const std::size_t cs = placement.source_index[i] / 3;
       const std::size_t bank =
           bank_macro_index[cs % bank_macro_index.size()];
       const bool is_logic =
@@ -221,6 +226,7 @@ DesignReport M3dFlow::run_design_once(const FlowInput& input, bool m3d,
                         is_logic ? 64.0 : 32.0});
     }
     const CongestionMap congestion(die_width_um, die_height_um, routes);
+    report.bus_routes = routes;
     report.congestion_peak = congestion.peak_utilization();
     report.congestion_overflow = congestion.overflow_fraction();
   }

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/metrics.hpp"
 
 namespace uld3d::phys {
 
@@ -21,14 +23,13 @@ Placer::Placer(PlacerOptions options) : options_(options) {
 
 namespace {
 
-/// Weighted HPWL of one block at `rect` toward its anchors.
+/// Weighted HPWL of one block at `rect` toward its anchors.  Affinity
+/// indices are validated once at the top of Placer::place.
 double block_cost(const SoftBlock& block, const Rect& rect,
                   const std::vector<PlacedMacro>& fixed) {
   double cost = 0.0;
   for (const auto& [index, weight] : block.affinities) {
-    if (index < fixed.size()) {
-      cost += weight * center_distance(rect, fixed[index].rect);
-    }
+    cost += weight * center_distance(rect, fixed[index].rect);
   }
   return cost;
 }
@@ -43,8 +44,9 @@ Rect bin_expand(const Rect& rect, double bin) {
 }
 
 /// Legal = inside the die, free of fixed blockages, disjoint from siblings.
-bool legal(const Floorplan& fp, const SoftBlock& block, const Rect& rect,
-           const std::vector<Rect>& placed, std::size_t self) {
+/// Reference implementation: the full sibling scan, no index involved.
+bool legal_naive(const Floorplan& fp, const SoftBlock& block, const Rect& rect,
+                 const std::vector<Rect>& placed, std::size_t self) {
   const Rect q = bin_expand(rect, fp.bin_um());
   if (q.x0 < 0.0 || q.y0 < 0.0 || q.x1 > fp.width_um() + 1e-6 ||
       q.y1 > fp.height_um() + 1e-6) {
@@ -58,6 +60,21 @@ bool legal(const Floorplan& fp, const SoftBlock& block, const Rect& rect,
   return true;
 }
 
+/// Left-to-right skip state for one scan row.  A blocked candidate records
+/// what blocked it; later candidates in the same row whose bin-expanded
+/// window still reaches the blocker are rejected without a query (the
+/// window rows are fixed along a row and its right edge only grows, so the
+/// blocker provably still collides).
+struct RowSkip {
+  std::int64_t grid_col = -1;  ///< rightmost occupied grid column hit
+  double sibling_x1 = -1.0;    ///< right edge (um) of a colliding sibling
+
+  [[nodiscard]] bool covers(const Floorplan& fp, const Rect& q) const {
+    if (q.x0 < sibling_x1) return true;
+    return grid_col >= 0 && fp.bin_span(q).x0 <= grid_col;
+  }
+};
+
 }  // namespace
 
 PlacementResult Placer::place(Floorplan& fp,
@@ -65,6 +82,27 @@ PlacementResult Placer::place(Floorplan& fp,
                               Rng& rng) const {
   PlacementResult result;
   const auto& fixed = fp.macros();
+  for (const auto& block : blocks) {
+    for (const auto& [index, weight] : block.affinities) {
+      expects(index < fixed.size(),
+              "affinity index " + std::to_string(index) +
+                  " out of range (fixed macros: " +
+                  std::to_string(fixed.size()) + ") for block: " + block.name);
+    }
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  Counter& c_scanned = registry.counter("phys.placer.candidates_scanned");
+  Counter& c_skipped = registry.counter("phys.placer.candidates_skipped");
+  Counter& c_legal = registry.counter("phys.placer.legal_checks");
+
+  // Fast-path state: bin-expanded rects of currently placed siblings.  The
+  // buckets mirror `rects` exactly (insert on place, remove+insert on an
+  // accepted anneal move), so a bucket query equals the naive sibling scan.
+  const bool fast = placer_index_enabled();
+  const double bin = fp.bin_um();
+  RectBuckets buckets(fp.width_um(), fp.height_um(),
+                      std::max<std::size_t>(blocks.size(), 1));
 
   // Constructive pass: biggest blocks first, best legal candidate position.
   std::vector<std::size_t> order(blocks.size());
@@ -75,6 +113,28 @@ PlacementResult Placer::place(Floorplan& fp,
 
   std::vector<Rect> rects(blocks.size());  // invalid until placed
   const double step = options_.grid_step_um;
+
+  // Fast-path legality for one candidate.  Identical verdict to
+  // legal_naive (same bounds comparisons; the occupancy index and the
+  // buckets answer the same queries), but a blocked candidate feeds the
+  // row-skip state.
+  const auto legal_fast = [&](const SoftBlock& block, const Rect& q,
+                              std::size_t self, RowSkip& skip) -> bool {
+    if (q.x0 < 0.0 || q.y0 < 0.0 || q.x1 > fp.width_um() + 1e-6 ||
+        q.y1 > fp.height_um() + 1e-6) {
+      return false;
+    }
+    c_legal.add();
+    if (!fp.region_free(block.tier, q)) {
+      skip.grid_col = fp.rightmost_occupied_col(block.tier, q);
+      return false;
+    }
+    if (const auto hit = buckets.overlaps_any(q, self)) {
+      skip.sibling_x1 = std::max(skip.sibling_x1, hit->x1);
+      return false;
+    }
+    return true;
+  };
 
   // Soft blocks may reshape: each aspect candidate is scanned and the best
   // legal (position, shape) wins.  Mild aspect distortion is slightly
@@ -93,9 +153,21 @@ PlacementResult Placer::place(Floorplan& fp,
       const double distortion_penalty =
           penalty_weight * fp.width_um() * std::abs(std::log(aspect_scale));
       for (double y = 0.0; y + h <= fp.height_um() + 1e-6; y += scan_step) {
+        RowSkip skip;
         for (double x = 0.0; x + w <= fp.width_um() + 1e-6; x += scan_step) {
           const Rect rect = Rect::at(x, y, w, h);
-          if (!legal(fp, block, rect, rects, bi)) continue;
+          if (fast) {
+            const Rect q = bin_expand(rect, bin);
+            if (skip.covers(fp, q)) {
+              c_skipped.add();
+              continue;
+            }
+            c_scanned.add();
+            if (!legal_fast(block, q, bi, skip)) continue;
+          } else {
+            c_scanned.add();
+            if (!legal_naive(fp, block, rect, rects, bi)) continue;
+          }
           const double cost = block_cost(block, rect, fixed) + distortion_penalty;
           if (cost < best_cost) {
             best_cost = cost;
@@ -116,13 +188,30 @@ PlacementResult Placer::place(Floorplan& fp,
       const double w = std::sqrt(block.area_um2 * aspect);
       const double h = std::sqrt(block.area_um2 / aspect);
       for (double y = 0.0; y + h <= fp.height_um() + 1e-6; y += fp.bin_um()) {
+        RowSkip skip;
         for (double x = 0.0; x + w <= fp.width_um() + 1e-6; x += fp.bin_um()) {
           const Rect rect = Rect::at(x, y, w, h);
-          if (legal(fp, block, rect, rects, bi)) return rect;
+          if (fast) {
+            const Rect q = bin_expand(rect, bin);
+            if (skip.covers(fp, q)) {
+              c_skipped.add();
+              continue;
+            }
+            c_scanned.add();
+            if (legal_fast(block, q, bi, skip)) return rect;
+          } else {
+            c_scanned.add();
+            if (legal_naive(fp, block, rect, rects, bi)) return rect;
+          }
         }
       }
     }
     return {};
+  };
+
+  const auto commit_rect = [&](std::size_t bi, const Rect& rect) {
+    rects[bi] = rect;
+    if (fast && rect.valid()) buckets.insert(bi, bin_expand(rect, bin));
   };
 
   bool any_failed = false;
@@ -135,7 +224,7 @@ PlacementResult Placer::place(Floorplan& fp,
       best = try_place(bi, step / 2.0, 0.0);
     }
     if (!best.valid()) any_failed = true;
-    rects[bi] = best;
+    commit_rect(bi, best);
   }
 
   if (any_failed) {
@@ -143,8 +232,9 @@ PlacementResult Placer::place(Floorplan& fp,
     // placement as a dense bottom-left shelf packing (feasibility first,
     // wirelength second), then let annealing recover locality.
     std::fill(rects.begin(), rects.end(), Rect{});
+    buckets.clear();
     for (const std::size_t bi : order) {
-      rects[bi] = shelf_place(bi);
+      commit_rect(bi, shelf_place(bi));
       if (!rects[bi].valid()) result.unplaced.push_back(blocks[bi].name);
     }
   }
@@ -165,11 +255,22 @@ PlacementResult Placer::place(Floorplan& fp,
     // Keep the shape chosen by the constructive pass.
     const Rect candidate =
         Rect::at(x, y, rects[bi].width(), rects[bi].height());
-    if (!legal(fp, block, candidate, rects, bi)) continue;
+    c_scanned.add();
+    if (fast) {
+      RowSkip skip;  // single candidate; the hints are unused
+      const Rect q = bin_expand(candidate, bin);
+      if (!legal_fast(block, q, bi, skip)) continue;
+    } else {
+      if (!legal_naive(fp, block, candidate, rects, bi)) continue;
+    }
     const double old_cost = block_cost(block, rects[bi], fixed);
     const double new_cost = block_cost(block, candidate, fixed);
     const double delta = new_cost - old_cost;
     if (delta < 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      if (fast) {
+        buckets.remove(bi, bin_expand(rects[bi], bin));
+        buckets.insert(bi, bin_expand(candidate, bin));
+      }
       rects[bi] = candidate;
     }
     temperature *= options_.cooling;
@@ -187,6 +288,7 @@ PlacementResult Placer::place(Floorplan& fp,
     m.width_um = rects[bi].width();
     m.height_um = rects[bi].height();
     result.blocks.push_back({m, rects[bi]});
+    result.source_index.push_back(bi);
     result.total_hpwl_um += block_cost(blocks[bi], rects[bi], fixed);
   }
   return result;

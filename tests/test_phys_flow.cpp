@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/units.hpp"
 
@@ -103,6 +106,47 @@ TEST(Flow, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.total_wirelength_um, b.total_wirelength_um);
   EXPECT_EQ(a.cs_placed, b.cs_placed);
   EXPECT_DOUBLE_EQ(a.peak_density_mw_per_mm2, b.peak_density_mw_per_mm2);
+}
+
+TEST(Flow, BusRoutesFollowSourceCsWhenBlocksGoUnplaced) {
+  // Regression: the congestion/route loop used to derive a block's CS from
+  // its position in `placed_blocks` (i / 3). Placement omits unplaced blocks,
+  // so an unplaced block shifted every later block onto the wrong bank. Force
+  // that case with a short die: the wide-aspect logic reshape (~4290 x 1072
+  // um) exhausts the width after one CS, leaving later logic blocks unplaced
+  // while their SRAM halves (~993 um square) still fit.
+  FlowInput input = case_study_input();
+  input.rram_capacity_bits = units::mb_to_bits(16.0);
+  const M3dFlow flow;
+  const DesignReport r = flow.run_design(input, true, 4, 12000.0, 2000.0);
+  EXPECT_FALSE(r.feasible);
+  ASSERT_FALSE(r.unplaced.empty());
+  ASSERT_FALSE(r.placed_blocks.empty());
+  ASSERT_EQ(r.bus_routes.size(), r.placed_blocks.size());
+  std::size_t shifted = 0;
+  for (std::size_t i = 0; i < r.placed_blocks.size(); ++i) {
+    const std::string& name = r.placed_blocks[i].macro.name;
+    ASSERT_EQ(name.rfind("cs", 0), 0u) << name;
+    const std::size_t cs =
+        static_cast<std::size_t>(std::stoul(name.substr(2)));
+    // The route must target the block's own bank group, recovered from the
+    // block NAME, not from its (shifted) position in placed_blocks.
+    const std::string bank_name = "rram_bank" + std::to_string(cs % 4) + "_0";
+    const auto bank = std::find_if(
+        r.placed_macros.begin(), r.placed_macros.end(),
+        [&](const PlacedMacro& m) { return m.macro.name == bank_name; });
+    ASSERT_NE(bank, r.placed_macros.end()) << bank_name;
+    EXPECT_DOUBLE_EQ(r.bus_routes[i].from.x, r.placed_blocks[i].rect.center().x)
+        << name;
+    EXPECT_DOUBLE_EQ(r.bus_routes[i].from.y, r.placed_blocks[i].rect.center().y)
+        << name;
+    EXPECT_DOUBLE_EQ(r.bus_routes[i].to.x, bank->rect.center().x) << name;
+    EXPECT_DOUBLE_EQ(r.bus_routes[i].to.y, bank->rect.center().y) << name;
+    if (i / 3 != cs) ++shifted;
+  }
+  // The scenario must actually shift positions, or it proves nothing: at
+  // least one placed block's position / 3 must disagree with its real CS.
+  EXPECT_GT(shifted, 0u);
 }
 
 TEST(Flow, ValidatesInput) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "uld3d/util/check.hpp"
+
 namespace uld3d::phys {
 namespace {
 
@@ -111,6 +113,44 @@ TEST(Placer, DensePackingFallbackFillsTightDies) {
   const Placer placer;
   const auto result = placer.place(fp, blocks, rng);
   EXPECT_TRUE(result.success) << result.unplaced.size() << " unplaced";
+}
+
+TEST(Placer, SourceIndexMapsPlacedBlocksBackToInputs) {
+  // A deliberately unplaceable block must not shift the source mapping of
+  // the blocks placed after it: every placed entry still names the input
+  // block its source_index points at.
+  Floorplan fp = make_fp(2000.0);
+  Rng rng(1);
+  const Placer placer;
+  const std::vector<SoftBlock> blocks = {block("big", 3.6e6),
+                                         block("huge", 3.6e6),
+                                         block("small", 9.0e3)};
+  const auto result = placer.place(fp, blocks, rng);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.unplaced.size(), 1u);
+  ASSERT_EQ(result.source_index.size(), result.blocks.size());
+  ASSERT_EQ(result.blocks.size(), 2u);
+  for (std::size_t i = 0; i < result.blocks.size(); ++i) {
+    ASSERT_LT(result.source_index[i], blocks.size());
+    EXPECT_EQ(result.blocks[i].macro.name,
+              blocks[result.source_index[i]].name);
+  }
+}
+
+TEST(Placer, RejectsOutOfRangeAffinityIndex) {
+  // An affinity pointing past the fixed macros is always a caller bug; it
+  // must fail loudly instead of silently dropping the anchor.
+  Floorplan fp = make_fp();
+  ASSERT_TRUE(fp.place_macro(Macro::rram_array_m3d("anchor", 1.0e6), 0.0, 0.0));
+  Rng rng(1);
+  const Placer placer;
+  EXPECT_THROW(placer.place(fp, {block("a", 1.0e6, {{1, 1.0}})}, rng),
+               PreconditionError);
+  EXPECT_THROW(placer.place(fp, {block("b", 1.0e6, {{99, 0.5}})}, rng),
+               PreconditionError);
+  // In-range affinities still place.
+  const auto ok = placer.place(fp, {block("c", 1.0e6, {{0, 1.0}})}, rng);
+  EXPECT_TRUE(ok.success);
 }
 
 TEST(Placer, BlockDimensionsFollowAspect) {
