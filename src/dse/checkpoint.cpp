@@ -1,0 +1,708 @@
+#include "uld3d/dse/checkpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+
+#include "uld3d/util/check.hpp"
+#include "uld3d/util/checkpoint.hpp"
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/fault.hpp"
+#include "uld3d/util/jsonv.hpp"
+#include "uld3d/util/metrics.hpp"
+#include "uld3d/util/parallel.hpp"
+#include "uld3d/util/provenance.hpp"
+#include "uld3d/util/trace.hpp"
+
+namespace uld3d::dse {
+
+namespace {
+
+constexpr const char* kCheckpointKind = "uld3d-sweep-checkpoint";
+
+/// Exact, round-trippable rendering of a double as a JSON value: 17
+/// significant digits reparse to the identical bit pattern (glibc strtod is
+/// correctly rounded), so resumed rows equal recomputed ones byte-for-byte.
+/// Non-finite values are not JSON numbers and become the strings
+/// "nan"/"inf"/"-inf".
+std::string json_number_exact(double value) {
+  if (std::isnan(value)) return "\"nan\"";
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+[[noreturn]] void refuse(std::string what, const std::string& path) {
+  throw StatusError(Failure(ErrorCode::kInvalidConfig, std::move(what))
+                        .with("checkpoint", path));
+}
+
+double number_exact_from_json(const JsonValue& value,
+                              const std::string& path) {
+  if (value.is_number()) return value.as_number();
+  if (value.is_string()) {
+    if (value.as_string() == "nan") {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (value.as_string() == "inf") {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (value.as_string() == "-inf") {
+      return -std::numeric_limits<double>::infinity();
+    }
+  }
+  refuse("checkpoint number is neither a JSON number nor nan/inf", path);
+}
+
+/// Non-negative integer member (sizes, indices); refuses fractions.
+std::size_t size_from_json(const JsonValue& value, const char* member,
+                           const std::string& path) {
+  if (!value.is_number() || value.as_number() < 0.0 ||
+      value.as_number() != std::floor(value.as_number())) {
+    refuse(std::string("checkpoint member '") + member +
+               "' is not a non-negative integer",
+           path);
+  }
+  return static_cast<std::size_t>(value.as_number());
+}
+
+std::vector<std::string> string_list_from_json(const JsonValue& value,
+                                               const char* member,
+                                               const std::string& path) {
+  if (!value.is_array()) {
+    refuse(std::string("checkpoint member '") + member + "' is not an array",
+           path);
+  }
+  std::vector<std::string> out;
+  out.reserve(value.as_array().size());
+  for (const JsonValue& entry : value.as_array()) {
+    if (!entry.is_string()) {
+      refuse(std::string("checkpoint member '") + member +
+                 "' contains a non-string",
+             path);
+    }
+    out.push_back(entry.as_string());
+  }
+  return out;
+}
+
+ErrorCode error_code_from_name(const std::string& name,
+                               const std::string& path) {
+  static constexpr ErrorCode kAllCodes[] = {
+      ErrorCode::kOk,              ErrorCode::kInvalidArgument,
+      ErrorCode::kInvalidConfig,   ErrorCode::kUnknownKey,
+      ErrorCode::kInfeasiblePoint, ErrorCode::kThermalLimit,
+      ErrorCode::kNumericalError,  ErrorCode::kNotFound,
+      ErrorCode::kFaultInjected,   ErrorCode::kInternal};
+  for (const ErrorCode code : kAllCodes) {
+    if (name == error_code_name(code)) return code;
+  }
+  refuse("checkpoint failure has unknown error code '" + name + "'", path);
+}
+
+std::string bitmap_to_hex(const std::vector<bool>& bits) {
+  // Nibble j encodes bits 4j..4j+3, bit b of the digit = bit 4j+b.
+  std::string out((bits.size() + 3) / 4, '0');
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    unsigned nibble = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::size_t g = 4 * j + b;
+      if (g < bits.size() && bits[g]) nibble |= 1u << b;
+    }
+    out[j] = "0123456789abcdef"[nibble];
+  }
+  return out;
+}
+
+std::vector<bool> bitmap_from_hex(const std::string& hex,
+                                  std::size_t grid_size,
+                                  const std::string& path) {
+  if (hex.size() != (grid_size + 3) / 4) {
+    refuse("completed bitmap length does not match the grid size "
+           "(truncated checkpoint?)",
+           path);
+  }
+  std::vector<bool> bits(grid_size, false);
+  for (std::size_t j = 0; j < hex.size(); ++j) {
+    const char c = hex[j];
+    unsigned nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<unsigned>(c - 'a' + 10);
+    } else {
+      refuse("completed bitmap contains a non-hex character", path);
+    }
+    for (unsigned b = 0; b < 4; ++b) {
+      const std::size_t g = 4 * j + b;
+      if ((nibble & (1u << b)) == 0) continue;
+      if (g >= grid_size) {
+        refuse("completed bitmap has bits set beyond the grid size", path);
+      }
+      bits[g] = true;
+    }
+  }
+  return bits;
+}
+
+/// Canonical one-line row rendering — used both for the file and for the
+/// byte-for-byte sentinel cross-check in merge_shards, so "identical rows"
+/// means identical text by construction.
+std::string row_to_json(const SweepRow& row) {
+  std::ostringstream os;
+  os << "{\"index\": " << row.grid_index << ", \"params\": [";
+  for (std::size_t p = 0; p < row.params.size(); ++p) {
+    if (p > 0) os << ", ";
+    os << json_number_exact(row.params[p]);
+  }
+  os << "]";
+  if (row.ok()) {
+    os << ", \"metrics\": [";
+    for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+      if (m > 0) os << ", ";
+      os << json_number_exact(row.metrics[m]);
+    }
+    os << "], \"failure\": null";
+  } else {
+    // Failed rows carry all-NaN metrics by the sweep contract; the loader
+    // regenerates them, so only the structured Failure is stored.
+    os << ", \"failure\": {\"code\": \"" << error_code_name(row.failure->code)
+       << "\", \"severity\": \""
+       << (row.failure->severity == Severity::kError ? "error" : "warning")
+       << "\", \"message\": \"" << json_escape(row.failure->message)
+       << "\", \"context\": [";
+    for (std::size_t c = 0; c < row.failure->context.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << "[\"" << json_escape(row.failure->context[c].first) << "\", \""
+         << json_escape(row.failure->context[c].second) << "\"]";
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+SweepRow row_from_json(const JsonValue& doc, std::size_t metric_count,
+                       const std::string& path) {
+  if (!doc.is_object()) refuse("checkpoint row is not an object", path);
+  SweepRow row;
+  row.grid_index = size_from_json(doc.at("index"), "index", path);
+  const JsonValue& params = doc.at("params");
+  if (!params.is_array()) refuse("checkpoint row params is not an array", path);
+  row.params.reserve(params.as_array().size());
+  for (const JsonValue& v : params.as_array()) {
+    row.params.push_back(number_exact_from_json(v, path));
+  }
+  const JsonValue& failure = doc.at("failure");
+  if (failure.is_null()) {
+    const JsonValue& metrics = doc.at("metrics");
+    if (!metrics.is_array()) {
+      refuse("checkpoint row metrics is not an array", path);
+    }
+    row.metrics.reserve(metrics.as_array().size());
+    for (const JsonValue& v : metrics.as_array()) {
+      row.metrics.push_back(number_exact_from_json(v, path));
+    }
+  } else {
+    if (!failure.is_object()) {
+      refuse("checkpoint row failure is neither null nor an object", path);
+    }
+    Failure f(error_code_from_name(failure.at("code").as_string(), path),
+              failure.at("message").as_string(),
+              failure.at("severity").as_string() == "warning"
+                  ? Severity::kWarning
+                  : Severity::kError);
+    const JsonValue& context = failure.at("context");
+    if (!context.is_array()) {
+      refuse("checkpoint failure context is not an array", path);
+    }
+    for (const JsonValue& pair : context.as_array()) {
+      if (!pair.is_array() || pair.as_array().size() != 2 ||
+          !pair.as_array()[0].is_string() || !pair.as_array()[1].is_string()) {
+        refuse("checkpoint failure context entry is not a [key, value] pair",
+               path);
+      }
+      f.with(pair.as_array()[0].as_string(), pair.as_array()[1].as_string());
+    }
+    row.failure = std::move(f);
+    row.metrics.assign(metric_count,
+                       std::numeric_limits<double>::quiet_NaN());
+  }
+  return row;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  const auto bad = [&] {
+    throw StatusError(
+        Failure(ErrorCode::kInvalidArgument,
+                "shard spec must be i/N with 0 <= i < N (e.g. 0/4)")
+            .with("spec", text));
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    bad();
+  }
+  std::size_t index = 0;
+  std::size_t count = 0;
+  try {
+    std::size_t used = 0;
+    index = std::stoull(text.substr(0, slash), &used);
+    if (used != slash) bad();
+    const std::string tail = text.substr(slash + 1);
+    count = std::stoull(tail, &used);
+    if (used != tail.size()) bad();
+  } catch (const std::logic_error&) {
+    bad();
+  }
+  if (count < 1 || index >= count) bad();
+  return ShardSpec{index, count};
+}
+
+std::vector<std::size_t> sentinel_indices(std::size_t grid_size,
+                                          const ShardSpec& shard) {
+  if (!shard.sharded() || grid_size == 0) return {};
+  constexpr std::size_t kSentinels = 4;
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < std::min(kSentinels, grid_size); ++k) {
+    const std::size_t g = k * grid_size / kSentinels;
+    if (out.empty() || out.back() != g) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<std::size_t> shard_domain(std::size_t grid_size,
+                                      const ShardSpec& shard) {
+  expects(shard.count >= 1 && shard.index < shard.count,
+          "shard index out of range");
+  const std::vector<std::size_t> sentinels =
+      sentinel_indices(grid_size, shard);
+  std::vector<std::size_t> domain;
+  domain.reserve(grid_size / shard.count + sentinels.size() + 1);
+  auto sentinel = sentinels.begin();
+  for (std::size_t g = shard.index; g < grid_size; g += shard.count) {
+    while (sentinel != sentinels.end() && *sentinel < g) {
+      domain.push_back(*sentinel++);
+    }
+    if (sentinel != sentinels.end() && *sentinel == g) ++sentinel;
+    domain.push_back(g);
+  }
+  while (sentinel != sentinels.end()) domain.push_back(*sentinel++);
+  return domain;
+}
+
+std::string sweep_fingerprint(const Grid& grid,
+                              const std::vector<std::string>& metric_names,
+                              const std::string& config_hash) {
+  std::ostringstream os;
+  os << "uld3d-sweep-fingerprint-v1\n";
+  for (const Axis& axis : grid.axes()) {
+    os << "axis " << axis.name << ":";
+    for (const double v : axis.values) os << " " << json_number_exact(v);
+    os << "\n";
+  }
+  for (const std::string& name : metric_names) os << "metric " << name << "\n";
+  os << "config " << config_hash << "\n";
+  return fnv1a_hex(os.str());
+}
+
+std::size_t SweepCheckpoint::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count(completed.begin(), completed.end(), true));
+}
+
+std::string SweepCheckpoint::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"kind\": \"" << kCheckpointKind << "\",\n"
+     << "  \"schema_version\": " << schema_version << ",\n"
+     << "  \"fingerprint\": \"" << json_escape(fingerprint) << "\",\n"
+     << "  \"grid_size\": " << grid_size << ",\n"
+     << "  \"shard_index\": " << shard.index << ",\n"
+     << "  \"shard_count\": " << shard.count << ",\n"
+     << "  \"param_names\": [";
+  for (std::size_t p = 0; p < param_names.size(); ++p) {
+    if (p > 0) os << ", ";
+    os << "\"" << json_escape(param_names[p]) << "\"";
+  }
+  os << "],\n  \"metric_names\": [";
+  for (std::size_t m = 0; m < metric_names.size(); ++m) {
+    if (m > 0) os << ", ";
+    os << "\"" << json_escape(metric_names[m]) << "\"";
+  }
+  os << "],\n  \"completed_bitmap\": \"" << bitmap_to_hex(completed)
+     << "\",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << (r > 0 ? ",\n    " : "\n    ") << row_to_json(rows[r]);
+  }
+  os << (rows.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+void save_checkpoint(const SweepCheckpoint& checkpoint,
+                     const std::string& path) {
+  if (!write_file_atomic(path, checkpoint.to_json())) {
+    throw StatusError(Failure(ErrorCode::kInternal,
+                              "could not write sweep checkpoint")
+                          .with("checkpoint", path));
+  }
+}
+
+SweepCheckpoint load_checkpoint(const std::string& path) {
+  const JsonValue root = json_parse_file(path);
+  if (!root.is_object()) refuse("checkpoint is not a JSON object", path);
+  if (root.string_or("kind", "") != kCheckpointKind) {
+    refuse("file is not a uld3d sweep checkpoint (wrong or missing kind)",
+           path);
+  }
+  SweepCheckpoint ckpt;
+  ckpt.schema_version = static_cast<int>(
+      size_from_json(root.at("schema_version"), "schema_version", path));
+  if (ckpt.schema_version != kCheckpointSchemaVersion) {
+    refuse("unsupported checkpoint schema_version " +
+               std::to_string(ckpt.schema_version) + " (this build reads " +
+               std::to_string(kCheckpointSchemaVersion) + ")",
+           path);
+  }
+  ckpt.fingerprint = root.at("fingerprint").as_string();
+  ckpt.grid_size = size_from_json(root.at("grid_size"), "grid_size", path);
+  ckpt.shard.index =
+      size_from_json(root.at("shard_index"), "shard_index", path);
+  ckpt.shard.count =
+      size_from_json(root.at("shard_count"), "shard_count", path);
+  if (ckpt.shard.count < 1 || ckpt.shard.index >= ckpt.shard.count) {
+    refuse("checkpoint shard_index/shard_count are inconsistent", path);
+  }
+  ckpt.param_names =
+      string_list_from_json(root.at("param_names"), "param_names", path);
+  ckpt.metric_names =
+      string_list_from_json(root.at("metric_names"), "metric_names", path);
+  if (ckpt.metric_names.empty()) {
+    refuse("checkpoint has no metric names", path);
+  }
+  ckpt.completed = bitmap_from_hex(root.at("completed_bitmap").as_string(),
+                                   ckpt.grid_size, path);
+
+  const JsonValue& rows = root.at("rows");
+  if (!rows.is_array()) refuse("checkpoint rows is not an array", path);
+  // Crash-consistency check: the bitmap and the row list must agree
+  // exactly — same count, same indices, ascending.  A file torn by a
+  // mid-write kill (impossible with the atomic writer, but checkpoints can
+  // come from other machines) or a hand-edited one is refused here.
+  if (rows.as_array().size() != ckpt.completed_count()) {
+    refuse("completed bitmap count (" +
+               std::to_string(ckpt.completed_count()) +
+               ") does not match the row count (" +
+               std::to_string(rows.as_array().size()) + ")",
+           path);
+  }
+  const std::vector<std::size_t> domain =
+      shard_domain(ckpt.grid_size, ckpt.shard);
+  ckpt.rows.reserve(rows.as_array().size());
+  std::size_t last_index = 0;
+  for (const JsonValue& row_doc : rows.as_array()) {
+    SweepRow row = row_from_json(row_doc, ckpt.metric_names.size(), path);
+    if (row.grid_index >= ckpt.grid_size) {
+      refuse("checkpoint row index is outside the grid", path);
+    }
+    if (!ckpt.rows.empty() && row.grid_index <= last_index) {
+      refuse("checkpoint rows are not in ascending grid-index order", path);
+    }
+    if (!ckpt.completed[row.grid_index]) {
+      refuse("checkpoint row " + std::to_string(row.grid_index) +
+                 " has no completed bit set",
+             path);
+    }
+    if (!std::binary_search(domain.begin(), domain.end(), row.grid_index)) {
+      refuse("checkpoint row " + std::to_string(row.grid_index) +
+                 " is outside the shard's domain",
+             path);
+    }
+    if (row.params.size() != ckpt.param_names.size() ||
+        row.metrics.size() != ckpt.metric_names.size()) {
+      refuse("checkpoint row " + std::to_string(row.grid_index) +
+                 " has the wrong parameter/metric width",
+             path);
+    }
+    last_index = row.grid_index;
+    ckpt.rows.push_back(std::move(row));
+  }
+  return ckpt;
+}
+
+void validate_checkpoint(const SweepCheckpoint& checkpoint,
+                         std::size_t grid_size,
+                         const std::string& fingerprint,
+                         const ShardSpec& shard) {
+  if (checkpoint.fingerprint != fingerprint) {
+    throw StatusError(
+        Failure(ErrorCode::kInvalidConfig,
+                "checkpoint was produced by a different sweep (grid spec, "
+                "metrics, or config changed); refusing to resume")
+            .with("checkpoint_fingerprint", checkpoint.fingerprint)
+            .with("expected_fingerprint", fingerprint));
+  }
+  if (checkpoint.grid_size != grid_size) {
+    throw StatusError(Failure(ErrorCode::kInvalidConfig,
+                              "checkpoint grid size does not match")
+                          .with("checkpoint_grid_size",
+                                static_cast<std::int64_t>(checkpoint.grid_size))
+                          .with("expected_grid_size",
+                                static_cast<std::int64_t>(grid_size)));
+  }
+  if (checkpoint.shard.index != shard.index ||
+      checkpoint.shard.count != shard.count) {
+    throw StatusError(
+        Failure(ErrorCode::kInvalidConfig,
+                "checkpoint belongs to a different shard")
+            .with("checkpoint_shard",
+                  std::to_string(checkpoint.shard.index) + "/" +
+                      std::to_string(checkpoint.shard.count))
+            .with("expected_shard", std::to_string(shard.index) + "/" +
+                                        std::to_string(shard.count)));
+  }
+}
+
+SweepInterrupted::SweepInterrupted(std::size_t completed, std::size_t total)
+    : Error("sweep interrupted after " + std::to_string(completed) + " of " +
+            std::to_string(total) +
+            " points; state checkpointed, re-run with resume to continue"),
+      completed_(completed),
+      total_(total) {}
+
+SweepResult run_sweep_resumable(
+    const Grid& grid, const std::vector<std::string>& metric_names,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        evaluate,
+    const ResumableOptions& options) {
+  expects(!metric_names.empty(), "sweep needs at least one metric");
+  expects(options.checkpoint_interval >= 1,
+          "checkpoint interval must be at least 1");
+  const std::size_t grid_size = grid.size();
+  const std::vector<std::size_t> domain =
+      shard_domain(grid_size, options.shard);
+  const std::string fingerprint =
+      sweep_fingerprint(grid, metric_names, options.config_hash);
+  std::vector<std::string> param_names;
+  param_names.reserve(grid.axis_count());
+  for (const Axis& axis : grid.axes()) param_names.push_back(axis.name);
+
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.counter("dse.sweep.runs").add();
+  registry.gauge("dse.sweep.grid_size").set(static_cast<double>(grid_size));
+  Counter& m_resumed = registry.counter("dse.sweep.resumed_points");
+  Counter& m_flushes = registry.counter("dse.sweep.checkpoint_flushes");
+  TraceSpan sweep_span("dse.sweep.resumable", "dse");
+
+  // Row slots indexed by grid index; `done[g]` is the in-memory bitmap.
+  // A worker fills rows[g] completely, then release-stores done[g]; the
+  // flusher acquire-loads done[g] before reading rows[g], so a snapshot
+  // taken mid-sweep only ever contains fully-written rows.
+  std::vector<SweepRow> rows(grid_size);
+  std::vector<std::atomic<bool>> done(grid_size);
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  std::size_t resumed = 0;
+  if (checkpointing && file_exists(options.checkpoint_path)) {
+    if (!options.resume) {
+      throw StatusError(
+          Failure(ErrorCode::kInvalidConfig,
+                  "checkpoint file already exists; enable resume to continue "
+                  "it or remove the file to start over")
+              .with("checkpoint", options.checkpoint_path));
+    }
+    SweepCheckpoint ckpt = load_checkpoint(options.checkpoint_path);
+    validate_checkpoint(ckpt, grid_size, fingerprint, options.shard);
+    for (SweepRow& row : ckpt.rows) {
+      const std::size_t g = row.grid_index;
+      rows[g] = std::move(row);
+      done[g].store(true, std::memory_order_relaxed);
+    }
+    resumed = ckpt.rows.size();
+    m_resumed.add(resumed);
+  }
+
+  std::vector<std::size_t> todo;
+  todo.reserve(domain.size() - resumed);
+  for (const std::size_t g : domain) {
+    if (!done[g].load(std::memory_order_relaxed)) todo.push_back(g);
+  }
+
+  // Fault plans trip on arrival order (see run_sweep); pin to one thread.
+  const int jobs = FaultInjector::instance().armed()
+                       ? 1
+                       : parallel::resolve_jobs(options.jobs);
+  registry.gauge("dse.sweep.jobs").set(static_cast<double>(jobs));
+
+  std::mutex flush_mutex;
+  std::atomic<std::size_t> completed{resumed};
+  const auto flush = [&] {  // caller holds flush_mutex
+    if (!checkpointing) return;
+    SweepCheckpoint snapshot;
+    snapshot.fingerprint = fingerprint;
+    snapshot.grid_size = grid_size;
+    snapshot.shard = options.shard;
+    snapshot.param_names = param_names;
+    snapshot.metric_names = metric_names;
+    snapshot.completed.assign(grid_size, false);
+    for (const std::size_t g : domain) {
+      if (!done[g].load(std::memory_order_acquire)) continue;
+      snapshot.completed[g] = true;
+      snapshot.rows.push_back(rows[g]);
+    }
+    save_checkpoint(snapshot, options.checkpoint_path);
+    m_flushes.add();
+  };
+
+  const auto body = [&](std::size_t k) {
+    if (interrupt_requested()) {
+      throw SweepInterrupted(completed.load(std::memory_order_relaxed),
+                             domain.size());
+    }
+    const std::size_t g = todo[k];
+    rows[g] =
+        evaluate_sweep_point(grid, g, metric_names, evaluate, options.policy);
+    done[g].store(true, std::memory_order_release);
+    const std::size_t now =
+        completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (checkpointing && (now - resumed) % options.checkpoint_interval == 0) {
+      const std::lock_guard<std::mutex> lock(flush_mutex);
+      flush();
+    }
+  };
+
+  try {
+    parallel::parallel_for_indexed(todo.size(), body, {.jobs = jobs});
+  } catch (...) {
+    // Keep whatever finished: an interrupt, a kFailFast failure, or a
+    // library bug all leave a resumable checkpoint behind.  A flush
+    // failure must not mask the original exception.
+    const std::lock_guard<std::mutex> lock(flush_mutex);
+    try {
+      flush();
+    } catch (...) {
+    }
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flush_mutex);
+    flush();  // final, complete state (merge inputs must be complete)
+  }
+
+  std::vector<SweepRow> out;
+  out.reserve(domain.size());
+  for (const std::size_t g : domain) out.push_back(std::move(rows[g]));
+  return SweepResult(std::move(param_names),
+                     std::vector<std::string>(metric_names), std::move(out));
+}
+
+SweepResult merge_shards(const Grid& grid,
+                         const std::vector<std::string>& metric_names,
+                         const std::string& config_hash,
+                         const std::vector<std::string>& checkpoint_paths) {
+  expects(!checkpoint_paths.empty(), "merge needs at least one checkpoint");
+  const std::size_t grid_size = grid.size();
+  const std::string fingerprint =
+      sweep_fingerprint(grid, metric_names, config_hash);
+  std::vector<std::string> param_names;
+  param_names.reserve(grid.axis_count());
+  for (const Axis& axis : grid.axes()) param_names.push_back(axis.name);
+
+  const std::size_t count = checkpoint_paths.size();
+  std::vector<SweepCheckpoint> shards(count);
+  std::vector<bool> seen(count, false);
+  for (const std::string& path : checkpoint_paths) {
+    SweepCheckpoint ckpt = load_checkpoint(path);
+    if (ckpt.fingerprint != fingerprint || ckpt.grid_size != grid_size) {
+      validate_checkpoint(ckpt, grid_size, fingerprint, ckpt.shard);
+    }
+    if (ckpt.shard.count != count) {
+      refuse("checkpoint is shard " + std::to_string(ckpt.shard.index) +
+                 "/" + std::to_string(ckpt.shard.count) + " but " +
+                 std::to_string(count) + " file(s) were given to merge",
+             path);
+    }
+    if (seen[ckpt.shard.index]) {
+      refuse("two checkpoints claim shard " +
+                 std::to_string(ckpt.shard.index) + "/" +
+                 std::to_string(count),
+             path);
+    }
+    const std::size_t domain_size =
+        shard_domain(grid_size, ckpt.shard).size();
+    if (ckpt.completed_count() != domain_size) {
+      refuse("shard checkpoint is incomplete (" +
+                 std::to_string(ckpt.completed_count()) + " of " +
+                 std::to_string(domain_size) +
+                 " points); finish the shard before merging",
+             path);
+    }
+    seen[ckpt.shard.index] = true;
+    shards[ckpt.shard.index] = std::move(ckpt);
+  }
+
+  // Cross-shard consistency: every shard evaluated the shared sentinel
+  // points independently; their canonical serializations must be
+  // byte-identical or the shard runs were not equivalent (different
+  // binary, config drift the fingerprint cannot see, flaky hardware).
+  const ShardSpec any_shard{0, count};
+  for (const std::size_t g : sentinel_indices(grid_size, any_shard)) {
+    std::string reference;
+    std::size_t reference_shard = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      const auto& shard_rows = shards[s].rows;
+      const auto it = std::lower_bound(
+          shard_rows.begin(), shard_rows.end(), g,
+          [](const SweepRow& row, std::size_t index) {
+            return row.grid_index < index;
+          });
+      ensures(it != shard_rows.end() && it->grid_index == g,
+              "complete shard checkpoint is missing a sentinel row");
+      const std::string text = row_to_json(*it);
+      if (reference.empty()) {
+        reference = text;
+        reference_shard = s;
+      } else if (text != reference) {
+        throw StatusError(
+            Failure(ErrorCode::kInvalidConfig,
+                    "sentinel point differs between shards; the shard runs "
+                    "were not byte-equivalent (different binary or "
+                    "environment?)")
+                .with("grid_index", static_cast<std::int64_t>(g))
+                .with("shard_a", checkpoint_paths[reference_shard])
+                .with("shard_b", checkpoint_paths[s]));
+      }
+    }
+  }
+
+  // Stitch: every grid point comes from its OWNING shard (sentinel copies
+  // from other shards were only for the consistency check above).
+  std::vector<SweepRow> rows;
+  rows.reserve(grid_size);
+  std::vector<std::size_t> cursor(count, 0);
+  for (std::size_t g = 0; g < grid_size; ++g) {
+    const std::size_t owner = g % count;
+    auto& shard_rows = shards[owner].rows;
+    std::size_t& c = cursor[owner];
+    while (c < shard_rows.size() && shard_rows[c].grid_index < g) ++c;
+    ensures(c < shard_rows.size() && shard_rows[c].grid_index == g,
+            "complete shard checkpoint is missing an owned row");
+    rows.push_back(std::move(shard_rows[c]));
+    ++c;
+  }
+  return SweepResult(std::move(param_names),
+                     std::vector<std::string>(metric_names), std::move(rows));
+}
+
+}  // namespace uld3d::dse

@@ -1,0 +1,184 @@
+// Checkpoint/restart + deterministic sharding for design-space sweeps —
+// the machinery that turns `run_sweep`'s one-process, one-pass batch loop
+// into restartable, distributable units of work (ROADMAP item 2: overnight
+// 10^5–10^6-point sweeps across many machines).
+//
+// Three pieces:
+//
+//  * `SweepCheckpoint` — the versioned on-disk sweep state: a
+//    completed-point bitmap over the flattened grid index space, the
+//    serialized `SweepRow`s (including FAILED rows, so
+//    ErrorPolicy::kSkipAndRecord / failure_summary() semantics survive a
+//    resume boundary), and an FNV-1a provenance fingerprint of the grid
+//    spec + metric names + caller config.  Saved atomically
+//    (write-temp-then-rename, util/checkpoint.hpp) so a kill mid-write
+//    never corrupts state; `load_checkpoint` re-validates the bitmap
+//    against the row list so a torn or hand-edited file is refused, and
+//    `validate_checkpoint` refuses a checkpoint whose fingerprint does not
+//    match the grid it is being resumed against.
+//
+//  * `run_sweep_resumable` — a resume-aware, shard-aware run_sweep.
+//    Completed points are loaded from the checkpoint and NOT re-evaluated;
+//    the rest are evaluated through the same `evaluate_sweep_point` kernel
+//    as run_sweep, so the final rows are bit-identical to an uninterrupted
+//    full run at any jobs count.  The runner flushes a checkpoint every
+//    `checkpoint_interval` completed points, on any exception, and on the
+//    interrupt flag (SIGINT/SIGTERM via util/checkpoint.hpp), in which
+//    case it throws `SweepInterrupted` — the CLI maps that to the distinct
+//    "interrupted, resumable" exit code.
+//
+//  * sharding + `merge_shards` — `ShardSpec{i, N}` deterministically
+//    partitions the grid index space (shard i owns indices g with
+//    g % N == i) and every shard additionally evaluates a small set of
+//    shared SENTINEL points.  `merge_shards` stitches complete shard
+//    checkpoints back into the full-grid result, refusing mismatched
+//    fingerprints, missing shards, and sentinel rows that are not
+//    byte-for-byte identical across shards (the cross-machine consistency
+//    check: different binaries/FPU modes on shard machines are caught
+//    instead of silently merged).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uld3d/dse/sweep.hpp"
+
+namespace uld3d::dse {
+
+/// Bumped when the on-disk layout changes; older files are refused.
+inline constexpr int kCheckpointSchemaVersion = 1;
+
+/// One deterministic slice of the grid index space: shard `index` of
+/// `count` owns indices g with g % count == index (strided, so expensive
+/// regions of the grid spread evenly across machines).  {0, 1} = the whole
+/// grid (unsharded).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  [[nodiscard]] bool sharded() const { return count > 1; }
+};
+
+/// Parse "i/N" (e.g. "0/4"); throws StatusError(kInvalidArgument) unless
+/// 0 <= i < N and N >= 1.
+[[nodiscard]] ShardSpec parse_shard_spec(const std::string& text);
+
+/// The sentinel points every shard evaluates in ADDITION to its own slice:
+/// up to 4 indices spread evenly over the grid.  Deterministic in
+/// grid_size alone, so all shards agree on the set; empty for unsharded
+/// runs (count == 1) where cross-checking would be vacuous.
+[[nodiscard]] std::vector<std::size_t> sentinel_indices(
+    std::size_t grid_size, const ShardSpec& shard);
+
+/// All indices `shard` evaluates (owned slice ∪ sentinels), ascending.
+[[nodiscard]] std::vector<std::size_t> shard_domain(std::size_t grid_size,
+                                                    const ShardSpec& shard);
+
+/// FNV-1a provenance fingerprint of the sweep identity: axis names +
+/// values (exact, 17-significant-digit rendering), metric names, and the
+/// caller's `config_hash` (e.g. fnv1a_hex of the study config file +
+/// network name).  A checkpoint records this and is refused against any
+/// grid/config whose fingerprint differs.
+[[nodiscard]] std::string sweep_fingerprint(
+    const Grid& grid, const std::vector<std::string>& metric_names,
+    const std::string& config_hash);
+
+/// In-memory image of the on-disk sweep state.
+struct SweepCheckpoint {
+  int schema_version = kCheckpointSchemaVersion;
+  std::string fingerprint;  ///< sweep_fingerprint() of the producing run
+  std::size_t grid_size = 0;
+  ShardSpec shard;
+  std::vector<std::string> param_names;
+  std::vector<std::string> metric_names;
+  /// Bit g set iff grid point g has been evaluated (only bits inside the
+  /// shard's domain can be set).
+  std::vector<bool> completed;
+  /// One row per set bit, ascending grid_index.  Doubles round-trip
+  /// bit-exactly through the file, so resumed rows equal recomputed ones.
+  std::vector<SweepRow> rows;
+
+  [[nodiscard]] std::size_t completed_count() const;
+
+  /// Render as the versioned JSON document (schema in DESIGN.md §13).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Serialize + atomically write `checkpoint` to `path`.  Throws
+/// StatusError(kInternal) when the file cannot be written.
+void save_checkpoint(const SweepCheckpoint& checkpoint,
+                     const std::string& path);
+
+/// Parse `path` and enforce internal consistency: schema version, bitmap
+/// length, bitmap popcount == row count, every row's bit set, rows
+/// ascending and inside the shard domain, row widths matching the names.
+/// Throws JsonParseError on unreadable/malformed JSON and
+/// StatusError(kInvalidConfig) on a structurally inconsistent document (a
+/// torn or tampered file).
+[[nodiscard]] SweepCheckpoint load_checkpoint(const std::string& path);
+
+/// Refuse `checkpoint` unless it matches the sweep about to run: same
+/// fingerprint (grid spec + metrics + config), same grid size, same shard.
+/// Throws StatusError(kInvalidConfig) naming the mismatch.
+void validate_checkpoint(const SweepCheckpoint& checkpoint,
+                         std::size_t grid_size,
+                         const std::string& fingerprint,
+                         const ShardSpec& shard);
+
+/// Thrown when the interrupt flag stops a resumable sweep.  The partial
+/// state has already been flushed to the checkpoint path; re-running with
+/// resume enabled continues where this run stopped.
+class SweepInterrupted : public Error {
+ public:
+  SweepInterrupted(std::size_t completed, std::size_t total);
+
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  std::size_t completed_ = 0;
+  std::size_t total_ = 0;
+};
+
+struct ResumableOptions {
+  ErrorPolicy policy = ErrorPolicy::kSkipAndRecord;
+  int jobs = 0;               ///< as SweepOptions::jobs
+  ShardSpec shard;            ///< slice of the grid this process owns
+  std::string checkpoint_path;  ///< "" = no checkpointing (sharding only)
+  /// Load an existing checkpoint_path instead of starting fresh.  When
+  /// false and the file exists, the runner refuses to overwrite it
+  /// (StatusError(kInvalidConfig)) — silently clobbering completed work is
+  /// never the right default.
+  bool resume = false;
+  /// Flush the checkpoint after this many newly completed points (and
+  /// always at the end, and on interrupt/exception).
+  std::size_t checkpoint_interval = 64;
+  /// Caller config fingerprint folded into sweep_fingerprint().
+  std::string config_hash;
+};
+
+/// Resume-aware, shard-aware run_sweep.  The returned result holds the
+/// shard's domain rows ascending by grid_index (the full grid for an
+/// unsharded run) and is bit-identical — rows, failure_summary(), table
+/// output — to the corresponding slice of a plain run_sweep at any jobs
+/// count, whether or not the run was interrupted and resumed in between.
+/// Throws SweepInterrupted when stopped by the interrupt flag.
+[[nodiscard]] SweepResult run_sweep_resumable(
+    const Grid& grid, const std::vector<std::string>& metric_names,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        evaluate,
+    const ResumableOptions& options);
+
+/// Stitch complete shard checkpoints back into the full-grid result.
+/// Every file must validate against `fingerprint` and `grid_size`, the
+/// shards must form exactly {0..N-1} of a common N with every domain point
+/// completed, and each sentinel point's serialized row must be
+/// byte-identical across all shards that evaluated it.  Throws
+/// StatusError(kInvalidConfig) on any violation.
+[[nodiscard]] SweepResult merge_shards(
+    const Grid& grid, const std::vector<std::string>& metric_names,
+    const std::string& config_hash,
+    const std::vector<std::string>& checkpoint_paths);
+
+}  // namespace uld3d::dse

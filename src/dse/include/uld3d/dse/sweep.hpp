@@ -68,6 +68,11 @@ struct SweepRow {
   std::vector<double> params;   ///< one value per axis
   std::vector<double> metrics;  ///< one value per metric (NaN when failed)
   std::optional<Failure> failure;  ///< set iff evaluation failed
+  /// Position in the flattened grid index space.  Equal to the row's
+  /// position in `SweepResult::rows()` for a plain full-grid sweep, but a
+  /// sharded/merged result holds a subset, so reports (failure_summary)
+  /// label points by this index — stable across shard/resume boundaries.
+  std::size_t grid_index = 0;
 
   [[nodiscard]] bool ok() const { return !failure.has_value(); }
 };
@@ -129,5 +134,18 @@ class SweepResult {
     const std::function<std::vector<double>(const std::vector<double>&)>&
         evaluate,
     const SweepOptions& options = {});
+
+/// Evaluate ONE grid point into a SweepRow following `policy`.  This is the
+/// single evaluation kernel shared by run_sweep and the checkpoint-aware
+/// runner (uld3d/dse/checkpoint.hpp): identical failure classification,
+/// metric-count checking, and NaN handling on both paths, so a resumed or
+/// sharded sweep's rows are bit-identical to an uninterrupted full run's.
+/// Throws under ErrorPolicy::kFailFast exactly like the sweep loop.
+[[nodiscard]] SweepRow evaluate_sweep_point(
+    const Grid& grid, std::size_t grid_index,
+    const std::vector<std::string>& metric_names,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        evaluate,
+    ErrorPolicy policy);
 
 }  // namespace uld3d::dse

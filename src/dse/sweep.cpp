@@ -160,18 +160,29 @@ std::string SweepResult::failure_summary() const {
   // A mostly-failed 10k-point sweep would otherwise build a multi-megabyte
   // string; the first few points carry all the diagnostic signal.
   constexpr std::size_t kMaxReported = 20;
+  // Itemize in GRID-INDEX order, not row-storage order: a resumed or merged
+  // sweep must produce a summary byte-identical to an uninterrupted run's
+  // even if its rows were assembled in a different order.
+  std::vector<std::size_t> order;
+  order.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i].ok()) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rows_[a].grid_index < rows_[b].grid_index;
+                   });
   std::ostringstream os;
   os << failed << " of " << rows_.size() << " design points failed:\n";
   std::size_t reported = 0;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
+  for (const std::size_t i : order) {
     const auto& row = rows_[i];
-    if (row.ok()) continue;
     if (reported == kMaxReported) {
       os << "  ... and " << (failed - kMaxReported)
          << " more failing point(s)\n";
       break;
     }
-    os << "  point " << i << " (";
+    os << "  point " << row.grid_index << " (";
     for (std::size_t p = 0; p < row.params.size(); ++p) {
       if (p > 0) os << ", ";
       os << param_names_[p] << "=" << format_double(row.params[p], 4);
@@ -197,6 +208,70 @@ Failure classify(const std::exception& error) {
 
 }  // namespace
 
+SweepRow evaluate_sweep_point(
+    const Grid& grid, std::size_t grid_index,
+    const std::vector<std::string>& metric_names,
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        evaluate,
+    ErrorPolicy policy) {
+  // Registry handles are stable for the process lifetime, so hoist the
+  // lookups once; Counter::add is one branch when metrics are disabled.
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  static Counter& m_points = registry.counter("dse.sweep.points");
+  static Counter& m_ok = registry.counter("dse.sweep.ok");
+  static Counter& m_failed = registry.counter("dse.sweep.failed");
+  static Counter& m_skipped = registry.counter("dse.sweep.skipped");
+  static Histogram& m_point_us = registry.histogram("dse.sweep.point_us");
+
+  SweepRow row;
+  row.grid_index = grid_index;
+  row.params = grid.point(grid_index);
+  std::optional<std::vector<double>> metrics;
+  try {
+    TraceSpan point_span("dse.sweep.point", "dse");
+    ScopedTimer point_timer(m_point_us);
+    m_points.add();
+    fault_site("dse.sweep.point");
+    metrics = evaluate(row.params);
+  } catch (const InvariantError&) {
+    throw;  // library bug: never downgrade to a per-point failure
+  } catch (const std::exception& error) {
+    if (policy == ErrorPolicy::kFailFast) throw;
+    row.failure = classify(error);
+  }
+  if (metrics.has_value()) {
+    // A wrong metric count is an evaluator contract bug, not a bad design
+    // point — it aborts the sweep under every policy.
+    expects(metrics->size() == metric_names.size(),
+            "evaluator returned wrong metric count");
+    for (std::size_t m = 0; m < metrics->size(); ++m) {
+      if (std::isfinite((*metrics)[m])) continue;
+      Failure failure =
+          Failure(ErrorCode::kNumericalError, "metric is not finite")
+              .with("metric", metric_names[m])
+              .with("value", std::isnan((*metrics)[m]) ? "nan" : "inf");
+      if (policy == ErrorPolicy::kFailFast) {
+        throw StatusError(std::move(failure));
+      }
+      row.failure = std::move(failure);
+      break;
+    }
+    if (row.ok()) row.metrics = std::move(*metrics);
+  }
+  if (!row.ok()) {
+    row.metrics.assign(metric_names.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+    // Counted as both: a failed point, and one the policy skipped-and-
+    // recorded (compare against fault.injected_trips to split a run
+    // report into injected vs organic failures).
+    m_failed.add();
+    m_skipped.add();
+  } else {
+    m_ok.add();
+  }
+  return row;
+}
+
 SweepResult run_sweep(
     const Grid& grid, const std::vector<std::string>& metric_names,
     const std::function<std::vector<double>(const std::vector<double>&)>&
@@ -210,11 +285,6 @@ SweepResult run_sweep(
 
   MetricsRegistry& registry = MetricsRegistry::instance();
   Counter& m_runs = registry.counter("dse.sweep.runs");
-  Counter& m_points = registry.counter("dse.sweep.points");
-  Counter& m_ok = registry.counter("dse.sweep.ok");
-  Counter& m_failed = registry.counter("dse.sweep.failed");
-  Counter& m_skipped = registry.counter("dse.sweep.skipped");
-  Histogram& m_point_us = registry.histogram("dse.sweep.point_us");
   registry.gauge("dse.sweep.grid_size").set(static_cast<double>(grid_size));
   m_runs.add();
   TraceSpan sweep_span("dse.sweep", "dse");
@@ -233,51 +303,8 @@ SweepResult run_sweep(
   // the result) is bit-identical to the serial loop at any jobs count.
   std::vector<SweepRow> rows(grid_size);
   const auto evaluate_point = [&](std::size_t i) {
-    SweepRow& row = rows[i];
-    row.params = grid.point(i);
-    std::optional<std::vector<double>> metrics;
-    try {
-      TraceSpan point_span("dse.sweep.point", "dse");
-      ScopedTimer point_timer(m_point_us);
-      m_points.add();
-      fault_site("dse.sweep.point");
-      metrics = evaluate(row.params);
-    } catch (const InvariantError&) {
-      throw;  // library bug: never downgrade to a per-point failure
-    } catch (const std::exception& error) {
-      if (options.policy == ErrorPolicy::kFailFast) throw;
-      row.failure = classify(error);
-    }
-    if (metrics.has_value()) {
-      // A wrong metric count is an evaluator contract bug, not a bad design
-      // point — it aborts the sweep under every policy.
-      expects(metrics->size() == metric_names.size(),
-              "evaluator returned wrong metric count");
-      for (std::size_t m = 0; m < metrics->size(); ++m) {
-        if (std::isfinite((*metrics)[m])) continue;
-        Failure failure =
-            Failure(ErrorCode::kNumericalError, "metric is not finite")
-                .with("metric", metric_names[m])
-                .with("value", std::isnan((*metrics)[m]) ? "nan" : "inf");
-        if (options.policy == ErrorPolicy::kFailFast) {
-          throw StatusError(std::move(failure));
-        }
-        row.failure = std::move(failure);
-        break;
-      }
-      if (row.ok()) row.metrics = std::move(*metrics);
-    }
-    if (!row.ok()) {
-      row.metrics.assign(metric_names.size(),
-                         std::numeric_limits<double>::quiet_NaN());
-      // Counted as both: a failed point, and one the policy skipped-and-
-      // recorded (compare against fault.injected_trips to split a run
-      // report into injected vs organic failures).
-      m_failed.add();
-      m_skipped.add();
-    } else {
-      m_ok.add();
-    }
+    rows[i] =
+        evaluate_sweep_point(grid, i, metric_names, evaluate, options.policy);
   };
   parallel::parallel_for_indexed(grid_size, evaluate_point, {.jobs = jobs});
   if (timed) {

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/log.hpp"
 #include "uld3d/util/table.hpp"
@@ -281,14 +281,9 @@ int Harness::finish() {
     table.print(std::cout, "Timing-derived values: " + suite_);
   }
   if (!options_.write_json || options_.json_path.empty()) return 0;
-  std::ofstream file(options_.json_path);
-  if (!file) {
-    log_warning("could not open bench JSON output: " + options_.json_path);
-    return 1;
-  }
-  file << to_json();
+  if (!write_file_atomic(options_.json_path, to_json())) return 1;
   std::cout << "Wrote " << options_.json_path << "\n";
-  return file.good() ? 0 : 1;
+  return 0;
 }
 
 }  // namespace uld3d::bench

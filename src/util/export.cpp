@@ -1,12 +1,12 @@
 #include "uld3d/util/export.hpp"
 
 #include <cstdlib>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/log.hpp"
 
 namespace uld3d {
@@ -23,12 +23,7 @@ std::string emit_table(std::ostream& os, const Table& table,
   const std::string dir = csv_export_dir();
   if (dir.empty()) return {};
   const std::string path = dir + "/" + slug + ".csv";
-  std::ofstream file(path);
-  if (!file) {
-    log_warning("could not open CSV export file: " + path);
-    return {};
-  }
-  file << table.to_csv();
+  if (!write_file_atomic(path, table.to_csv())) return {};
   return path;
 }
 

@@ -82,7 +82,27 @@ class Parser {
     }
   }
 
+  /// RAII nesting-depth guard: parse_object/parse_array recurse through
+  /// parse_value, so pathological input like "[[[[..." would otherwise
+  /// exhaust the real call stack (a crash, not a clean parse error).
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonValue::Object members;
     skip_whitespace();
@@ -107,6 +127,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonValue::Array elements;
     skip_whitespace();
@@ -182,16 +203,42 @@ class Parser {
   }
 
   JsonValue parse_number() {
+    // Strict RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — strtod alone would also accept "+5", ".5", "0x1p3", "inf", which a
+    // torn or hand-edited artifact must not smuggle past the parser.
     const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+    const auto digit = [&] {
+      return pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) {
+      pos_ = start;
       fail("expected a value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero stands alone ("01" is not JSON)
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) {
+        pos_ = start;
+        fail("malformed number: expected digits after '.'");
+      }
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) {
+        pos_ = start;
+        fail("malformed number: expected digits in exponent");
+      }
+      while (digit()) ++pos_;
     }
     const std::string token = text_.substr(start, pos_ - start);
     char* end = nullptr;
@@ -203,8 +250,13 @@ class Parser {
     return JsonValue(value);
   }
 
+  /// Deep enough for any artifact this repo emits, shallow enough that the
+  /// parser rejects hostile nesting long before the call stack gives out.
+  static constexpr std::size_t kMaxDepth = 256;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

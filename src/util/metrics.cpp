@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/log.hpp"
 
 namespace uld3d {
@@ -239,15 +239,9 @@ std::string MetricsRegistry::to_csv() const {
 
 bool MetricsRegistry::write_file(const std::string& path) const {
   expects(!path.empty(), "metrics output path required");
-  std::ofstream file(path);
-  if (!file) {
-    log_warning("could not open metrics output file: " + path);
-    return false;
-  }
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-  file << (json ? to_json() : to_csv());
-  return true;
+  return write_file_atomic(path, json ? to_json() : to_csv());
 }
 
 }  // namespace uld3d

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <fstream>
 #include <limits>
 #include <map>
 #include <sstream>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/log.hpp"
 #include "uld3d/util/metrics.hpp"  // json_escape
 
@@ -119,13 +119,7 @@ std::string TraceRecorder::to_chrome_json() const {
 
 bool TraceRecorder::write_chrome_trace(const std::string& path) const {
   expects(!path.empty(), "trace output path required");
-  std::ofstream file(path);
-  if (!file) {
-    log_warning("could not open trace output file: " + path);
-    return false;
-  }
-  file << to_chrome_json();
-  return true;
+  return write_file_atomic(path, to_chrome_json());
 }
 
 Table TraceRecorder::summary_table() const {

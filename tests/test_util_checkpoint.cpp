@@ -1,0 +1,128 @@
+// util/checkpoint: atomic file writes + interrupt plumbing.
+//
+// The atomicity contract under test: whatever goes wrong between opening the
+// temp file and the final rename — an unwritable directory, a short write, a
+// crash injected at the "util.export.atomic_write" fault site — the
+// DESTINATION path is never created (or, when overwriting, never torn), and
+// no temp litter survives a failed attempt.
+#include "uld3d/util/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "uld3d/util/fault.hpp"
+#include "uld3d/util/status.hpp"
+
+namespace uld3d {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool exists(const std::string& path) { return std::ifstream(path).good(); }
+
+TEST(AtomicWrite, WritesContentExactly) {
+  const std::string path = temp_path("atomic_exact.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(write_file_atomic(path, "hello\nworld\n"));
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  // No temp litter next to the destination.
+  EXPECT_FALSE(exists(path + ".tmp." + std::to_string(getpid())));
+}
+
+TEST(AtomicWrite, OverwritesExistingFile) {
+  const std::string path = temp_path("atomic_overwrite.txt");
+  ASSERT_TRUE(write_file_atomic(path, "old"));
+  ASSERT_TRUE(write_file_atomic(path, "new content"));
+  EXPECT_EQ(slurp(path), "new content");
+}
+
+TEST(AtomicWrite, UnwritableDirectoryFailsWithoutCreatingAnything) {
+  const std::string path = "/nonexistent-dir-zzz/file.txt";
+  EXPECT_FALSE(write_file_atomic(path, "data"));
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(AtomicWrite, EmptyContentYieldsEmptyFile) {
+  const std::string path = temp_path("atomic_empty.txt");
+  ASSERT_TRUE(write_file_atomic(path, ""));
+  EXPECT_TRUE(exists(path));
+  EXPECT_EQ(slurp(path), "");
+}
+
+// The crash-consistency test: a fault injected between the temp write and
+// the rename simulates a process dying mid-emission.  The destination must
+// not appear and the temp file must be cleaned up on the unwind path.
+TEST(AtomicWrite, InjectedCrashBeforeRenameLeavesNoDestination) {
+  const std::string path = temp_path("atomic_crash.txt");
+  std::remove(path.c_str());
+  FaultInjector::instance().arm(
+      "util.export.atomic_write",
+      Failure(ErrorCode::kFaultInjected, "simulated crash before rename"));
+  EXPECT_THROW(write_file_atomic(path, "must never land"), StatusError);
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(exists(path));
+  EXPECT_FALSE(exists(path + ".tmp." + std::to_string(getpid())));
+  // The writer recovers fully once the fault is gone.
+  ASSERT_TRUE(write_file_atomic(path, "landed"));
+  EXPECT_EQ(slurp(path), "landed");
+}
+
+TEST(AtomicWrite, InjectedCrashPreservesPreviousContent) {
+  const std::string path = temp_path("atomic_crash_keep.txt");
+  ASSERT_TRUE(write_file_atomic(path, "generation 1"));
+  FaultInjector::instance().arm(
+      "util.export.atomic_write",
+      Failure(ErrorCode::kFaultInjected, "simulated crash before rename"));
+  EXPECT_THROW(write_file_atomic(path, "generation 2"), StatusError);
+  FaultInjector::instance().reset();
+  // Old complete file, not a torn mixture.
+  EXPECT_EQ(slurp(path), "generation 1");
+}
+
+TEST(Interrupt, FlagIsClearByDefaultAndProgrammable) {
+  set_interrupt_requested(false);
+  EXPECT_FALSE(interrupt_requested());
+  set_interrupt_requested(true);
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), 0);  // programmatic set records no signal
+  set_interrupt_requested(false);
+  EXPECT_FALSE(interrupt_requested());
+}
+
+TEST(Interrupt, SigtermSetsFlagAndProcessSurvives) {
+  set_interrupt_requested(false);
+  install_interrupt_handlers();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  // The handler latched the flag instead of killing us.
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), SIGTERM);
+  set_interrupt_requested(false);
+}
+
+TEST(Interrupt, InstallIsIdempotent) {
+  install_interrupt_handlers();
+  install_interrupt_handlers();
+  set_interrupt_requested(false);
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(interrupt_requested());
+  set_interrupt_requested(false);
+}
+
+}  // namespace
+}  // namespace uld3d

@@ -91,5 +91,56 @@ TEST(JsonParseTest, NestedDepthAndWhitespace) {
   EXPECT_DOUBLE_EQ(v.as_array()[0].at("k").as_array()[1].as_number(), 2.0);
 }
 
+// Robustness against truncated artifacts: a process killed mid-write (pre-
+// atomic-rename files from other tools, half-copied checkpoints) leaves an
+// arbitrary prefix of a valid document.  EVERY proper prefix must raise a
+// clean JsonParseError — never crash, hang, or return garbage.  Run under
+// ASan/UBSan in CI, this is a cheap deterministic fuzz of the parser.
+TEST(JsonParseHardeningTest, EveryPrefixOfAValidDocumentFailsCleanly) {
+  const std::string doc =
+      "{\n"
+      "  \"kind\": \"uld3d-sweep-checkpoint\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"fingerprint\": \"ab\\u0041\\\"cd\",\n"
+      "  \"grid_size\": 20,\n"
+      "  \"values\": [1e308, -0.25, 5e-324, true, false, null],\n"
+      "  \"rows\": [{\"index\": 0, \"metrics\": [1.5], \"failure\": null}]\n"
+      "}\n";
+  ASSERT_NO_THROW((void)json_parse(doc));
+  // Iterate over the whitespace-trimmed document: a prefix that only strips
+  // trailing whitespace is still a complete (legal) document.
+  std::string trimmed = doc;
+  while (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+  for (std::size_t n = 0; n < trimmed.size(); ++n) {
+    const std::string prefix = trimmed.substr(0, n);
+    EXPECT_THROW((void)json_parse(prefix), JsonParseError)
+        << "prefix length " << n;
+  }
+}
+
+TEST(JsonParseHardeningTest, GarbageBytesFailCleanly) {
+  for (const char* garbage :
+       {"\x01\x02\x03", "{\"a\": 0x12}", "[1, 2,, 3]", "{]", "\"\\q\"",
+        "nul", "truee", "[\"unterminated]", "{\"k\" 1}", "- 5", "+5",
+        "1e", "1e+", ".5", "[}", "\xff\xfe{}"}) {
+    EXPECT_THROW((void)json_parse(garbage), JsonParseError) << garbage;
+  }
+}
+
+TEST(JsonParseHardeningTest, DeepNestingIsRefusedNotStackOverflowed) {
+  // 100k unclosed brackets must not recurse to a stack overflow; the parser
+  // caps nesting and reports it as a parse error.
+  const std::string deep_array(100000, '[');
+  EXPECT_THROW((void)json_parse(deep_array), JsonParseError);
+  std::string deep_objects;
+  for (int i = 0; i < 100000; ++i) deep_objects += "{\"k\":";
+  EXPECT_THROW((void)json_parse(deep_objects), JsonParseError);
+  // Moderate nesting stays legal.
+  std::string ok(100, '[');
+  ok += "1";
+  ok += std::string(100, ']');
+  EXPECT_NO_THROW((void)json_parse(ok));
+}
+
 }  // namespace
 }  // namespace uld3d

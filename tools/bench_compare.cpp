@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "uld3d/util/bench.hpp"
+#include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/jsonv.hpp"
 #include "uld3d/util/table.hpp"
 
@@ -380,13 +381,13 @@ int run_merge(const std::vector<std::string>& args) {
     os << "\n" << text;
   }
   os << "\n  ]\n}\n";
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "uld3d-bench-compare: cannot open output " << out_path
+  // Atomic (write-temp-then-rename): a crash mid-merge must not leave a
+  // half-written file where a later bench-compare run would find it.
+  if (!write_file_atomic(out_path, os.str())) {
+    std::cerr << "uld3d-bench-compare: cannot write output " << out_path
               << "\n";
     return 3;
   }
-  out << os.str();
   std::cout << "Merged " << args.size() - 1 << " suite files into "
             << out_path << "\n";
   return 0;

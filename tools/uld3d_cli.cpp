@@ -5,6 +5,7 @@
 //   uld3d_cli datasheet [--network N] [--config FILE]   coupled phys run
 //   uld3d_cli arch      --config FILE [--network N]     custom architecture
 //   uld3d_cli sweep     [--network N] [--config FILE]   capacity x N_CS DSE
+//   uld3d_cli merge     CKPT...                         stitch shard runs
 //   uld3d_cli dump-config                               print the defaults
 //
 // Global flags: --strict        config warnings (unknown keys) become fatal
@@ -18,33 +19,54 @@
 //               --metrics FILE  write the metrics registry (.json or CSV)
 //               --profile       print span-summary + metrics tables at exit
 //
+// Sweep checkpoint/sharding flags (DESIGN.md §13):
+//               --checkpoint FILE        periodically flush resumable sweep
+//                                        state; SIGINT/SIGTERM flush and
+//                                        exit 5 (interrupted, resumable)
+//               --resume                 continue an existing --checkpoint
+//               --checkpoint-interval N  flush every N completed points
+//               --shard i/N              evaluate only shard i of N (plus
+//                                        shared sentinel points); `merge`
+//                                        stitches the shard checkpoints
+//
 // Exit codes: 0 success, 2 usage error, 3 config error, 4 model/evaluation
-// error, 1 internal error.  Diagnostics go to stderr; results to stdout.
+// error, 5 interrupted-but-resumable sweep, 1 internal error.  Diagnostics
+// go to stderr; results to stdout.
 //
 // `--config` files use the INI schema documented in uld3d/io/study_config.hpp.
 // ULD3D_FAULT=site=kCode[:skip[:count]] arms the deterministic fault
 // injector (testing the degraded paths end to end).  ULD3D_TRACE=FILE
 // mirrors --trace for runs launched by scripts that cannot edit flags.
+// ULD3D_SWEEP_DELAY_MS=N (test hook) sleeps N ms per design point so
+// integration tests can interrupt a sweep at a controlled depth.
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "uld3d/accel/chip_summary.hpp"
 #include "uld3d/core/edp_model.hpp"
 #include "uld3d/core/workload.hpp"
+#include "uld3d/dse/checkpoint.hpp"
 #include "uld3d/dse/sweep.hpp"
 #include "uld3d/io/study_config.hpp"
 #include "uld3d/mapper/cost_model.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/sim/report.hpp"
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/jsonv.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
+#include "uld3d/util/provenance.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace {
@@ -58,6 +80,10 @@ constexpr int kExitInternal = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitConfig = 3;
 constexpr int kExitModel = 4;
+/// A checkpointed sweep stopped by SIGINT/SIGTERM; the partial state is on
+/// disk and `--resume` continues it.  Distinct so sweep drivers can tell
+/// "re-run me" from real failures.
+constexpr int kExitInterrupted = 5;
 
 /// Bad command line: distinct from config/model failures.
 class UsageError : public Error {
@@ -72,9 +98,11 @@ class ConfigError : public Error {
 };
 
 constexpr const char* kUsage =
-    "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|dump-config>\n"
+    "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|merge|dump-config>\n"
     "       [--network N] [--config FILE] [--strict] [--keep-going]\n"
-    "       [--jobs N] [--trace FILE] [--metrics FILE] [--profile]";
+    "       [--jobs N] [--trace FILE] [--metrics FILE] [--profile]\n"
+    "       [--checkpoint FILE] [--resume] [--checkpoint-interval N]\n"
+    "       [--shard i/N]  (merge takes shard checkpoint files as operands)";
 
 struct CliArgs {
   std::string command;
@@ -86,6 +114,11 @@ struct CliArgs {
   std::string trace_path;    // Chrome trace JSON output ("" = off)
   std::string metrics_path;  // metrics JSON/CSV output ("" = off)
   bool profile = false;      // print span/metrics summary tables at exit
+  std::string checkpoint_path;           // sweep checkpoint file ("" = off)
+  bool resume = false;                   // continue an existing checkpoint
+  std::size_t checkpoint_interval = 64;  // flush every N completed points
+  dse::ShardSpec shard;                  // {0, 1} = whole grid
+  std::vector<std::string> operands;     // `merge` checkpoint files
 };
 
 CliArgs parse_args(int argc, char** argv) {
@@ -118,6 +151,27 @@ CliArgs parse_args(int argc, char** argv) {
       args.metrics_path = argv[++i];
     } else if (flag == "--profile") {
       args.profile = true;
+    } else if (flag == "--checkpoint" && i + 1 < argc) {
+      args.checkpoint_path = argv[++i];
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--checkpoint-interval" && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1) {
+        throw UsageError(
+            std::string("--checkpoint-interval expects a positive integer: ") +
+            argv[i] + "\n" + kUsage);
+      }
+      args.checkpoint_interval = static_cast<std::size_t>(n);
+    } else if (flag == "--shard" && i + 1 < argc) {
+      try {
+        args.shard = dse::parse_shard_spec(argv[++i]);
+      } catch (const StatusError& error) {
+        throw UsageError(std::string(error.what()) + "\n" + kUsage);
+      }
+    } else if (!flag.empty() && flag[0] != '-' && args.command == "merge") {
+      args.operands.push_back(flag);
     } else {
       throw UsageError("unknown argument: " + flag + "\n" + kUsage);
     }
@@ -275,18 +329,71 @@ int run_arch(const CliArgs& args) {
   return kExitOk;
 }
 
+/// The CLI's fixed design-space grid (capacity x N_CS; the checkpoint
+/// fingerprint covers it, so changing it invalidates old checkpoints).
+dse::Grid sweep_grid() {
+  dse::Grid grid;
+  grid.axis("capacity_mb", {16.0, 32.0, 64.0, 128.0})
+      .axis("n_cs", {1.0, 2.0, 4.0, 8.0, 16.0});
+  return grid;
+}
+
+const std::vector<std::string>& sweep_metric_names() {
+  static const std::vector<std::string> names{"edp_benefit", "speedup"};
+  return names;
+}
+
+/// Config identity folded into the checkpoint fingerprint: the network name
+/// plus the raw bytes of --config (if any), so a checkpoint from a
+/// different study config or network is refused on resume/merge.
+std::string sweep_config_hash(const CliArgs& args) {
+  std::string identity = "network " + args.network + "\n";
+  if (args.config_path.has_value()) {
+    std::ifstream in(*args.config_path, std::ios::binary);
+    if (!in) {
+      throw ConfigError("cannot read config for fingerprint: " +
+                        *args.config_path);
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    identity += "config " + content.str();
+  }
+  return fnv1a_hex(identity);
+}
+
+/// Shared result printing for `sweep` and `merge`, so a merged sharded run
+/// is byte-identical on stdout/stderr to the equivalent unsharded sweep.
+int print_sweep_result(const dse::SweepResult& result,
+                       const CliArgs& args, const std::string& net_name) {
+  emit_table(std::cout, result.to_table(), "M3D design space for " + net_name,
+             "cli_sweep_" + args.network);
+  if (result.failed_count() > 0) std::cerr << result.failure_summary();
+  const auto& best = result.rows()[result.best("edp_benefit")];
+  std::cout << "Best EDP point: " << format_double(best.params[0], 0)
+            << " MB, " << format_double(best.params[1], 0) << " CSs -> "
+            << format_ratio(best.metrics[0]) << "\n";
+  return kExitOk;
+}
+
 int run_sweep(const CliArgs& args) {
   const accel::CaseStudy base = study_for(args);
   const nn::Network net = nn::make_network(args.network);
   const auto workloads =
       core::layer_workloads(net, core::TrafficOptions{},
                             core::PartitionOptions{});
+  const dse::Grid grid = sweep_grid();
 
-  dse::Grid grid;
-  grid.axis("capacity_mb", {16.0, 32.0, 64.0, 128.0})
-      .axis("n_cs", {1.0, 2.0, 4.0, 8.0, 16.0});
+  // ULD3D_SWEEP_DELAY_MS: test-only throttle so integration tests can
+  // deliver a signal (or SIGKILL) while the sweep is predictably mid-grid.
+  long delay_ms = 0;
+  if (const char* delay_env = std::getenv("ULD3D_SWEEP_DELAY_MS")) {
+    delay_ms = std::strtol(delay_env, nullptr, 10);
+  }
 
   const auto evaluate = [&](const std::vector<double>& p) {
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
     accel::CaseStudy study = base;
     study.rram_capacity_mb = p[0];
     const auto n = static_cast<std::int64_t>(p[1]);
@@ -307,20 +414,45 @@ int run_sweep(const CliArgs& args) {
     return std::vector<double>{total.edp_benefit, total.speedup};
   };
 
-  const dse::SweepOptions options{args.keep_going
+  const dse::ErrorPolicy policy = args.keep_going
                                       ? dse::ErrorPolicy::kSkipAndRecord
-                                      : dse::ErrorPolicy::kFailFast};
-  const dse::SweepResult result =
-      dse::run_sweep(grid, {"edp_benefit", "speedup"}, evaluate, options);
+                                      : dse::ErrorPolicy::kFailFast;
+  if (args.checkpoint_path.empty() && !args.shard.sharded()) {
+    // Plain one-shot sweep: the pre-checkpoint path, byte-identical output.
+    const dse::SweepResult result = dse::run_sweep(
+        grid, sweep_metric_names(), evaluate, dse::SweepOptions{policy});
+    return print_sweep_result(result, args, net.name());
+  }
 
-  emit_table(std::cout, result.to_table(),
-             "M3D design space for " + net.name(), "cli_sweep_" + args.network);
-  if (result.failed_count() > 0) std::cerr << result.failure_summary();
-  const auto& best = result.rows()[result.best("edp_benefit")];
-  std::cout << "Best EDP point: " << format_double(best.params[0], 0)
-            << " MB, " << format_double(best.params[1], 0) << " CSs -> "
-            << format_ratio(best.metrics[0]) << "\n";
-  return kExitOk;
+  dse::ResumableOptions options;
+  options.policy = policy;
+  options.shard = args.shard;
+  options.checkpoint_path = args.checkpoint_path;
+  options.resume = args.resume;
+  options.checkpoint_interval = args.checkpoint_interval;
+  options.config_hash = sweep_config_hash(args);
+  install_interrupt_handlers();
+  try {
+    const dse::SweepResult result =
+        dse::run_sweep_resumable(grid, sweep_metric_names(), evaluate,
+                                 options);
+    return print_sweep_result(result, args, net.name());
+  } catch (const dse::SweepInterrupted& interrupted) {
+    std::cerr << "interrupted: " << interrupted.what() << "\n";
+    return kExitInterrupted;
+  }
+}
+
+int run_merge(const CliArgs& args) {
+  if (args.operands.empty()) {
+    throw UsageError(std::string("merge requires shard checkpoint files\n") +
+                     kUsage);
+  }
+  const nn::Network net = nn::make_network(args.network);
+  const dse::SweepResult result =
+      dse::merge_shards(sweep_grid(), sweep_metric_names(),
+                        sweep_config_hash(args), args.operands);
+  return print_sweep_result(result, args, net.name());
 }
 
 int run_dump_config(const CliArgs&) {
@@ -334,6 +466,7 @@ int dispatch(const CliArgs& args) {
   if (args.command == "datasheet") return run_datasheet(args);
   if (args.command == "arch") return run_arch(args);
   if (args.command == "sweep") return run_sweep(args);
+  if (args.command == "merge") return run_merge(args);
   if (args.command == "dump-config") return run_dump_config(args);
   throw UsageError("unknown command: " + args.command + "\n" + kUsage);
 }
@@ -361,6 +494,11 @@ int main(int argc, char** argv) {
     std::cerr << "usage error: " << error.what() << "\n";
     return kExitUsage;
   } catch (const ConfigError& error) {
+    std::cerr << "config error: " << error.what() << "\n";
+    return kExitConfig;
+  } catch (const JsonParseError& error) {
+    // A checkpoint (or other JSON input) that does not parse is bad input,
+    // not an internal bug.
     std::cerr << "config error: " << error.what() << "\n";
     return kExitConfig;
   } catch (const StatusError& error) {
