@@ -22,6 +22,7 @@
 #include "uld3d/phys/m3d_flow.hpp"
 #include "uld3d/util/bench.hpp"
 #include "uld3d/util/metrics.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 #include "uld3d/util/units.hpp"
 
@@ -144,6 +145,28 @@ int main(int argc, char** argv) {
   TraceRecorder::instance().set_enabled(false);
   TraceRecorder::instance().clear();
 
+  // Telemetry events share the contract: a disabled emit_* is one relaxed
+  // atomic load plus a predicted branch (no sink open by default).  The
+  // sink reference is hoisted like real emit sites do (they cache it — or
+  // the enabled() bool — outside their loops).  The enabled number bounds
+  // the serialize-and-buffer cost per event; the write(2)s land in
+  // /dev/null so the sample times the library, not a disk.
+  EventSink& sink = EventSink::instance();
+  h.time("telemetry_event_disabled_1m", [&] {
+    for (std::int64_t i = 0; i < kCounterOps; ++i) {
+      sink.emit_stage("bench.overhead.event", 1.0);
+      bench::do_not_optimize(i);
+    }
+  });
+  sink.open("/dev/null");
+  h.time("telemetry_event_enabled_64k", [&] {
+    for (std::int64_t i = 0; i < kSpanOps; ++i) {
+      sink.emit_stage("bench.overhead.event", 1.0);
+      bench::do_not_optimize(i);
+    }
+  });
+  sink.close();
+
   MetricsRegistry::set_enabled(true);
   h.time("simulate_resnet18_instrumented",
          [&] { return sim::simulate_network(resnet18, cfg3d); });
@@ -164,6 +187,12 @@ int main(int argc, char** argv) {
                  ns_per_op(h.stats("trace_span_disabled_64k"), kSpanOps), "ns");
   h.timing_value("trace_span_enabled_ns_per_op",
                  ns_per_op(h.stats("trace_span_enabled_64k"), kSpanOps), "ns");
+  h.timing_value(
+      "telemetry_event_disabled_ns_per_op",
+      ns_per_op(h.stats("telemetry_event_disabled_1m"), kCounterOps), "ns");
+  h.timing_value("telemetry_event_enabled_ns_per_op",
+                 ns_per_op(h.stats("telemetry_event_enabled_64k"), kSpanOps),
+                 "ns");
   {
     const double plain = h.stats("simulate_resnet18").median_s;
     const double instrumented =

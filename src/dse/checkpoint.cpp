@@ -17,6 +17,7 @@
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
 #include "uld3d/util/provenance.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
@@ -328,6 +329,7 @@ std::string SweepCheckpoint::to_json() const {
      << "  \"kind\": \"" << kCheckpointKind << "\",\n"
      << "  \"schema_version\": " << schema_version << ",\n"
      << "  \"fingerprint\": \"" << json_escape(fingerprint) << "\",\n"
+     << "  \"run_id\": \"" << json_escape(run_id) << "\",\n"
      << "  \"grid_size\": " << grid_size << ",\n"
      << "  \"shard_index\": " << shard.index << ",\n"
      << "  \"shard_count\": " << shard.count << ",\n"
@@ -376,6 +378,8 @@ SweepCheckpoint load_checkpoint(const std::string& path) {
            path);
   }
   ckpt.fingerprint = root.at("fingerprint").as_string();
+  // Absent in pre-telemetry checkpoints; informational either way.
+  ckpt.run_id = root.string_or("run_id", "");
   ckpt.grid_size = size_from_json(root.at("grid_size"), "grid_size", path);
   ckpt.shard.index =
       size_from_json(root.at("shard_index"), "shard_index", path);
@@ -545,12 +549,26 @@ SweepResult run_sweep_resumable(
                        : parallel::resolve_jobs(options.jobs);
   registry.gauge("dse.sweep.jobs").set(static_cast<double>(jobs));
 
+  if (EventSink::enabled()) {
+    EventSink& sink = EventSink::instance();
+    sink.emit_sweep_start(fingerprint, grid_size, param_names, metric_names,
+                          domain.size(), jobs);
+    if (options.shard.sharded()) {
+      sink.emit_shard_info(options.shard.index, options.shard.count,
+                           domain.size(),
+                           sentinel_indices(grid_size, options.shard));
+    }
+  }
+  std::optional<ProgressReporter> progress;
+  if (progress_enabled()) progress.emplace("sweep", domain.size(), resumed);
+
   std::mutex flush_mutex;
   std::atomic<std::size_t> completed{resumed};
   const auto flush = [&] {  // caller holds flush_mutex
     if (!checkpointing) return;
     SweepCheckpoint snapshot;
     snapshot.fingerprint = fingerprint;
+    snapshot.run_id = current_run_context().run_id;
     snapshot.grid_size = grid_size;
     snapshot.shard = options.shard;
     snapshot.param_names = param_names;
@@ -561,6 +579,11 @@ SweepResult run_sweep_resumable(
       snapshot.completed[g] = true;
       snapshot.rows.push_back(rows[g]);
     }
+    // Durability order: the checkpoint_flush event syncs the sink BEFORE the
+    // checkpoint lands on disk, so every row in the saved checkpoint has its
+    // point_done event durable — resume never leaves a row without an event.
+    EventSink::instance().emit_checkpoint_flush(
+        snapshot.rows.size(), domain.size(), options.checkpoint_path);
     save_checkpoint(snapshot, options.checkpoint_path);
     m_flushes.add();
   };
@@ -573,6 +596,9 @@ SweepResult run_sweep_resumable(
     const std::size_t g = todo[k];
     rows[g] =
         evaluate_sweep_point(grid, g, metric_names, evaluate, options.policy);
+    if (progress.has_value()) {
+      rows[g].ok() ? progress->add_ok() : progress->add_failed();
+    }
     done[g].store(true, std::memory_order_release);
     const std::size_t now =
         completed.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -582,8 +608,14 @@ SweepResult run_sweep_resumable(
     }
   };
 
+  parallel::ForOptions for_opts{.jobs = jobs};
+  if (progress.has_value()) {
+    for_opts.on_chunk_done = [&](std::size_t n) {
+      progress->on_chunk_done(n);
+    };
+  }
   try {
-    parallel::parallel_for_indexed(todo.size(), body, {.jobs = jobs});
+    parallel::parallel_for_indexed(todo.size(), body, for_opts);
   } catch (...) {
     // Keep whatever finished: an interrupt, a kFailFast failure, or a
     // library bug all leave a resumable checkpoint behind.  A flush

@@ -88,6 +88,10 @@ struct ShardSpec {
 struct SweepCheckpoint {
   int schema_version = kCheckpointSchemaVersion;
   std::string fingerprint;  ///< sweep_fingerprint() of the producing run
+  /// RunId of the most recent writer (util/telemetry); joins the checkpoint
+  /// with that run's events/metrics/trace.  Informational only — resume
+  /// accepts any run_id (a resumed sweep is a new run by design).
+  std::string run_id;
   std::size_t grid_size = 0;
   ShardSpec shard;
   std::vector<std::string> param_names;

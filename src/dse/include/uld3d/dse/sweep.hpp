@@ -60,6 +60,10 @@ struct SweepOptions {
   /// speculatively evaluated before cancellation).  An armed FaultInjector
   /// pins the sweep to jobs=1 so trip arrival order stays deterministic.
   int jobs = 0;
+  /// Caller config fingerprint folded into the sweep_start telemetry
+  /// event's fingerprint (same role as ResumableOptions::config_hash on the
+  /// checkpoint path, so both runners label the same study identically).
+  std::string config_hash = {};
 };
 
 /// One evaluated design point.  Failed rows keep their params, carry NaN

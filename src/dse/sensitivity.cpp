@@ -8,6 +8,7 @@
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
@@ -45,6 +46,7 @@ std::vector<Sensitivity> analyze_sensitivity(
   Counter& m_failed = registry.counter("dse.sensitivity.failed");
   Histogram& m_param_us = registry.histogram("dse.sensitivity.param_us");
   TraceSpan analysis_span("dse.sensitivity", "dse");
+  StageTimer analysis_stage("dse.sensitivity");
   // The baseline evaluation is always serial and fail-fast — without it no
   // elasticity is defined.
   const double base_objective = objective(baseline);

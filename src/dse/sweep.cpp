@@ -7,10 +7,12 @@
 #include <numeric>
 #include <sstream>
 
+#include "uld3d/dse/checkpoint.hpp"  // sweep_fingerprint
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
@@ -223,6 +225,12 @@ SweepRow evaluate_sweep_point(
   static Counter& m_skipped = registry.counter("dse.sweep.skipped");
   static Histogram& m_point_us = registry.histogram("dse.sweep.point_us");
 
+  // Event timing reads the clock only when the sink is live — the disabled
+  // cost of this whole block is the telemetry_enabled() branch.
+  const bool events = EventSink::enabled();
+  const auto event_start = events ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+
   SweepRow row;
   row.grid_index = grid_index;
   row.params = grid.point(grid_index);
@@ -269,6 +277,20 @@ SweepRow evaluate_sweep_point(
   } else {
     m_ok.add();
   }
+  if (events) {
+    const double dur_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - event_start)
+                              .count();
+    EventFailure failure;
+    if (!row.ok()) {
+      failure.code = error_code_name(row.failure->code);
+      failure.message = row.failure->message;
+      failure.context = row.failure->context;
+    }
+    EventSink::instance().emit_point_done(grid_index, row.params, row.metrics,
+                                          row.ok() ? nullptr : &failure,
+                                          dur_us);
+  }
   return row;
 }
 
@@ -299,14 +321,33 @@ SweepResult run_sweep(
                        : parallel::resolve_jobs(options.jobs);
   registry.gauge("dse.sweep.jobs").set(static_cast<double>(jobs));
 
+  // The fingerprint hashes every axis value — only pay for it when the
+  // sweep_start event will actually be written.
+  if (EventSink::enabled()) {
+    EventSink::instance().emit_sweep_start(
+        sweep_fingerprint(grid, metric_names, options.config_hash), grid_size,
+        param_names, metric_names, grid_size, jobs);
+  }
+  std::optional<ProgressReporter> progress;
+  if (progress_enabled()) progress.emplace("sweep", grid_size);
+
   // Pre-sized row slots indexed by grid index: assembly order (and thus
   // the result) is bit-identical to the serial loop at any jobs count.
   std::vector<SweepRow> rows(grid_size);
   const auto evaluate_point = [&](std::size_t i) {
     rows[i] =
         evaluate_sweep_point(grid, i, metric_names, evaluate, options.policy);
+    if (progress.has_value()) {
+      rows[i].ok() ? progress->add_ok() : progress->add_failed();
+    }
   };
-  parallel::parallel_for_indexed(grid_size, evaluate_point, {.jobs = jobs});
+  parallel::ForOptions for_opts{.jobs = jobs};
+  if (progress.has_value()) {
+    for_opts.on_chunk_done = [&](std::size_t n) {
+      progress->on_chunk_done(n);
+    };
+  }
+  parallel::parallel_for_indexed(grid_size, evaluate_point, for_opts);
   if (timed) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

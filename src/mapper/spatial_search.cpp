@@ -7,6 +7,7 @@
 #include "uld3d/util/fault.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::mapper {
@@ -36,6 +37,7 @@ SpatialSearchResult search_spatial(const nn::ConvSpec& conv,
                                    const Architecture& arch,
                                    const SystemCosts& sys, std::int64_t n_cs) {
   TraceSpan search_span("mapper.spatial_search", "mapper");
+  StageTimer search_stage("mapper.spatial_search");
   SpatialSearchResult result;
   result.fixed_cost = evaluate_conv(conv, arch, sys, n_cs);
   result.best = arch.spatial;

@@ -113,6 +113,13 @@ class Histogram {
   }
   [[nodiscard]] double mean() const;
 
+  /// Bucket-interpolated quantile estimate (Prometheus-style): find the
+  /// bucket holding the q*count-th observation and interpolate linearly
+  /// inside it.  Accuracy is bounded by the bucket width; observations in
+  /// the overflow bucket clamp to the last finite bound.  q in [0, 1];
+  /// returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
   void reset();
 
  private:
@@ -133,6 +140,9 @@ struct MetricSample {
   double value = 0.0;           ///< counter/gauge value; histogram mean
   std::uint64_t count = 0;      ///< histogram observation count
   double sum = 0.0;             ///< histogram observation sum
+  double p50 = 0.0;             ///< histogram interpolated median
+  double p95 = 0.0;             ///< histogram interpolated 95th percentile
+  double p99 = 0.0;             ///< histogram interpolated 99th percentile
   std::vector<std::pair<double, std::uint64_t>> buckets;  ///< le -> count
 };
 

@@ -91,6 +91,18 @@ class ThreadPool {
 
   [[nodiscard]] int worker_count() const;
 
+  /// Tasks submitted but not yet started — the live queue depth a progress
+  /// display shows to distinguish a wedged pool from a long tail.
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  /// The deepest the queue has ever been in this process (bench provenance
+  /// records it so timing noise correlates with CPU pressure).
+  [[nodiscard]] std::size_t queue_high_water() const {
+    return queue_high_water_.load(std::memory_order_relaxed);
+  }
+
  private:
   ThreadPool() = default;
 
@@ -110,6 +122,7 @@ class ThreadPool {
   std::mutex wake_mutex_;
   std::condition_variable wake_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<bool> stop_{false};
 };
@@ -120,6 +133,13 @@ struct ForOptions {
   /// Indices claimed per chunk.  Larger grains amortize the claim + body
   /// dispatch for very cheap bodies; 1 (default) maximizes balance.
   std::size_t grain = 1;
+  /// Called with the number of indices a participant just finished (once
+  /// per chunk; per index on the serial path).  Runs on the participant's
+  /// thread, concurrently with other chunks — it must be thread-safe and
+  /// must NOT touch result slots; exceptions it throws are swallowed so a
+  /// misbehaving observer can never change the region's outcome.  Drives
+  /// the live progress display (util/telemetry).
+  std::function<void(std::size_t)> on_chunk_done = {};
 };
 
 /// Run `body(i)` for every i in [0, n).  See the file comment for the

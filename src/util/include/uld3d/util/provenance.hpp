@@ -31,9 +31,19 @@ struct Provenance {
   std::int64_t unix_time_s = 0;
   int jobs = 1;                  ///< parallel::jobs() at capture time
   int hardware_concurrency = 1;  ///< cores visible to the process
+  /// Peak resident set size in KiB (getrusage ru_maxrss; 0 where
+  /// unavailable).  Lets BENCH_*.json correlate timing noise with memory
+  /// pressure; bench refreshes it at finish() so it covers the run.
+  std::int64_t peak_rss_kb = 0;
+  /// Deepest the global ThreadPool queue has been in this process — a
+  /// proxy for CPU oversubscription during the run.
+  std::uint64_t pool_queue_high_water = 0;
   /// Named configuration fingerprints: (name, fnv1a hex of the content).
   std::vector<std::pair<std::string, std::string>> config_hashes;
 };
+
+/// Current peak RSS in KiB (getrusage; 0 on platforms without it).
+[[nodiscard]] std::int64_t peak_rss_kb();
 
 /// Capture the current process's provenance (build facts + hostname +
 /// timestamp).  `config_hashes` starts empty; callers append their own.

@@ -1,0 +1,312 @@
+// Streaming run telemetry: an NDJSON event bus plus the run identity that
+// labels every artifact a run produces.
+//
+// Three pieces:
+//
+//  * `RunContext` — the run's identity: a RunId (provenance hash + a
+//    process-local counter, no randomness) and the shard i/N this process
+//    owns.  Set once near main() via `set_current_run_context`; the metrics
+//    JSON exporter, the Chrome trace exporter, the sweep checkpoint writer,
+//    and every telemetry event read it back so artifacts from one run (or
+//    one shard of a fleet) join on the same labels — the per-request
+//    plumbing the future DSE server needs (ROADMAP item 1).
+//
+//  * `EventSink` — a process-wide, thread-safe appender of schema-versioned
+//    NDJSON events (`run_start`, `sweep_start`, `point_done`,
+//    `checkpoint_flush`, `shard_info`, `progress`, `stage`, `run_end`) to a
+//    file.  Disabled by default with the same single-relaxed-atomic-bool
+//    gate as util/metrics: every emit site pays one predictable branch when
+//    telemetry is off.  Writes are buffered and flushed on checkpoint
+//    boundaries, on `close()`, and whenever the buffer grows large; a
+//    killed process therefore leaves a *parseable prefix* (whole lines
+//    only) behind — the stream is append-only, never rewritten, so crash
+//    semantics are "everything up to the last flush".  `ULD3D_EVENTS=FILE`
+//    mirrors the CLI's `--events FILE`.
+//
+//  * `ProgressReporter` — live sweep progress for humans: EWMA points/sec,
+//    ok/failed counts, ETA, and pool queue depth on stderr.  TTY-aware
+//    (single-line \r redraw on a terminal, plain throttled lines when
+//    piped).  Driven from `ForOptions::on_chunk_done` so it never touches
+//    result slots — jobs=N determinism is untouched.  It also mirrors
+//    throttled `progress` events into the EventSink.
+//
+// Event schema (DESIGN.md §14): every line is one JSON object
+//   {"schema": 1, "ev": "<type>", "run": "<run_id>", "shard": "i/N",
+//    "ts_ms": <unix milliseconds>, ...type-specific fields...}
+// Doubles are rendered with 17 significant digits so payloads (sweep params
+// and metrics) round-trip bit-exactly — `uld3d-report --canon` relies on
+// this to compare event streams from different jobs counts byte-for-byte.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uld3d {
+
+struct Provenance;  // uld3d/util/provenance.hpp
+
+/// Bumped when the event line layout changes; uld3d-report refuses newer.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+namespace telemetry_detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace telemetry_detail
+
+/// True when an events file is open and emitting.  One relaxed load — the
+/// whole cost of a disabled emit site is this branch.
+inline bool telemetry_enabled() {
+  return telemetry_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// The identity of one run (one process invocation, one shard of a fleet).
+struct RunContext {
+  /// fnv1a hex of the run's provenance identity plus a process-local
+  /// counter ("<hash>-<n>"): unique across machines and across runs on one
+  /// machine without any randomness.  Empty = no context set.
+  std::string run_id;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+
+  /// "i/N" — the label stamped on events and exports.
+  [[nodiscard]] std::string shard_label() const {
+    return std::to_string(shard_index) + "/" + std::to_string(shard_count);
+  }
+};
+
+/// Build a RunContext from the process provenance (git SHA, hostname,
+/// timestamp, pid) and a monotonically increasing counter.  Random-free by
+/// construction so repeated calls are distinct but reproducible in tests.
+[[nodiscard]] RunContext make_run_context(std::size_t shard_index = 0,
+                                          std::size_t shard_count = 1);
+
+/// The process-wide current run context (empty run_id until set).  Set it
+/// once near main(), before spawning sweep workers; reads are cheap copies
+/// under a mutex and safe from any thread.
+void set_current_run_context(const RunContext& context);
+[[nodiscard]] RunContext current_run_context();
+
+/// One failed point's structured failure, flattened for the event payload.
+struct EventFailure {
+  std::string code;     ///< error_code_name(), e.g. "kInfeasiblePoint"
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> context;
+};
+
+/// Process-wide NDJSON event appender.  All emitters are safe to call from
+/// any thread; line assembly happens off-lock and the append is one
+/// mutex-guarded buffer write.
+class EventSink {
+ public:
+  static EventSink& instance();
+
+  static bool enabled() { return telemetry_enabled(); }
+
+  /// Open `path` for appending (the resume flow re-opens the same file and
+  /// the canon analyzer unions the runs) and enable emission.  Returns
+  /// false and logs a warning when the file cannot be opened.
+  bool open(const std::string& path);
+
+  /// Reads ULD3D_EVENTS; a non-empty value opens that file.  Mirrors
+  /// TraceRecorder::configure_from_env for script-launched runs.
+  void configure_from_env();
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Flush buffered lines to the file; `sync` additionally fsyncs so the
+  /// lines survive a SIGKILL (used on checkpoint boundaries: a point that
+  /// made it into a checkpoint always has its point_done event on disk).
+  void flush(bool sync = false);
+
+  /// Flush + fsync + close + disable.  Idempotent.
+  void close();
+
+  /// Events emitted (accepted) since open.
+  [[nodiscard]] std::uint64_t emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+  // --- typed emitters -----------------------------------------------------
+  // Each is one predicted branch when the sink is disabled; argument
+  // construction at call sites must be guarded by the caller when it is not
+  // free (same discipline as TraceSpan's string copies).
+
+  void emit_run_start(const Provenance& provenance,
+                      const std::string& command) {
+    if (!enabled()) return;
+    run_start_impl(provenance, command);
+  }
+
+  void emit_run_end(const std::string& status, int exit_code) {
+    if (!enabled()) return;
+    run_end_impl(status, exit_code);
+  }
+
+  void emit_sweep_start(const std::string& fingerprint, std::size_t grid_size,
+                        const std::vector<std::string>& param_names,
+                        const std::vector<std::string>& metric_names,
+                        std::size_t domain_size, int jobs) {
+    if (!enabled()) return;
+    sweep_start_impl(fingerprint, grid_size, param_names, metric_names,
+                     domain_size, jobs);
+  }
+
+  /// `failure == nullptr` means the point succeeded; failed points carry
+  /// the full structured Failure (the complete SweepRow payload).
+  void emit_point_done(std::size_t grid_index,
+                       const std::vector<double>& params,
+                       const std::vector<double>& metrics,
+                       const EventFailure* failure, double dur_us) {
+    if (!enabled()) return;
+    point_done_impl(grid_index, params, metrics, failure, dur_us);
+  }
+
+  void emit_checkpoint_flush(std::size_t completed, std::size_t total,
+                             const std::string& path) {
+    if (!enabled()) return;
+    checkpoint_flush_impl(completed, total, path);
+  }
+
+  void emit_shard_info(std::size_t shard_index, std::size_t shard_count,
+                       std::size_t domain_size,
+                       const std::vector<std::size_t>& sentinels) {
+    if (!enabled()) return;
+    shard_info_impl(shard_index, shard_count, domain_size, sentinels);
+  }
+
+  void emit_progress(std::size_t done, std::size_t total, std::size_t ok,
+                     std::size_t failed, double points_per_sec, double eta_s,
+                     std::size_t queue_depth) {
+    if (!enabled()) return;
+    progress_impl(done, total, ok, failed, points_per_sec, eta_s,
+                  queue_depth);
+  }
+
+  /// A named pipeline stage completed (mapper search, phys flow stages,
+  /// sensitivity analysis) — the coarse time breakdown uld3d-report shows.
+  /// Takes a string_view so a disabled emit never constructs a std::string
+  /// from a literal at the call site (bench_perf_kernels gates this cost).
+  void emit_stage(std::string_view name, double dur_us) {
+    if (!enabled()) return;
+    stage_impl(name, dur_us);
+  }
+
+ private:
+  EventSink() = default;
+
+  void run_start_impl(const Provenance& provenance,
+                      const std::string& command);
+  void run_end_impl(const std::string& status, int exit_code);
+  void sweep_start_impl(const std::string& fingerprint, std::size_t grid_size,
+                        const std::vector<std::string>& param_names,
+                        const std::vector<std::string>& metric_names,
+                        std::size_t domain_size, int jobs);
+  void point_done_impl(std::size_t grid_index,
+                       const std::vector<double>& params,
+                       const std::vector<double>& metrics,
+                       const EventFailure* failure, double dur_us);
+  void checkpoint_flush_impl(std::size_t completed, std::size_t total,
+                             const std::string& path);
+  void shard_info_impl(std::size_t shard_index, std::size_t shard_count,
+                       std::size_t domain_size,
+                       const std::vector<std::size_t>& sentinels);
+  void progress_impl(std::size_t done, std::size_t total, std::size_t ok,
+                     std::size_t failed, double points_per_sec, double eta_s,
+                     std::size_t queue_depth);
+  void stage_impl(std::string_view name, double dur_us);
+
+  /// Append one complete, newline-terminated line to the buffer.
+  void append_line(std::string line);
+
+  std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;
+  std::atomic<std::uint64_t> emitted_{0};
+};
+
+/// RAII stage timer: emits a `stage` event with the scope's wall-clock
+/// duration.  Free when telemetry is disabled (no clock read, no copy) —
+/// the same shape as TraceSpan.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string_view name) {
+    if (!EventSink::enabled()) return;
+    name_.assign(name);
+    start_ = std::chrono::steady_clock::now();
+    active_ = true;
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    if (!active_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    EventSink::instance().emit_stage(
+        name_, std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+  bool active_ = false;
+};
+
+/// Turn the live progress display on (the CLI's `--progress`).  Off by
+/// default so library users and byte-compared CLI runs see no extra stderr.
+void set_progress_enabled(bool enabled);
+[[nodiscard]] bool progress_enabled();
+
+/// Live progress for one fixed-size batch of work (a sweep).  `on_chunk`
+/// is cheap enough to call from every parallel_for chunk: an atomic add
+/// plus a time check; the redraw itself is throttled and mutex-guarded.
+class ProgressReporter {
+ public:
+  /// `label` prefixes every line (e.g. "sweep"); `total` is the number of
+  /// work items expected.  Counts may start nonzero on resume.
+  ProgressReporter(std::string label, std::size_t total,
+                   std::size_t already_done = 0);
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+  /// Prints the final 100% line (with a trailing newline on a TTY).
+  ~ProgressReporter();
+
+  /// Record `n` items finished; redraws/emits when the throttle allows.
+  void on_chunk_done(std::size_t n);
+  /// Outcome counts, fed by the evaluation body (the chunk hook only knows
+  /// how many items finished, not whether they passed).
+  void add_ok(std::size_t n = 1) {
+    ok_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void add_failed(std::size_t n = 1) {
+    failed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t done() const {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void draw(bool final);
+
+  const std::string label_;
+  const std::size_t total_;
+  const std::size_t resumed_;
+  const bool tty_;
+  std::atomic<std::size_t> done_;
+  std::atomic<std::size_t> ok_{0};
+  std::atomic<std::size_t> failed_{0};
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_draw_;
+  std::chrono::steady_clock::time_point last_rate_sample_;
+  std::size_t last_rate_done_ = 0;
+  double ewma_pps_ = 0.0;  ///< EWMA of points/sec, guarded by mutex_
+};
+
+}  // namespace uld3d

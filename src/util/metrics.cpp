@@ -9,6 +9,7 @@
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/log.hpp"
+#include "uld3d/util/telemetry.hpp"
 
 namespace uld3d {
 
@@ -72,6 +73,30 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 double Histogram::mean() const {
   const std::uint64_t n = count();
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  const std::uint64_t n = count();
+  if (n == 0 || upper_bounds_.empty()) return 0.0;
+  const double rank = q * static_cast<double>(n);
+  const auto counts = bucket_counts();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < rank && i + 1 < counts.size()) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket has no upper edge — clamp to the last finite bound
+    // (the same convention Prometheus' histogram_quantile uses).
+    if (i >= upper_bounds_.size()) return upper_bounds_.back();
+    const double upper = upper_bounds_[i];
+    const double lower = i == 0 ? std::min(0.0, upper) : upper_bounds_[i - 1];
+    if (in_bucket <= 0.0) return upper;
+    return lower + (upper - lower) * (rank - cumulative) / in_bucket;
+  }
+  return upper_bounds_.back();
 }
 
 void Histogram::reset() {
@@ -166,6 +191,9 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     s.count = h->count();
     s.sum = h->sum();
     s.value = h->mean();
+    s.p50 = h->quantile(0.50);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
     const auto counts = h->bucket_counts();
     const auto& bounds = h->upper_bounds();
     for (std::size_t i = 0; i < bounds.size(); ++i) {
@@ -183,22 +211,30 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
 }
 
 Table MetricsRegistry::to_table() const {
-  Table table({"Metric", "Kind", "Value", "Count", "Mean"});
+  Table table({"Metric", "Kind", "Value", "Count", "Mean", "p50", "p95",
+               "p99"});
   for (const auto& s : snapshot()) {
     if (s.kind == MetricKind::kHistogram) {
       table.add_row({s.name, metric_kind_name(s.kind), format_number(s.sum),
-                     std::to_string(s.count), format_number(s.value)});
+                     std::to_string(s.count), format_number(s.value),
+                     format_number(s.p50), format_number(s.p95),
+                     format_number(s.p99)});
     } else {
       table.add_row({s.name, metric_kind_name(s.kind), format_number(s.value),
-                     "-", "-"});
+                     "-", "-", "-", "-", "-"});
     }
   }
   return table;
 }
 
 std::string MetricsRegistry::to_json() const {
+  // Run/shard labels join this document with the matching telemetry events
+  // and trace file (empty strings when no run context was set).
+  const RunContext run = current_run_context();
   std::ostringstream os;
-  os << "{\n  \"metrics\": [";
+  os << "{\n  \"run_id\": \"" << json_escape(run.run_id)
+     << "\",\n  \"shard\": \"" << run.shard_label()
+     << "\",\n  \"metrics\": [";
   bool first = true;
   for (const auto& s : snapshot()) {
     if (!first) os << ",";
@@ -207,7 +243,9 @@ std::string MetricsRegistry::to_json() const {
        << metric_kind_name(s.kind) << "\"";
     if (s.kind == MetricKind::kHistogram) {
       os << ", \"count\": " << s.count << ", \"sum\": " << format_number(s.sum)
-         << ", \"buckets\": [";
+         << ", \"p50\": " << format_number(s.p50)
+         << ", \"p95\": " << format_number(s.p95)
+         << ", \"p99\": " << format_number(s.p99) << ", \"buckets\": [";
       for (std::size_t i = 0; i < s.buckets.size(); ++i) {
         if (i > 0) os << ", ";
         os << "{\"le\": ";
@@ -229,10 +267,12 @@ std::string MetricsRegistry::to_json() const {
 }
 
 std::string MetricsRegistry::to_csv() const {
-  Table table({"name", "kind", "value", "count", "sum"});
+  Table table({"name", "kind", "value", "count", "sum", "p50", "p95", "p99"});
   for (const auto& s : snapshot()) {
     table.add_row({s.name, metric_kind_name(s.kind), format_number(s.value),
-                   std::to_string(s.count), format_number(s.sum)});
+                   std::to_string(s.count), format_number(s.sum),
+                   format_number(s.p50), format_number(s.p95),
+                   format_number(s.p99)});
   }
   return table.to_csv();
 }

@@ -101,6 +101,13 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queue->mutex);
     queue->tasks.push_back(std::move(task));
   }
+  // High-water tracking: the +1 below takes pending_ to depth d; remember
+  // the deepest d seen.  Relaxed CAS loop — contention here is one word.
+  const std::size_t depth = pending_.load(std::memory_order_relaxed) + 1;
+  std::size_t seen = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen && !queue_high_water_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
   {
     // Publishing `pending_` under wake_mutex_ pairs with the wait predicate:
     // a worker is either before its predicate check (and will see the new
@@ -163,12 +170,16 @@ namespace {
 /// remains once the caller has returned.
 struct Region {
   Region(std::size_t n_, std::size_t grain_,
-         const std::function<void(std::size_t)>* body_)
-      : n(n_), grain(grain_), body(body_) {}
+         const std::function<void(std::size_t)>* body_,
+         const std::function<void(std::size_t)>* hook_)
+      : n(n_), grain(grain_), body(body_), hook(hook_) {}
 
   const std::size_t n;
   const std::size_t grain;
   const std::function<void(std::size_t)>* body;
+  /// Progress observer (ForOptions::on_chunk_done), or nullptr.  Same
+  /// lifetime argument as `body`: only reachable after claiming an index.
+  const std::function<void(std::size_t)>* hook;
 
   std::atomic<std::size_t> next{0};
   /// Indices above this are skipped — set to the lowest failing index so a
@@ -206,6 +217,14 @@ struct Region {
           }
         }
       }
+      if (hook != nullptr) {
+        // An observer exception must not masquerade as a body failure (it
+        // would corrupt the lowest-failing-index contract) — swallow it.
+        try {
+          (*hook)(end - start);
+        } catch (...) {
+        }
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex);
@@ -237,13 +256,22 @@ void parallel_for_indexed(std::size_t n,
   const std::size_t chunks = (n + grain - 1) / grain;
   if (effective_jobs <= 1 || chunks <= 1) {
     // jobs=1 IS the serial loop: same order, exceptions propagate as-is.
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      body(i);
+      if (opts.on_chunk_done) {
+        try {
+          opts.on_chunk_done(1);
+        } catch (...) {
+        }
+      }
+    }
     return;
   }
 
   const std::size_t helpers = std::min<std::size_t>(
       static_cast<std::size_t>(effective_jobs) - 1, chunks - 1);
-  auto region = std::make_shared<Region>(n, grain, &body);
+  auto region = std::make_shared<Region>(
+      n, grain, &body, opts.on_chunk_done ? &opts.on_chunk_done : nullptr);
   ThreadPool& pool = ThreadPool::instance();
   pool.ensure_workers(static_cast<int>(helpers));
   for (std::size_t h = 0; h < helpers; ++h) {

@@ -12,6 +12,7 @@
 #if defined(_WIN32)
 // No gethostname without winsock; fall back to the environment.
 #else
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
@@ -32,6 +33,21 @@ std::string capture_hostname() {
 
 }  // namespace
 
+std::int64_t peak_rss_kb() {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss) / 1024;
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss);
+#endif
+#endif
+}
+
 Provenance capture_provenance() {
   Provenance p;
   p.git_sha = ULD3D_PROV_GIT_SHA;
@@ -45,6 +61,8 @@ Provenance capture_provenance() {
   p.hostname = capture_hostname();
   p.jobs = parallel::jobs();
   p.hardware_concurrency = parallel::hardware_concurrency();
+  p.peak_rss_kb = peak_rss_kb();
+  p.pool_queue_high_water = parallel::ThreadPool::instance().queue_high_water();
 
   const auto now = std::chrono::system_clock::now();
   const std::time_t now_t = std::chrono::system_clock::to_time_t(now);
@@ -102,6 +120,9 @@ std::string provenance_json(const Provenance& p, int indent) {
   os << pad << "  \"unix_time_s\": " << p.unix_time_s << ",\n";
   os << pad << "  \"jobs\": " << p.jobs << ",\n";
   os << pad << "  \"hardware_concurrency\": " << p.hardware_concurrency
+     << ",\n";
+  os << pad << "  \"peak_rss_kb\": " << p.peak_rss_kb << ",\n";
+  os << pad << "  \"pool_queue_high_water\": " << p.pool_queue_high_water
      << ",\n";
   os << pad << "  \"config_hashes\": {";
   for (std::size_t i = 0; i < p.config_hashes.size(); ++i) {

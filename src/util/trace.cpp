@@ -10,6 +10,7 @@
 #include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/log.hpp"
 #include "uld3d/util/metrics.hpp"  // json_escape
+#include "uld3d/util/telemetry.hpp"
 
 namespace uld3d {
 
@@ -78,6 +79,9 @@ void TraceRecorder::record(TraceEvent event) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (events_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Surface the drop in the metrics export too — a truncated trace that
+    // only said so in a private counter was effectively silent.
+    MetricsRegistry::instance().counter("trace.dropped_events").add();
     return;
   }
   events_.push_back(std::move(event));
@@ -102,8 +106,13 @@ void TraceRecorder::clear() {
 
 std::string TraceRecorder::to_chrome_json() const {
   const std::vector<TraceEvent> events = this->events();
+  const std::uint64_t dropped = this->dropped();
+  const RunContext run = current_run_context();
   std::ostringstream os;
-  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {"
+     << "\"run_id\": \"" << json_escape(run.run_id) << "\", \"shard\": \""
+     << run.shard_label() << "\", \"dropped_events\": " << dropped
+     << "},\n  \"traceEvents\": [";
   bool first = true;
   for (const auto& e : events) {
     if (!first) os << ",";
@@ -119,6 +128,12 @@ std::string TraceRecorder::to_chrome_json() const {
 
 bool TraceRecorder::write_chrome_trace(const std::string& path) const {
   expects(!path.empty(), "trace output path required");
+  const std::uint64_t dropped = this->dropped();
+  if (dropped > 0) {
+    log_warning("trace buffer overflowed: " + std::to_string(dropped) +
+                " event(s) dropped — the written trace is truncated "
+                "(raise TraceRecorder::set_capacity)");
+  }
   return write_file_atomic(path, to_chrome_json());
 }
 

@@ -53,7 +53,7 @@ fi
 csv="$tmpdir/metrics.csv"
 "$cli" sweep --keep-going --metrics "$csv" >/dev/null 2>&1 \
   || fail "sweep --metrics csv failed"
-head -n 1 "$csv" | grep -q '^name,kind,value,count,sum$' \
+head -n 1 "$csv" | grep -q '^name,kind,value,count,sum,p50,p95,p99$' \
   || fail "metrics CSV header wrong: $(head -n 1 "$csv")"
 
 # --profile: summary tables land on stdout.
@@ -74,6 +74,45 @@ env ULD3D_TRACE="$envtrace" "$cli" compare --network alexnet >/dev/null 2>&1 \
 [ -s "$envtrace" ] || fail "ULD3D_TRACE produced no trace file"
 json_ok "$envtrace" || fail "ULD3D_TRACE trace is not valid JSON"
 grep -q 'sim.network' "$envtrace" || fail "env trace lacks sim spans"
+
+# --events: NDJSON stream with a run_start/run_end envelope, RunId labels
+# shared with the metrics export (DESIGN.md §14).
+events="$tmpdir/events.ndjson"
+evmetrics="$tmpdir/evmetrics.json"
+"$cli" sweep --keep-going --events "$events" --metrics "$evmetrics" \
+  >/dev/null 2>&1 || fail "sweep --events failed"
+[ -s "$events" ] || fail "events file missing or empty"
+grep -q '"ev": "run_start"' "$events" || fail "events lack run_start"
+grep -q '"ev": "sweep_start"' "$events" || fail "events lack sweep_start"
+grep -q '"ev": "point_done"' "$events" || fail "events lack point_done"
+grep -q '"ev": "run_end"' "$events" || fail "events lack run_end"
+grep -q '"status": "failed"' "$events" \
+  || fail "events lack failed point_done rows (grid has infeasible points)"
+# Every line is one JSON object (NDJSON), schema-stamped.
+lines="$(wc -l < "$events")"
+objs="$(grep -c '^{"schema": 1, "ev": ' "$events")"
+[ "$lines" = "$objs" ] || fail "events file is not schema-stamped NDJSON"
+# The metrics export carries the same RunId as the event stream.
+run_id="$(sed -n 's/.*"run": "\([^"]*\)".*/\1/p' "$events" | head -n 1)"
+[ -n "$run_id" ] || fail "events carry no run id"
+grep -q "\"run_id\": \"$run_id\"" "$evmetrics" \
+  || fail "metrics export run_id does not match the event stream"
+
+# ULD3D_EVENTS mirrors --events (datasheet exercises the phys-flow stage
+# timers as well as the run envelope).
+envevents="$tmpdir/envevents.ndjson"
+env ULD3D_EVENTS="$envevents" "$cli" datasheet --network alexnet \
+  >/dev/null 2>&1 || fail "datasheet under ULD3D_EVENTS exited non-zero"
+[ -s "$envevents" ] || fail "ULD3D_EVENTS produced no events file"
+grep -q '"ev": "run_end"' "$envevents" || fail "env events lack run_end"
+grep -q '"ev": "stage"' "$envevents" || fail "env events lack stage timings"
+
+# --progress: a live line on stderr, nothing extra on stdout.
+"$cli" sweep --keep-going --progress >"$tmpdir/prog.out" 2>"$tmpdir/prog.err" \
+  || fail "sweep --progress failed"
+grep -q 'pts/s' "$tmpdir/prog.err" || fail "--progress wrote no rate line"
+cmp -s "$tmpdir/prog.out" "$tmpdir/sweep.out" \
+  || fail "--progress changed stdout"
 
 # Disabled by default: no trace/metrics files appear, nothing extra on stdout.
 plain_out="$(cd "$tmpdir" && "$cli" sweep --keep-going 2>/dev/null)"

@@ -1,0 +1,133 @@
+#!/bin/sh
+# Integration test for the telemetry event stream + uld3d-report analyzer
+# (DESIGN.md §14):
+#
+#  1. `uld3d-report --canon` of a jobs=1 stream and a jobs=8 stream of the
+#     same sweep are byte-identical (the determinism contract extends to
+#     telemetry).
+#  2. SIGTERM mid-sweep -> exit 5 AND the events file written so far is a
+#     parseable NDJSON prefix (uld3d-report accepts it without error).
+#  3. An interrupted-then-resumed stream (two runs appended to one file)
+#     canonicalizes byte-identical to the uninterrupted run's stream.
+#  4. uld3d-report joins artifacts by RunId: a matching --metrics export
+#     exits 0, a foreign one exits 1.
+#  5. Analyzer error contract: usage errors exit 2, malformed mid-file
+#     JSON exits 3, while one torn FINAL line is tolerated.
+#
+# Usage: cli_telemetry.sh /path/to/uld3d_cli /path/to/uld3d-report
+set -u
+
+cli="$1"
+report="$2"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+failures=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. canon byte-equality across jobs counts ------------------------------
+"$cli" sweep --keep-going --jobs 1 --events "$tmpdir/ev1.ndjson" \
+  >/dev/null 2>&1 || fail "jobs=1 sweep with --events failed"
+"$cli" sweep --keep-going --jobs 8 --events "$tmpdir/ev8.ndjson" \
+  >/dev/null 2>&1 || fail "jobs=8 sweep with --events failed"
+"$report" --canon "$tmpdir/ev1.ndjson" > "$tmpdir/canon1.txt" \
+  || fail "uld3d-report --canon rejected the jobs=1 stream"
+"$report" --canon "$tmpdir/ev8.ndjson" > "$tmpdir/canon8.txt" \
+  || fail "uld3d-report --canon rejected the jobs=8 stream"
+cmp -s "$tmpdir/canon1.txt" "$tmpdir/canon8.txt" \
+  || fail "canonical projection differs between jobs=1 and jobs=8"
+grep -q '"ev": "sweep"' "$tmpdir/canon1.txt" || fail "canon lacks sweep header"
+grep -q '"ev": "end"' "$tmpdir/canon1.txt" || fail "canon lacks end footer"
+
+# --- 2 + 3. SIGTERM -> parseable prefix, then resume -> identical canon -----
+# Retry if the sweep outran the signal (slow CI can reorder the sleep).
+attempt=0
+got=0
+while [ "$attempt" -lt 5 ]; do
+  attempt=$((attempt + 1))
+  rm -f "$tmpdir/evi.ndjson" "$tmpdir/ckpt.json"
+  ULD3D_SWEEP_DELAY_MS=300 "$cli" sweep --keep-going --jobs 2 \
+    --checkpoint "$tmpdir/ckpt.json" --checkpoint-interval 1 \
+    --events "$tmpdir/evi.ndjson" >/dev/null 2>&1 &
+  pid=$!
+  sleep 1
+  kill -TERM "$pid" 2>/dev/null
+  wait "$pid"
+  got=$?
+  [ "$got" -eq 5 ] && break
+done
+if [ "$got" -ne 5 ]; then
+  fail "SIGTERM-ed sweep: expected exit 5 (interrupted, resumable), got $got"
+fi
+[ -s "$tmpdir/evi.ndjson" ] || fail "interrupted sweep left no events"
+"$report" "$tmpdir/evi.ndjson" > "$tmpdir/interrupted.txt" \
+  || fail "interrupted events file is not a parseable prefix"
+grep -q 'interrupted' "$tmpdir/interrupted.txt" \
+  || fail "interrupted run_end status not reported"
+
+"$cli" sweep --keep-going --jobs 4 --checkpoint "$tmpdir/ckpt.json" --resume \
+  --events "$tmpdir/evi.ndjson" >/dev/null 2>&1 \
+  || fail "resume with --events failed"
+runs="$(grep -c '"ev": "run_start"' "$tmpdir/evi.ndjson")"
+[ "$runs" = 2 ] || fail "resumed stream should hold 2 runs, holds $runs"
+"$report" --canon "$tmpdir/evi.ndjson" > "$tmpdir/canoni.txt" \
+  || fail "uld3d-report --canon rejected the resumed stream"
+cmp -s "$tmpdir/canoni.txt" "$tmpdir/canon1.txt" \
+  || fail "canonical projection differs between resumed and uninterrupted"
+
+# --- 4. RunId joins ---------------------------------------------------------
+"$cli" sweep --keep-going --events "$tmpdir/evm.ndjson" \
+  --metrics "$tmpdir/metrics.json" >/dev/null 2>&1 \
+  || fail "sweep with --events --metrics failed"
+"$report" "$tmpdir/evm.ndjson" --metrics "$tmpdir/metrics.json" \
+  > "$tmpdir/join.txt" || fail "matching metrics join should exit 0"
+grep -q 'matches' "$tmpdir/join.txt" || fail "metrics join not reported"
+# A metrics export from a DIFFERENT run must be refused (exit 1).
+"$report" "$tmpdir/evm.ndjson" --metrics "$tmpdir/metrics.json" \
+  >/dev/null 2>&1
+"$cli" sweep --keep-going --metrics "$tmpdir/foreign.json" >/dev/null 2>&1 \
+  || fail "foreign metrics run failed"
+"$report" "$tmpdir/evm.ndjson" --metrics "$tmpdir/foreign.json" \
+  >/dev/null 2>&1
+code=$?
+[ "$code" -eq 1 ] || fail "foreign metrics join: expected exit 1, got $code"
+
+# --- 5. analyzer error contract ---------------------------------------------
+"$report" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "no-argument usage: expected exit 2, got $code"
+"$report" --bogus-flag x >/dev/null 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "unknown flag: expected exit 2, got $code"
+
+# Malformed JSON mid-file (NOT at the end) is corruption, exit 3.
+head -n 3 "$tmpdir/ev1.ndjson" > "$tmpdir/bad.ndjson"
+echo '{"schema": 1, "ev": truncated' >> "$tmpdir/bad.ndjson"
+tail -n 2 "$tmpdir/ev1.ndjson" >> "$tmpdir/bad.ndjson"
+"$report" "$tmpdir/bad.ndjson" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 3 ] || fail "mid-file corruption: expected exit 3, got $code"
+
+# One torn FINAL line (a killed writer) is tolerated and reported.
+head -n 5 "$tmpdir/ev1.ndjson" > "$tmpdir/torn.ndjson"
+printf '{"schema": 1, "ev": "point_done", "ind' >> "$tmpdir/torn.ndjson"
+"$report" "$tmpdir/torn.ndjson" > "$tmpdir/torn.txt" \
+  || fail "one torn final line should be tolerated"
+grep -q 'torn final line' "$tmpdir/torn.txt" \
+  || fail "torn final line not reported"
+
+# A future schema version is refused, not misread.
+echo '{"schema": 999, "ev": "run_start", "run": "x", "shard": "0/1", "ts_ms": 0}' \
+  > "$tmpdir/future.ndjson"
+"$report" "$tmpdir/future.ndjson" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 3 ] || fail "future schema: expected exit 3, got $code"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures telemetry check(s) failed" >&2
+  exit 1
+fi
+echo "all telemetry checks passed"

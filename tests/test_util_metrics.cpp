@@ -90,6 +90,53 @@ TEST_F(MetricsTest, HistogramBucketsByUpperBound) {
   EXPECT_DOUBLE_EQ(h.mean(), 1006.5 / 4.0);
 }
 
+TEST_F(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "test.metrics.hist_quantile", {10.0, 20.0, 30.0});
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) h.observe(v);    // <= 10
+  for (const double v : {11.0, 12.0, 13.0, 14.0}) h.observe(v);  // <= 20
+  for (const double v : {21.0, 22.0}) h.observe(v);              // <= 30
+  // rank = q*n walks the cumulative counts, then interpolates linearly
+  // inside the covering bucket: p50 lands 1/4 into (10, 20].
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 12.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 27.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  // An overflow observation clamps high quantiles to the last finite bound
+  // (the Prometheus histogram_quantile convention).
+  h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  EXPECT_THROW((void)h.quantile(1.5), PreconditionError);
+}
+
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "test.metrics.hist_quantile_empty", {10.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotAndExportsCarryQuantiles) {
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "test.metrics.hist_quantile_export", {10.0, 20.0});
+  h.observe(5.0);
+  h.observe(15.0);
+  bool found = false;
+  for (const MetricSample& s : MetricsRegistry::instance().snapshot()) {
+    if (s.name != "test.metrics.hist_quantile_export") continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(s.p50, h.quantile(0.50));
+    EXPECT_DOUBLE_EQ(s.p95, h.quantile(0.95));
+    EXPECT_DOUBLE_EQ(s.p99, h.quantile(0.99));
+  }
+  EXPECT_TRUE(found);
+  const std::string json = MetricsRegistry::instance().to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(MetricsRegistry::instance().to_csv().rfind(
+                "name,kind,value,count,sum,p50,p95,p99", 0),
+            0u);
+}
+
 TEST_F(MetricsTest, HistogramBoundsMustBeSortedAndDistinct) {
   EXPECT_THROW(MetricsRegistry::instance().histogram(
                    "test.metrics.hist_unsorted", {10.0, 1.0}),

@@ -18,6 +18,12 @@
 //                               (open in chrome://tracing or Perfetto)
 //               --metrics FILE  write the metrics registry (.json or CSV)
 //               --profile       print span-summary + metrics tables at exit
+//               --events FILE   append NDJSON telemetry events (run_start,
+//                               sweep_start, point_done, checkpoint_flush,
+//                               progress, run_end; DESIGN.md section 14) —
+//                               analyze with uld3d-report
+//               --progress      live sweep progress on stderr (EWMA
+//                               points/sec, ok/failed, ETA, queue depth)
 //
 // Sweep checkpoint/sharding flags (DESIGN.md §13):
 //               --checkpoint FILE        periodically flush resumable sweep
@@ -36,7 +42,8 @@
 // `--config` files use the INI schema documented in uld3d/io/study_config.hpp.
 // ULD3D_FAULT=site=kCode[:skip[:count]] arms the deterministic fault
 // injector (testing the degraded paths end to end).  ULD3D_TRACE=FILE
-// mirrors --trace for runs launched by scripts that cannot edit flags.
+// mirrors --trace, and ULD3D_EVENTS=FILE mirrors --events, for runs
+// launched by scripts that cannot edit flags.
 // ULD3D_SWEEP_DELAY_MS=N (test hook) sleeps N ms per design point so
 // integration tests can interrupt a sweep at a controlled depth.
 #include <chrono>
@@ -67,6 +74,7 @@
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
 #include "uld3d/util/provenance.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace {
@@ -101,6 +109,7 @@ constexpr const char* kUsage =
     "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|merge|dump-config>\n"
     "       [--network N] [--config FILE] [--strict] [--keep-going]\n"
     "       [--jobs N] [--trace FILE] [--metrics FILE] [--profile]\n"
+    "       [--events FILE] [--progress]\n"
     "       [--checkpoint FILE] [--resume] [--checkpoint-interval N]\n"
     "       [--shard i/N]  (merge takes shard checkpoint files as operands)";
 
@@ -114,6 +123,8 @@ struct CliArgs {
   std::string trace_path;    // Chrome trace JSON output ("" = off)
   std::string metrics_path;  // metrics JSON/CSV output ("" = off)
   bool profile = false;      // print span/metrics summary tables at exit
+  std::string events_path;   // NDJSON telemetry events output ("" = off)
+  bool progress = false;     // live sweep progress on stderr
   std::string checkpoint_path;           // sweep checkpoint file ("" = off)
   bool resume = false;                   // continue an existing checkpoint
   std::size_t checkpoint_interval = 64;  // flush every N completed points
@@ -151,6 +162,10 @@ CliArgs parse_args(int argc, char** argv) {
       args.metrics_path = argv[++i];
     } else if (flag == "--profile") {
       args.profile = true;
+    } else if (flag == "--events" && i + 1 < argc) {
+      args.events_path = argv[++i];
+    } else if (flag == "--progress") {
+      args.progress = true;
     } else if (flag == "--checkpoint" && i + 1 < argc) {
       args.checkpoint_path = argv[++i];
     } else if (flag == "--resume") {
@@ -184,11 +199,15 @@ CliArgs parse_args(int argc, char** argv) {
 /// trace/metrics files and prints the --profile report at scope exit.
 class Observability {
  public:
-  explicit Observability(const CliArgs& args)
+  Observability(const CliArgs& args, const std::string& command_line)
       : trace_path_(args.trace_path),
         metrics_path_(args.metrics_path),
         profile_(args.profile),
         start_(std::chrono::steady_clock::now()) {
+    // Run identity first: everything below (events, metrics JSON, trace
+    // otherData, checkpoints) stamps these labels.
+    set_current_run_context(
+        make_run_context(args.shard.index, args.shard.count));
     TraceRecorder& recorder = TraceRecorder::instance();
     recorder.configure_from_env();  // ULD3D_TRACE mirrors --trace
     if (trace_path_.empty()) trace_path_ = recorder.env_path();
@@ -199,9 +218,23 @@ class Observability {
       MetricsRegistry::instance().counter("fault.injected_trips");
       MetricsRegistry::instance().counter("cli.runs").add();
     }
+    EventSink& sink = EventSink::instance();
+    if (!args.events_path.empty()) {
+      sink.open(args.events_path);
+    } else {
+      sink.configure_from_env();  // ULD3D_EVENTS mirrors --events
+    }
+    if (EventSink::enabled()) {
+      sink.emit_run_start(capture_provenance(), command_line);
+    }
+    set_progress_enabled(args.progress);
   }
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
+
+  /// Record the code main() is about to return with, so run_end carries it.
+  /// Unset (an exception unwinding past main's dispatch) reads as an error.
+  void set_exit_code(int code) { exit_code_ = code; }
 
   ~Observability() {
     try {
@@ -213,6 +246,20 @@ class Observability {
 
  private:
   void finish() {
+    EventSink& sink = EventSink::instance();
+    if (EventSink::enabled()) {
+      const char* status = exit_code_ == kExitOk            ? "ok"
+                           : exit_code_ == kExitInterrupted ? "interrupted"
+                                                            : "error";
+      sink.emit_run_end(status, exit_code_);
+      std::cerr << "events: wrote " << sink.emitted() << " event(s) to "
+                << sink.path() << "\n";
+      sink.close();
+    }
+    finish_trace_and_metrics();
+  }
+
+  void finish_trace_and_metrics() {
     TraceRecorder& recorder = TraceRecorder::instance();
     if (metrics_enabled()) {
       const double seconds = std::chrono::duration<double>(
@@ -244,6 +291,7 @@ class Observability {
   std::string trace_path_;
   std::string metrics_path_;
   bool profile_ = false;
+  int exit_code_ = -1;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -419,8 +467,14 @@ int run_sweep(const CliArgs& args) {
                                       : dse::ErrorPolicy::kFailFast;
   if (args.checkpoint_path.empty() && !args.shard.sharded()) {
     // Plain one-shot sweep: the pre-checkpoint path, byte-identical output.
-    const dse::SweepResult result = dse::run_sweep(
-        grid, sweep_metric_names(), evaluate, dse::SweepOptions{policy});
+    // The config hash feeds the sweep_start event fingerprint, which then
+    // matches the checkpoint path's for the same study (uld3d-report
+    // --canon relies on that to compare the two).
+    dse::SweepOptions sweep_options;
+    sweep_options.policy = policy;
+    sweep_options.config_hash = sweep_config_hash(args);
+    const dse::SweepResult result =
+        dse::run_sweep(grid, sweep_metric_names(), evaluate, sweep_options);
     return print_sweep_result(result, args, net.name());
   }
 
@@ -485,11 +539,19 @@ int main(int argc, char** argv) {
     } else if (std::getenv("ULD3D_JOBS") == nullptr) {
       parallel::set_jobs(parallel::hardware_concurrency());
     }
-    // Outlives the command span: writes trace/metrics files even when the
-    // command below throws, so failed runs keep their timeline.
-    Observability observability(args);
+    // Outlives the command span: writes trace/metrics/events files even
+    // when the command below throws, so failed runs keep their timeline
+    // (an unwound dispatch leaves the exit code unset -> run_end "error").
+    std::ostringstream command_line;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) command_line << " ";
+      command_line << argv[i];
+    }
+    Observability observability(args, command_line.str());
     TraceSpan command_span("cli." + args.command, "cli");
-    return dispatch(args);
+    const int code = dispatch(args);
+    observability.set_exit_code(code);
+    return code;
   } catch (const UsageError& error) {
     std::cerr << "usage error: " << error.what() << "\n";
     return kExitUsage;

@@ -1,0 +1,568 @@
+// uld3d-report — the offline analyzer for telemetry event streams
+// (util/telemetry NDJSON files written via --events / ULD3D_EVENTS).
+//
+//   uld3d-report EVENTS.ndjson [--metrics METRICS.json]
+//       [--trace TRACE.json] [--bench BENCH.json] [--stragglers N]
+//   uld3d-report --canon EVENTS.ndjson
+//
+// Default mode prints a per-run summary: the runs recorded in the stream
+// (provenance, exit status), sweep identity, point counts, a failure
+// taxonomy histogram, per-stage time breakdown, and the slowest points.
+// `--metrics` / `--trace` / `--bench` join the stream with that run's other
+// artifacts by RunId: a label mismatch is reported loudly (mixing files
+// from different runs is the exact mistake RunIds exist to catch).
+//
+// `--canon` emits the stream's canonical projection to stdout: the sweep
+// identity header, every point_done re-rendered exactly (17-significant-
+// digit doubles, the writer's own rendering) sorted and deduplicated by
+// grid index, and a footer with counts.  Volatile fields — timestamps,
+// RunIds, jobs counts, durations, progress/checkpoint/stage chatter — are
+// stripped, so a jobs=1 stream, a jobs=8 stream, and an
+// interrupted-then-resumed stream of the same sweep compare BYTE-IDENTICAL
+// (tests/cli_telemetry.sh asserts this with cmp).  Duplicate indices from a
+// resume overlap must re-render identically; a conflict means two runs
+// disagreed on a point's result and is reported as corruption.
+//
+// Crash tolerance: a process killed mid-write can leave one torn final
+// line (the sink writes whole lines, but the OS may split the last
+// write(2)).  Exactly one unparseable *final* line is tolerated and
+// counted; a malformed line anywhere else is an error.
+//
+// Exit codes (asserted by tests/cli_telemetry.sh):
+//   0  success
+//   1  stream inconsistency (conflicting duplicate points, mixed sweep
+//      identities, RunId join mismatch)
+//   2  usage error
+//   3  malformed/unreadable input (bad JSON mid-file, unsupported schema)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "uld3d/util/export.hpp"
+#include "uld3d/util/jsonv.hpp"
+#include "uld3d/util/table.hpp"
+#include "uld3d/util/telemetry.hpp"
+
+namespace {
+
+using namespace uld3d;
+
+struct Options {
+  std::string events_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string bench_path;
+  std::size_t stragglers = 5;
+  bool canon = false;
+};
+
+[[noreturn]] void usage(int exit_code) {
+  (exit_code == 0 ? std::cout : std::cerr) <<
+      "usage: uld3d-report EVENTS.ndjson [options]\n"
+      "       uld3d-report --canon EVENTS.ndjson\n"
+      "options:\n"
+      "  --metrics FILE    join with a metrics JSON export (--metrics of\n"
+      "                    uld3d_cli); RunIds must match\n"
+      "  --trace FILE      join with a Chrome trace export (--trace)\n"
+      "  --bench FILE      join with a BENCH_*.json suite document\n"
+      "  --stragglers N    slowest points to list (default 5)\n"
+      "  --canon           emit the canonical projection (byte-identical\n"
+      "                    across jobs counts and interrupt/resume)\n"
+      "exit codes: 0 ok, 1 stream inconsistency, 2 usage,\n"
+      "            3 malformed input\n";
+  std::exit(exit_code);
+}
+
+/// Parsed event lines (header-validated), in file order.
+struct EventStream {
+  std::vector<JsonValue> events;
+  std::size_t torn_lines = 0;  ///< 0 or 1 (only the final line may tear)
+};
+
+/// Exact double rendering — MUST match util/telemetry's writer so canon
+/// re-renders reproduce the original bytes (doubles round-trip through the
+/// parser bit-exactly at 17 significant digits).
+std::string number_exact(double value) {
+  if (std::isnan(value)) return "\"nan\"";
+  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// Render one element of a params/metrics array: numbers exactly, and the
+/// writer's non-finite string spellings ("nan"/"inf"/"-inf") verbatim.
+std::string render_scalar(const JsonValue& v) {
+  if (v.is_string()) return "\"" + json_escape(v.as_string()) + "\"";
+  return number_exact(v.as_number());
+}
+
+std::uint64_t index_of(const JsonValue& event) {
+  return static_cast<std::uint64_t>(event.at("index").as_number());
+}
+
+EventStream read_events(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw JsonParseError("cannot read events file: " + path);
+  }
+  EventStream stream;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t pending_torn_line = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (pending_torn_line != 0) {
+      // A parse failure is only forgivable on the FINAL line; seeing more
+      // content after one means the file is corrupt, not torn.
+      throw JsonParseError(path + ":" + std::to_string(pending_torn_line) +
+                           ": malformed event line (not at end of file)");
+    }
+    JsonValue event;
+    try {
+      event = json_parse(line);
+    } catch (const JsonParseError&) {
+      pending_torn_line = line_no;
+      continue;
+    }
+    const double schema = event.number_or("schema", -1.0);
+    if (schema != static_cast<double>(kTelemetrySchemaVersion)) {
+      throw JsonParseError(path + ":" + std::to_string(line_no) +
+                           ": unsupported telemetry schema version");
+    }
+    if (event.find("ev") == nullptr || !event.at("ev").is_string()) {
+      throw JsonParseError(path + ":" + std::to_string(line_no) +
+                           ": event line has no \"ev\" type");
+    }
+    stream.events.push_back(std::move(event));
+  }
+  if (pending_torn_line != 0) stream.torn_lines = 1;
+  return stream;
+}
+
+// ---------------------------------------------------------------------------
+// --canon: the order/jobs/run-invariant projection.
+// ---------------------------------------------------------------------------
+
+/// Canonical sweep identity header, rendered from a sweep_start event with
+/// every volatile field (run, ts_ms, jobs, domain_size) stripped.
+std::string canon_header(const JsonValue& event) {
+  std::ostringstream os;
+  os << "{\"ev\": \"sweep\", \"fingerprint\": \""
+     << json_escape(event.at("fingerprint").as_string())
+     << "\", \"grid_size\": "
+     << static_cast<std::uint64_t>(event.at("grid_size").as_number());
+  for (const char* member : {"params", "metrics"}) {
+    os << ", \"" << member << "\": [";
+    const JsonValue::Array& names = event.at(member).as_array();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << json_escape(names[i].as_string()) << "\"";
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Canonical point line: the point_done payload minus run/ts_ms/dur_us,
+/// doubles re-rendered with the writer's own exact format.
+std::string canon_point(const JsonValue& event) {
+  std::ostringstream os;
+  os << "{\"ev\": \"point\", \"index\": " << index_of(event)
+     << ", \"params\": [";
+  const JsonValue::Array& params = event.at("params").as_array();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << render_scalar(params[i]);
+  }
+  os << "], \"status\": \"" << json_escape(event.at("status").as_string())
+     << "\"";
+  const std::string status = event.at("status").as_string();
+  if (status == "ok") {
+    os << ", \"metrics\": [";
+    const JsonValue::Array& metrics = event.at("metrics").as_array();
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << render_scalar(metrics[i]);
+    }
+    os << "], \"failure\": null";
+  } else {
+    const JsonValue& failure = event.at("failure");
+    os << ", \"failure\": {\"code\": \""
+       << json_escape(failure.at("code").as_string()) << "\", \"message\": \""
+       << json_escape(failure.at("message").as_string())
+       << "\", \"context\": [";
+    const JsonValue::Array& context = failure.at("context").as_array();
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      if (i > 0) os << ", ";
+      const JsonValue::Array& pair = context[i].as_array();
+      os << "[\"" << json_escape(pair.at(0).as_string()) << "\", \""
+         << json_escape(pair.at(1).as_string()) << "\"]";
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+int run_canon(const EventStream& stream) {
+  // All sweep_start events in the file (one per run; a resumed run appends
+  // another) must describe the same sweep once volatile fields go.
+  std::string header;
+  // index -> canonical line.  A resume overlap re-evaluates sentinels and
+  // boundary points; bit-identical results are the determinism contract,
+  // so duplicate renders must agree byte-for-byte.
+  std::map<std::uint64_t, std::string> points;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  for (const JsonValue& event : stream.events) {
+    const std::string& type = event.at("ev").as_string();
+    if (type == "sweep_start") {
+      const std::string rendered = canon_header(event);
+      if (header.empty()) {
+        header = rendered;
+      } else if (header != rendered) {
+        std::cerr << "uld3d-report: stream mixes different sweeps:\n  "
+                  << header << "\n  " << rendered << "\n";
+        return 1;
+      }
+    } else if (type == "point_done") {
+      const std::string rendered = canon_point(event);
+      const std::uint64_t index = index_of(event);
+      const auto [it, inserted] = points.emplace(index, rendered);
+      if (!inserted && it->second != rendered) {
+        std::cerr << "uld3d-report: point " << index
+                  << " has conflicting results across runs:\n  " << it->second
+                  << "\n  " << rendered << "\n";
+        return 1;
+      }
+    }
+    // run_start/run_end/progress/checkpoint_flush/shard_info/stage are
+    // per-run chatter: dropped from the projection by design.
+  }
+  std::ostringstream out;
+  if (!header.empty()) out << header << "\n";
+  for (const auto& [index, line] : points) {
+    (void)index;
+    out << line << "\n";
+    if (line.find("\"status\": \"ok\"") != std::string::npos) {
+      ++ok;
+    } else {
+      ++failed;
+    }
+  }
+  out << "{\"ev\": \"end\", \"points\": " << points.size()
+      << ", \"ok\": " << ok << ", \"failed\": " << failed << "}\n";
+  std::cout << out.str();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Default mode: human-readable per-run summary + artifact joins.
+// ---------------------------------------------------------------------------
+
+struct RunInfo {
+  std::string shard;
+  std::string command;
+  std::string git_sha;
+  std::string status = "(no run_end)";  ///< crash/kill leaves no run_end
+  std::string exit_code = "-";
+};
+
+std::string format_ms(double us) { return format_double(us / 1e3, 2) + " ms"; }
+
+int run_summary(const Options& opts, const EventStream& stream) {
+  std::map<std::string, RunInfo> runs;       // run_id -> info, insertion order
+  std::vector<std::string> run_order;
+  std::string sweep_line;
+  std::map<std::string, std::size_t> failure_counts;  // code -> count
+  std::map<std::string, std::pair<std::size_t, double>> stages;
+  struct PointTiming {
+    std::uint64_t index;
+    double dur_us;
+    bool ok;
+  };
+  std::vector<PointTiming> timings;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t checkpoints = 0;
+  std::size_t progress_events = 0;
+  std::string shard_line;
+
+  for (const JsonValue& event : stream.events) {
+    const std::string& type = event.at("ev").as_string();
+    const std::string run_id = event.string_or("run", "");
+    if (runs.find(run_id) == runs.end()) {
+      runs[run_id].shard = event.string_or("shard", "?");
+      run_order.push_back(run_id);
+    }
+    RunInfo& run = runs[run_id];
+    if (type == "run_start") {
+      run.command = event.string_or("command", "");
+      if (const JsonValue* prov = event.find("provenance"); prov != nullptr) {
+        run.git_sha = prov->string_or("git_sha", "");
+      }
+    } else if (type == "run_end") {
+      run.status = event.string_or("status", "?");
+      run.exit_code =
+          std::to_string(static_cast<int>(event.number_or("exit_code", -1)));
+    } else if (type == "sweep_start") {
+      std::ostringstream os;
+      os << "fingerprint " << event.string_or("fingerprint", "?") << ", grid "
+         << static_cast<std::uint64_t>(event.number_or("grid_size", 0))
+         << " points, domain "
+         << static_cast<std::uint64_t>(event.number_or("domain_size", 0))
+         << ", jobs " << static_cast<int>(event.number_or("jobs", 0));
+      sweep_line = os.str();
+    } else if (type == "point_done") {
+      const bool point_ok = event.string_or("status", "") == "ok";
+      point_ok ? ++ok : ++failed;
+      if (!point_ok) {
+        if (const JsonValue* f = event.find("failure");
+            f != nullptr && f->is_object()) {
+          ++failure_counts[f->string_or("code", "?")];
+        }
+      }
+      timings.push_back(
+          {index_of(event), event.number_or("dur_us", 0.0), point_ok});
+    } else if (type == "stage") {
+      auto& [count, total_us] = stages[event.string_or("name", "?")];
+      ++count;
+      total_us += event.number_or("dur_us", 0.0);
+    } else if (type == "checkpoint_flush") {
+      ++checkpoints;
+    } else if (type == "progress") {
+      ++progress_events;
+    } else if (type == "shard_info") {
+      std::ostringstream os;
+      os << "shard "
+         << static_cast<std::uint64_t>(event.number_or("shard_index", 0)) << "/"
+         << static_cast<std::uint64_t>(event.number_or("shard_count", 0))
+         << ", domain "
+         << static_cast<std::uint64_t>(event.number_or("domain_size", 0))
+         << " points";
+      shard_line = os.str();
+    }
+  }
+
+  std::cout << "Events: " << stream.events.size() << " parsed from "
+            << opts.events_path;
+  if (stream.torn_lines > 0) {
+    std::cout << " (+1 torn final line — the writer was killed mid-flush)";
+  }
+  std::cout << "\n\n";
+
+  Table run_table({"Run", "Shard", "Status", "Exit", "Command"});
+  for (const std::string& id : run_order) {
+    const RunInfo& run = runs.at(id);
+    run_table.add_row({id.empty() ? "(unlabelled)" : id, run.shard, run.status,
+                       run.exit_code, run.command});
+  }
+  run_table.print(std::cout, "Runs");
+
+  if (!sweep_line.empty()) std::cout << "\nSweep: " << sweep_line << "\n";
+  if (!shard_line.empty()) std::cout << "Shard: " << shard_line << "\n";
+  if (ok + failed > 0) {
+    std::cout << "Points: " << ok + failed << " evaluated, " << ok << " ok, "
+              << failed << " failed";
+    if (checkpoints > 0) {
+      std::cout << " (" << checkpoints << " checkpoint flushes)";
+    }
+    std::cout << "\n";
+  }
+
+  if (!failure_counts.empty()) {
+    Table taxonomy({"Failure code", "Count"});
+    for (const auto& [code, count] : failure_counts) {
+      taxonomy.add_row({code, std::to_string(count)});
+    }
+    std::cout << "\n";
+    taxonomy.print(std::cout, "Failure taxonomy");
+  }
+
+  if (!stages.empty()) {
+    Table stage_table({"Stage", "Count", "Total", "Mean"});
+    for (const auto& [name, entry] : stages) {
+      const auto& [count, total_us] = entry;
+      stage_table.add_row({name, std::to_string(count), format_ms(total_us),
+                           format_ms(total_us / static_cast<double>(count))});
+    }
+    std::cout << "\n";
+    stage_table.print(std::cout, "Stage times");
+  }
+
+  if (!timings.empty() && opts.stragglers > 0) {
+    std::sort(timings.begin(), timings.end(),
+              [](const PointTiming& a, const PointTiming& b) {
+                if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                return a.index < b.index;
+              });
+    Table straggler_table({"Index", "Status", "Duration"});
+    const std::size_t n = std::min(opts.stragglers, timings.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      straggler_table.add_row({std::to_string(timings[i].index),
+                               timings[i].ok ? "ok" : "failed",
+                               format_ms(timings[i].dur_us)});
+    }
+    std::cout << "\n";
+    straggler_table.print(std::cout, "Slowest points");
+  }
+  if (progress_events > 0) {
+    std::cout << "\nProgress events: " << progress_events << "\n";
+  }
+
+  // --- Artifact joins: RunId labels must agree with the event stream. ---
+  int inconsistencies = 0;
+  const auto known_run = [&](const std::string& id) {
+    return !id.empty() && runs.find(id) != runs.end();
+  };
+
+  if (!opts.metrics_path.empty()) {
+    const JsonValue doc = json_parse_file(opts.metrics_path);
+    const std::string run_id = doc.string_or("run_id", "");
+    std::cout << "\nMetrics join (" << opts.metrics_path << "): run "
+              << (run_id.empty() ? "(unlabelled)" : run_id);
+    if (!known_run(run_id)) {
+      std::cout << " — MISMATCH: not a run in this event stream\n";
+      ++inconsistencies;
+    } else {
+      std::cout << " — matches\n";
+      double hits = 0.0;
+      double misses = 0.0;
+      double dropped = 0.0;
+      if (const JsonValue* metrics = doc.find("metrics");
+          metrics != nullptr && metrics->is_array()) {
+        for (const JsonValue& m : metrics->as_array()) {
+          const std::string name = m.string_or("name", "");
+          if (name == "mapper.mapcache.hits") hits = m.number_or("value", 0.0);
+          if (name == "mapper.mapcache.misses") {
+            misses = m.number_or("value", 0.0);
+          }
+          if (name == "trace.dropped_events") {
+            dropped = m.number_or("value", 0.0);
+          }
+        }
+      }
+      if (hits + misses > 0.0) {
+        std::cout << "  mapping cache: " << format_double(hits, 0) << " hits, "
+                  << format_double(misses, 0) << " misses ("
+                  << format_double(100.0 * hits / (hits + misses), 1)
+                  << "% hit rate)\n";
+      }
+      if (dropped > 0.0) {
+        std::cout << "  WARNING: " << format_double(dropped, 0)
+                  << " trace event(s) dropped — the trace export is "
+                     "truncated\n";
+      }
+    }
+  }
+
+  if (!opts.trace_path.empty()) {
+    const JsonValue doc = json_parse_file(opts.trace_path);
+    std::string run_id;
+    double dropped = 0.0;
+    std::size_t span_count = 0;
+    if (const JsonValue* other = doc.find("otherData"); other != nullptr) {
+      run_id = other->string_or("run_id", "");
+      dropped = other->number_or("dropped_events", 0.0);
+    }
+    if (const JsonValue* spans = doc.find("traceEvents");
+        spans != nullptr && spans->is_array()) {
+      span_count = spans->as_array().size();
+    }
+    std::cout << "\nTrace join (" << opts.trace_path << "): run "
+              << (run_id.empty() ? "(unlabelled)" : run_id);
+    if (!known_run(run_id)) {
+      std::cout << " — MISMATCH: not a run in this event stream\n";
+      ++inconsistencies;
+    } else {
+      std::cout << " — matches, " << span_count << " span(s)";
+      if (dropped > 0.0) {
+        std::cout << ", " << format_double(dropped, 0) << " DROPPED";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  if (!opts.bench_path.empty()) {
+    const JsonValue doc = json_parse_file(opts.bench_path);
+    std::cout << "\nBench join (" << opts.bench_path << "): suite "
+              << doc.string_or("suite", "?");
+    if (const JsonValue* prov = doc.find("provenance"); prov != nullptr) {
+      std::cout << ", git " << prov->string_or("git_sha", "?") << ", peak RSS "
+                << format_double(prov->number_or("peak_rss_kb", 0.0) / 1024.0,
+                                 1)
+                << " MiB, pool queue high-water "
+                << format_double(prov->number_or("pool_queue_high_water", 0.0),
+                                 0);
+    }
+    std::cout << "\n";
+  }
+
+  return inconsistencies > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) usage(0);
+
+  Options opts;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto operand = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "uld3d-report: " << arg << " needs an operand\n";
+        usage(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--canon") {
+      opts.canon = true;
+    } else if (arg == "--metrics") {
+      opts.metrics_path = operand();
+    } else if (arg == "--trace") {
+      opts.trace_path = operand();
+    } else if (arg == "--bench") {
+      opts.bench_path = operand();
+    } else if (arg == "--stragglers") {
+      try {
+        opts.stragglers = std::stoul(operand());
+      } catch (const std::exception&) {
+        std::cerr << "uld3d-report: --stragglers needs a count\n";
+        usage(2);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "uld3d-report: unknown flag " << arg << "\n";
+      usage(2);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) usage(2);
+  opts.events_path = positional[0];
+
+  try {
+    const EventStream stream = read_events(opts.events_path);
+    return opts.canon ? run_canon(stream) : run_summary(opts, stream);
+  } catch (const JsonParseError& e) {
+    std::cerr << "uld3d-report: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    // Structurally-unexpected documents (wrong member kinds) are malformed
+    // inputs, not crashes.
+    std::cerr << "uld3d-report: " << e.what() << "\n";
+    return 3;
+  }
+}
