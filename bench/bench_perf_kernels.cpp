@@ -21,6 +21,7 @@
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/phys/m3d_flow.hpp"
 #include "uld3d/util/bench.hpp"
+#include "uld3d/util/flightrec.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
@@ -126,6 +127,9 @@ int main(int argc, char** argv) {
   MetricsRegistry::set_enabled(false);
   MetricsRegistry::instance().reset_values();
 
+  // Note: since the flight recorder landed, a "disabled" TraceSpan still
+  // writes one always-on flightrec begin/end record pair (~two ring pushes),
+  // so trace_span_disabled_ns_per_op bounds flightrec span cost too.
   TraceRecorder::instance().set_enabled(false);
   h.time("trace_span_disabled_64k", [&] {
     for (std::int64_t i = 0; i < kSpanOps; ++i) {
@@ -167,6 +171,25 @@ int main(int argc, char** argv) {
   });
   sink.close();
 
+  // The flight recorder has no disabled state — its whole point is being
+  // there when a crash happens — so these pin its absolute cost: a ring
+  // record is a relaxed fetch_add plus a fixed-size slot fill, targeted at
+  // the single-digit-ns class.
+  h.time("flightrec_event_1m", [&] {
+    for (std::int64_t i = 0; i < kCounterOps; ++i) {
+      flightrec::event("bench.overhead.flightrec",
+                       static_cast<std::uint64_t>(i));
+      bench::do_not_optimize(i);
+    }
+  });
+  h.time("flightrec_span_pair_1m", [&] {
+    for (std::int64_t i = 0; i < kCounterOps; ++i) {
+      flightrec::span_begin("bench.overhead.flightrec");
+      flightrec::span_end();
+      bench::do_not_optimize(i);
+    }
+  });
+
   MetricsRegistry::set_enabled(true);
   h.time("simulate_resnet18_instrumented",
          [&] { return sim::simulate_network(resnet18, cfg3d); });
@@ -192,6 +215,11 @@ int main(int argc, char** argv) {
       ns_per_op(h.stats("telemetry_event_disabled_1m"), kCounterOps), "ns");
   h.timing_value("telemetry_event_enabled_ns_per_op",
                  ns_per_op(h.stats("telemetry_event_enabled_64k"), kSpanOps),
+                 "ns");
+  h.timing_value("flightrec_event_ns_per_op",
+                 ns_per_op(h.stats("flightrec_event_1m"), kCounterOps), "ns");
+  h.timing_value("flightrec_span_pair_ns_per_op",
+                 ns_per_op(h.stats("flightrec_span_pair_1m"), kCounterOps),
                  "ns");
   {
     const double plain = h.stats("simulate_resnet18").median_s;

@@ -508,6 +508,7 @@ SweepResult run_sweep_resumable(
   Counter& m_resumed = registry.counter("dse.sweep.resumed_points");
   Counter& m_flushes = registry.counter("dse.sweep.checkpoint_flushes");
   TraceSpan sweep_span("dse.sweep.resumable", "dse");
+  StageTimer sweep_stage("dse.sweep.resumable");
 
   // Row slots indexed by grid index; `done[g]` is the in-memory bitmap.
   // A worker fills rows[g] completely, then release-stores done[g]; the

@@ -10,6 +10,7 @@
 #include "uld3d/dse/checkpoint.hpp"  // sweep_fingerprint
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/flightrec.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
 #include "uld3d/util/telemetry.hpp"
@@ -237,6 +238,10 @@ SweepRow evaluate_sweep_point(
   std::optional<std::vector<double>> metrics;
   try {
     TraceSpan point_span("dse.sweep.point", "dse");
+    // Always-on breadcrumb: the postmortem dump pins which grid index was
+    // in flight on each worker (also the ULD3D_CRASH_AT injection point
+    // the fatal-path tests target).
+    flightrec::event("dse.point", grid_index);
     ScopedTimer point_timer(m_point_us);
     m_points.add();
     fault_site("dse.sweep.point");
@@ -310,6 +315,9 @@ SweepResult run_sweep(
   registry.gauge("dse.sweep.grid_size").set(static_cast<double>(grid_size));
   m_runs.add();
   TraceSpan sweep_span("dse.sweep", "dse");
+  // Stage-level resource attribution for the whole sweep: wall + thread CPU
+  // + alloc/RSS, feeding the stage event and the stage.dse.sweep.* metrics.
+  StageTimer sweep_stage("dse.sweep");
   const bool timed = metrics_enabled();
   const auto sweep_start = timed ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};

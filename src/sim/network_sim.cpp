@@ -9,6 +9,7 @@
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
 #include "uld3d/util/status.hpp"
+#include "uld3d/util/telemetry.hpp"
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::sim {
@@ -19,6 +20,7 @@ NetworkResult simulate_network(const nn::Network& net,
   Counter& m_layers = registry.counter("sim.network.layers");
   registry.counter("sim.network.runs").add();
   TraceSpan network_span("sim.network", "sim");
+  StageTimer network_stage("sim.network");
 
   NetworkResult result;
   result.network = net.name();

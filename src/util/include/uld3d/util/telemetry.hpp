@@ -48,6 +48,9 @@
 #include <utility>
 #include <vector>
 
+#include "uld3d/util/metrics.hpp"   // metrics_enabled (StageTimer gate)
+#include "uld3d/util/resource.hpp"  // ResourceSample (stage attribution)
+
 namespace uld3d {
 
 struct Provenance;  // uld3d/util/provenance.hpp
@@ -193,7 +196,18 @@ class EventSink {
   /// from a literal at the call site (bench_perf_kernels gates this cost).
   void emit_stage(std::string_view name, double dur_us) {
     if (!enabled()) return;
-    stage_impl(name, dur_us);
+    stage_impl(name, dur_us, nullptr);
+  }
+
+  /// Stage completion with resource attribution: `resources` carries the
+  /// executing thread's CPU/alloc deltas and the process RSS high-water at
+  /// stage end (util/resource.hpp), adding cpu_us/alloc_bytes/rss_kb fields
+  /// to the stage event.  Additive — schema stays 1, and stage events are
+  /// outside the canonical projection, so determinism checks are unaffected.
+  void emit_stage(std::string_view name, double dur_us,
+                  const ResourceSample& resources) {
+    if (!enabled()) return;
+    stage_impl(name, dur_us, &resources);
   }
 
  private:
@@ -218,7 +232,8 @@ class EventSink {
   void progress_impl(std::size_t done, std::size_t total, std::size_t ok,
                      std::size_t failed, double points_per_sec, double eta_s,
                      std::size_t queue_depth);
-  void stage_impl(std::string_view name, double dur_us);
+  void stage_impl(std::string_view name, double dur_us,
+                  const ResourceSample* resources);
 
   /// Append one complete, newline-terminated line to the buffer.
   void append_line(std::string line);
@@ -230,15 +245,24 @@ class EventSink {
   std::atomic<std::uint64_t> emitted_{0};
 };
 
+/// Fold one completed stage into the metrics registry as
+/// `stage.<name>.calls/.wall_us/.cpu_us/.alloc_bytes` counters plus a
+/// `stage.<name>.rss_hwm_kb` gauge.  No-op when metrics are disabled.
+void record_stage_metrics(std::string_view name, double dur_us,
+                          const ResourceSample& resources);
+
 /// RAII stage timer: emits a `stage` event with the scope's wall-clock
-/// duration.  Free when telemetry is disabled (no clock read, no copy) —
-/// the same shape as TraceSpan.
+/// duration plus resource attribution (thread CPU time, allocation delta,
+/// RSS high-water — util/resource.hpp), and feeds the same numbers into
+/// the metrics export.  Free when both telemetry and metrics are disabled
+/// (no clock read, no copy) — the same shape as TraceSpan.
 class StageTimer {
  public:
   explicit StageTimer(std::string_view name) {
-    if (!EventSink::enabled()) return;
+    if (!EventSink::enabled() && !metrics_enabled()) return;
     name_.assign(name);
     start_ = std::chrono::steady_clock::now();
+    start_resources_ = sample_thread_resources();
     active_ = true;
   }
   StageTimer(const StageTimer&) = delete;
@@ -247,13 +271,23 @@ class StageTimer {
   ~StageTimer() {
     if (!active_) return;
     const auto elapsed = std::chrono::steady_clock::now() - start_;
-    EventSink::instance().emit_stage(
-        name_, std::chrono::duration<double, std::micro>(elapsed).count());
+    const double dur_us =
+        std::chrono::duration<double, std::micro>(elapsed).count();
+    const ResourceSample end = sample_thread_resources();
+    ResourceSample delta;
+    delta.cpu_us = end.cpu_us - start_resources_.cpu_us;
+    delta.alloc_bytes = end.alloc_bytes - start_resources_.alloc_bytes;
+    // RSS high-water is a process-wide monotone; the stage reports where it
+    // stood at stage end, not a delta (deltas of a high-water mislead).
+    delta.rss_hwm_kb = end.rss_hwm_kb;
+    EventSink::instance().emit_stage(name_, dur_us, delta);
+    record_stage_metrics(name_, dur_us, delta);
   }
 
  private:
   std::string name_;
   std::chrono::steady_clock::time_point start_{};
+  ResourceSample start_resources_{};
   bool active_ = false;
 };
 
@@ -289,6 +323,15 @@ class ProgressReporter {
 
   [[nodiscard]] std::size_t done() const {
     return done_.load(std::memory_order_relaxed);
+  }
+
+  /// Smoothed points/sec as of the last redraw (0.0 before the first rate
+  /// window closes).  Counts only points evaluated *this* process: both
+  /// `done_` and the rate window start seeded with `already_done`, so
+  /// resume-skipped points never inflate the rate or deflate the ETA.
+  [[nodiscard]] double ewma_points_per_sec() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ewma_pps_;
   }
 
  private:

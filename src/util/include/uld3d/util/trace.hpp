@@ -10,9 +10,10 @@
 //   for (...) { TraceSpan point("dse.sweep.point", "dse"); evaluate(...); }
 //   TraceRecorder::instance().write_chrome_trace("trace.json");
 //
-// Like util/metrics and util/fault, tracing is disabled by default and a
-// disabled span costs one relaxed atomic-bool load — no clock read, no
-// string copy, no allocation.  `ULD3D_TRACE=<file>` (or the CLI's
+// Like util/metrics and util/fault, tracing is disabled by default; a
+// disabled span costs the always-on flight-recorder record (~5 ns, see
+// util/flightrec.hpp) plus one relaxed atomic-bool load — no clock read,
+// no string copy, no allocation.  `ULD3D_TRACE=<file>` (or the CLI's
 // `--trace <file>`) enables recording; the event buffer is bounded
 // (`set_capacity`), dropping and counting further events rather than
 // growing without limit.
@@ -26,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "uld3d/util/flightrec.hpp"
 #include "uld3d/util/table.hpp"
 
 namespace uld3d {
@@ -41,6 +43,10 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< start, microseconds since the recorder epoch
   double dur_us = 0.0;  ///< wall-clock duration in microseconds
   std::uint32_t tid = 0;
+  double cpu_us = 0.0;  ///< executing thread's CPU time inside the span
+  std::uint64_t alloc_bytes = 0;  ///< bytes requested via operator new
+                                  ///< inside the span (0 unless
+                                  ///< ULD3D_ALLOC_STATS is on)
 };
 
 /// Process-wide bounded buffer of completed spans.
@@ -99,6 +105,10 @@ class TraceRecorder {
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name, std::string_view category = "uld3d") {
+    // The flight recorder sees every span regardless of whether tracing is
+    // armed — it is the always-on forensic layer (util/flightrec.hpp), and
+    // its ~5 ns record is the whole cost of a disabled span now.
+    flightrec::span_begin(name);
     if (!TraceRecorder::enabled()) return;
     begin(name, category);
   }
@@ -106,6 +116,7 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
   ~TraceSpan() {
+    flightrec::span_end();
     if (active_) finish();
   }
 
@@ -116,6 +127,8 @@ class TraceSpan {
   std::string name_;
   std::string category_;
   double start_us_ = 0.0;
+  double start_cpu_us_ = 0.0;
+  std::uint64_t start_alloc_ = 0;
   bool active_ = false;
 };
 

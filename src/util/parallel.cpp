@@ -1,12 +1,14 @@
 #include "uld3d/util/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <string>
 
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/flightrec.hpp"
 #include "uld3d/util/log.hpp"
 
 namespace uld3d::parallel {
@@ -146,6 +148,11 @@ bool ThreadPool::try_take(std::size_t self, std::function<void()>& out) {
 }
 
 void ThreadPool::worker_main(std::size_t self) {
+  // Visible in the flight recorder / postmortem dump, Chrome trace
+  // thread_name metadata, and OS tools (top -H, gdb, perf).
+  char name[16];
+  std::snprintf(name, sizeof name, "uld3d-wk%zu", self);
+  flightrec::set_thread_name(name);
   for (;;) {
     std::function<void()> task;
     if (try_take(self, task)) {

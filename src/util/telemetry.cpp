@@ -207,6 +207,10 @@ void EventSink::run_start_impl(const Provenance& provenance,
      << ", \"hardware_concurrency\": " << provenance.hardware_concurrency
      << "}}";
   append_line(os.str());
+  // Make the stream's identity line durable immediately: if the process
+  // later dies on a fatal signal, the postmortem's RunId must still join
+  // against this file even though the buffered tail is lost.
+  flush(false);
 }
 
 void EventSink::run_end_impl(const std::string& status, int exit_code) {
@@ -302,11 +306,33 @@ void EventSink::progress_impl(std::size_t done, std::size_t total,
   append_line(os.str());
 }
 
-void EventSink::stage_impl(std::string_view name, double dur_us) {
+void EventSink::stage_impl(std::string_view name, double dur_us,
+                           const ResourceSample* resources) {
   std::ostringstream os = event_head("stage", current_run_context());
   os << ", \"name\": \"" << json_escape(std::string(name))
-     << "\", \"dur_us\": " << json_number_exact(dur_us) << "}";
+     << "\", \"dur_us\": " << json_number_exact(dur_us);
+  if (resources != nullptr) {
+    os << ", \"cpu_us\": " << json_number_exact(resources->cpu_us)
+       << ", \"alloc_bytes\": " << resources->alloc_bytes
+       << ", \"rss_kb\": " << resources->rss_hwm_kb;
+  }
+  os << "}";
   append_line(os.str());
+}
+
+void record_stage_metrics(std::string_view name, double dur_us,
+                          const ResourceSample& resources) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const std::string prefix = "stage." + std::string(name);
+  reg.counter(prefix + ".calls").add();
+  reg.counter(prefix + ".wall_us").add(static_cast<std::uint64_t>(dur_us));
+  reg.counter(prefix + ".cpu_us")
+      .add(static_cast<std::uint64_t>(resources.cpu_us > 0.0 ? resources.cpu_us
+                                                             : 0.0));
+  reg.counter(prefix + ".alloc_bytes").add(resources.alloc_bytes);
+  reg.gauge(prefix + ".rss_hwm_kb")
+      .set(static_cast<double>(resources.rss_hwm_kb));
 }
 
 namespace {

@@ -10,6 +10,7 @@
 #include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/log.hpp"
 #include "uld3d/util/metrics.hpp"  // json_escape
+#include "uld3d/util/resource.hpp"
 #include "uld3d/util/telemetry.hpp"
 
 namespace uld3d {
@@ -19,15 +20,6 @@ std::atomic<bool> g_enabled{false};
 }  // namespace trace_detail
 
 namespace {
-
-/// Small dense thread ids (Chrome's UI sorts "tid" numerically; the raw
-/// std::thread::id hash is unreadable there).
-std::uint32_t this_thread_tid() {
-  static std::atomic<std::uint32_t> next{0};
-  thread_local const std::uint32_t tid =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return tid;
-}
 
 std::string format_us(double us) {
   std::ostringstream os;
@@ -114,13 +106,28 @@ std::string TraceRecorder::to_chrome_json() const {
      << run.shard_label() << "\", \"dropped_events\": " << dropped
      << "},\n  \"traceEvents\": [";
   bool first = true;
+  // Metadata events first: a process name plus one thread_name per flight-
+  // recorder slot that has one, so Perfetto shows "uld3d-wk3" instead of a
+  // raw tid.  Trace tids ARE flight-recorder thread ids (see TraceSpan).
+  os << "\n    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+     << "\"args\": {\"name\": \"uld3d\"}}";
+  first = false;
+  for (std::uint32_t tid = 0; tid < flightrec::thread_count(); ++tid) {
+    const char* tname = flightrec::thread_name(tid);
+    if (*tname == '\0') continue;
+    os << ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << tid << ", \"args\": {\"name\": \""
+       << json_escape(tname) << "\"}}";
+  }
   for (const auto& e : events) {
     if (!first) os << ",";
     first = false;
     os << "\n    {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
        << json_escape(e.category) << "\", \"ph\": \"X\", \"ts\": "
        << format_us(e.ts_us) << ", \"dur\": " << format_us(e.dur_us)
-       << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+       << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {\"cpu_us\": "
+       << format_us(e.cpu_us) << ", \"alloc_bytes\": " << e.alloc_bytes
+       << "}}";
   }
   os << "\n  ]\n}\n";
   return os.str();
@@ -144,6 +151,7 @@ Table TraceRecorder::summary_table() const {
     std::uint64_t calls = 0;
     double total_us = 0.0;
     double max_us = 0.0;
+    double cpu_us = 0.0;
   };
   std::map<std::string, Agg> by_name;
   double window_begin = std::numeric_limits<double>::infinity();
@@ -153,6 +161,7 @@ Table TraceRecorder::summary_table() const {
     a.calls += 1;
     a.total_us += e.dur_us;
     a.max_us = std::max(a.max_us, e.dur_us);
+    a.cpu_us += e.cpu_us;
     window_begin = std::min(window_begin, e.ts_us);
     window_end = std::max(window_end, e.ts_us + e.dur_us);
   }
@@ -163,7 +172,8 @@ Table TraceRecorder::summary_table() const {
     return a.second.total_us > b.second.total_us;
   });
 
-  Table table({"Span", "Calls", "Total ms", "Mean ms", "Max ms", "% wall"});
+  Table table(
+      {"Span", "Calls", "Total ms", "Mean ms", "Max ms", "CPU ms", "% wall"});
   for (const auto& [name, a] : rows) {
     const double total_ms = a.total_us / 1000.0;
     const double mean_ms = total_ms / static_cast<double>(a.calls);
@@ -171,7 +181,7 @@ Table TraceRecorder::summary_table() const {
         window_us > 0.0 ? 100.0 * a.total_us / window_us : 0.0;
     table.add_row({name, std::to_string(a.calls), format_double(total_ms, 3),
                    format_double(mean_ms, 3), format_double(a.max_us / 1000.0, 3),
-                   format_double(share, 1)});
+                   format_double(a.cpu_us / 1000.0, 3), format_double(share, 1)});
   }
   return table;
 }
@@ -180,6 +190,8 @@ void TraceSpan::begin(std::string_view name, std::string_view category) {
   name_.assign(name);
   category_.assign(category);
   start_us_ = TraceRecorder::instance().now_us();
+  start_cpu_us_ = thread_cpu_time_us();
+  start_alloc_ = thread_alloc_bytes();
   active_ = true;
 }
 
@@ -192,7 +204,11 @@ void TraceSpan::finish() {
   event.category = std::move(category_);
   event.ts_us = start_us_;
   event.dur_us = recorder.now_us() - start_us_;
-  event.tid = this_thread_tid();
+  // Trace tids are flight-recorder thread ids, so the Chrome trace, the
+  // thread_name metadata, and the postmortem dump all agree on identity.
+  event.tid = flightrec::thread_id();
+  event.cpu_us = thread_cpu_time_us() - start_cpu_us_;
+  event.alloc_bytes = thread_alloc_bytes() - start_alloc_;
   recorder.record(std::move(event));
 }
 

@@ -1,0 +1,103 @@
+#!/bin/sh
+# Integration test for uld3d-diff, the regression localizer (DESIGN.md §15):
+#
+#  1. Two identical sweeps diff clean (exit 0) — with tolerances sized for
+#     shared-runner noise, same-binary same-grid runs must not self-flag.
+#  2. A sweep slowed with the ULD3D_SWEEP_DELAY_MS test hook is flagged
+#     (exit 1) and the report names the slowed stage (dse.sweep).
+#  3. --json emits a parseable document carrying the same verdict.
+#  4. Error contract: usage errors exit 2; malformed input and
+#     different-sweep streams exit 3.
+#
+# Usage: cli_diff.sh /path/to/uld3d_cli /path/to/uld3d-diff
+set -u
+
+cli="$1"
+diff_tool="$2"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+failures=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+# Generous gates for the identical-runs checks: wall noise on a shared
+# runner can be large relative to a fast sweep, so require a 2x blow-up
+# AND half a second of absolute excess before calling it a regression.
+noise_gates="--time-tol 100% --min-delta-us 500000"
+
+"$cli" sweep --keep-going --jobs 1 --events "$tmpdir/base.ndjson" \
+  >/dev/null 2>&1 || fail "base sweep failed"
+"$cli" sweep --keep-going --jobs 1 --events "$tmpdir/same.ndjson" \
+  >/dev/null 2>&1 || fail "second identical sweep failed"
+ULD3D_SWEEP_DELAY_MS=60 "$cli" sweep --keep-going --jobs 1 \
+  --events "$tmpdir/slow.ndjson" >/dev/null 2>&1 || fail "slowed sweep failed"
+
+# --- 1. identical runs diff clean -------------------------------------------
+"$diff_tool" "$tmpdir/base.ndjson" "$tmpdir/same.ndjson" $noise_gates \
+  > "$tmpdir/clean.txt"
+code=$?
+[ "$code" -eq 0 ] || fail "identical runs: expected exit 0, got $code"
+grep -q 'OK' "$tmpdir/clean.txt" || fail "clean diff does not say OK"
+
+# --- 2. slowed run is flagged and localized ---------------------------------
+# Every point slowed too, so the stage finding needs --top headroom to
+# stay visible among the per-point rows.
+"$diff_tool" "$tmpdir/base.ndjson" "$tmpdir/slow.ndjson" --top 200 \
+  > "$tmpdir/slow.txt"
+code=$?
+[ "$code" -eq 1 ] || fail "slowed run: expected exit 1, got $code"
+grep -q 'dse.sweep' "$tmpdir/slow.txt" \
+  || fail "regression table does not name the slowed dse.sweep stage"
+grep -q 'REGRESSION' "$tmpdir/slow.txt" || fail "verdict line missing"
+
+# --- 3. --json carries the same verdict -------------------------------------
+"$diff_tool" "$tmpdir/base.ndjson" "$tmpdir/slow.ndjson" --json \
+  > "$tmpdir/slow.json"
+code=$?
+[ "$code" -eq 1 ] || fail "--json slowed run: expected exit 1, got $code"
+grep -q '"kind": "diff"' "$tmpdir/slow.json" || fail "json kind missing"
+grep -q '"scope": "stage"' "$tmpdir/slow.json" \
+  || fail "json regressions lack a stage finding"
+grep -q '"dse.sweep"' "$tmpdir/slow.json" \
+  || fail "json does not name the slowed stage"
+"$diff_tool" "$tmpdir/base.ndjson" "$tmpdir/same.ndjson" $noise_gates --json \
+  > "$tmpdir/clean.json"
+code=$?
+[ "$code" -eq 0 ] || fail "--json identical runs: expected exit 0, got $code"
+grep -q '"regressions": \[\]' "$tmpdir/clean.json" \
+  || fail "clean json should carry an empty regressions array"
+
+# --- 4. error contract ------------------------------------------------------
+"$diff_tool" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "no arguments: expected exit 2, got $code"
+"$diff_tool" "$tmpdir/base.ndjson" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "one positional: expected exit 2, got $code"
+"$diff_tool" "$tmpdir/base.ndjson" "$tmpdir/same.ndjson" --bogus \
+  >/dev/null 2>&1
+code=$?
+[ "$code" -eq 2 ] || fail "unknown flag: expected exit 2, got $code"
+
+echo 'not json' > "$tmpdir/garbage.ndjson"
+echo 'still not json' >> "$tmpdir/garbage.ndjson"
+"$diff_tool" "$tmpdir/garbage.ndjson" "$tmpdir/same.ndjson" >/dev/null 2>&1
+code=$?
+[ "$code" -eq 3 ] || fail "malformed input: expected exit 3, got $code"
+
+# A stream with a different sweep fingerprint is a different experiment.
+sed 's/"fingerprint": "[^"]*"/"fingerprint": "deadbeef"/' \
+  "$tmpdir/same.ndjson" > "$tmpdir/othersweep.ndjson"
+"$diff_tool" "$tmpdir/base.ndjson" "$tmpdir/othersweep.ndjson" \
+  >/dev/null 2>&1
+code=$?
+[ "$code" -eq 3 ] || fail "different sweep: expected exit 3, got $code"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures diff check(s) failed" >&2
+  exit 1
+fi
+echo "all diff checks passed"

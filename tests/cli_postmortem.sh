@@ -1,0 +1,100 @@
+#!/bin/sh
+# Integration test for the flight recorder's fatal-path dump (DESIGN.md §15):
+#
+#  1. SIGSEGV mid-sweep (injected deterministically via ULD3D_CRASH_AT) ->
+#     the process dies by signal AND leaves a parseable postmortem JSON
+#     that names the in-flight stage in some thread's active-span stack.
+#  2. The postmortem joins the crashed run's event stream by RunId:
+#     `uld3d-report EVENTS --postmortem DUMP` exits 0 and reports the
+#     crashing thread; a foreign run's dump is refused (exit 1).
+#  3. `--postmortem` defaults ON for sweep (dump lands at
+#     <run>.postmortem.json in the cwd) and `--no-postmortem` disarms it.
+#
+# ASAN_OPTIONS: on sanitizer builds ASan's own SEGV/abort interception
+# would swallow the injected crash before our handler runs; these options
+# hand the signals back.  They are inert on non-sanitizer builds.
+#
+# Usage: cli_postmortem.sh /path/to/uld3d_cli /path/to/uld3d-report
+set -u
+
+# Absolute paths: the default-path checks below run the CLI from other cwds.
+cli="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+report="$(cd "$(dirname "$2")" && pwd)/$(basename "$2")"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+failures=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+asan_opts="handle_segv=0:handle_abort=0:detect_leaks=0"
+
+# --- 1. injected SIGSEGV -> death by signal + parseable dump ----------------
+ASAN_OPTIONS="$asan_opts" ULD3D_CRASH_AT=dse.point:5 \
+  "$cli" sweep --keep-going --jobs 2 \
+  --events "$tmpdir/crash.ndjson" --postmortem="$tmpdir/crash.pm.json" \
+  >/dev/null 2>"$tmpdir/crash.stderr"
+code=$?
+# Death by SIGSEGV surfaces as 139 under sh (128 + 11).
+[ "$code" -ge 128 ] || fail "crashed sweep: expected signal death, got $code"
+[ -s "$tmpdir/crash.pm.json" ] || fail "no postmortem written on SIGSEGV"
+grep -q 'postmortem' "$tmpdir/crash.stderr" \
+  || fail "no stderr breadcrumb pointing at the dump"
+grep -q '"reason": "SIGSEGV"' "$tmpdir/crash.pm.json" \
+  || fail "postmortem does not name SIGSEGV as the reason"
+# The crash fires inside a sweep-point evaluation: the dumping thread's
+# active spans must name the in-flight stage.
+grep -q '"dse.sweep.point"' "$tmpdir/crash.pm.json" \
+  || fail "postmortem does not name the in-flight dse.sweep.point span"
+grep -q '"dse.point"' "$tmpdir/crash.pm.json" \
+  || fail "postmortem ring lacks the dse.point event records"
+
+# --- 2. RunId join with the crashed run's event stream ----------------------
+[ -s "$tmpdir/crash.ndjson" ] || fail "crashed sweep left no events"
+"$report" "$tmpdir/crash.ndjson" --postmortem "$tmpdir/crash.pm.json" \
+  > "$tmpdir/join.txt" || fail "postmortem join should exit 0"
+grep -q 'SIGSEGV' "$tmpdir/join.txt" || fail "join does not report the signal"
+
+# A dump from a DIFFERENT run must be refused.
+ASAN_OPTIONS="$asan_opts" ULD3D_CRASH_AT=dse.point:5 \
+  "$cli" sweep --keep-going --jobs 2 \
+  --events "$tmpdir/other.ndjson" --postmortem="$tmpdir/other.pm.json" \
+  >/dev/null 2>&1
+[ -s "$tmpdir/other.pm.json" ] || fail "second crash left no postmortem"
+"$report" "$tmpdir/crash.ndjson" --postmortem "$tmpdir/other.pm.json" \
+  >/dev/null 2>&1
+code=$?
+[ "$code" -eq 1 ] || fail "foreign postmortem join: expected exit 1, got $code"
+
+# --- 3. default-on for sweep, --no-postmortem disarms -----------------------
+defaultdir="$tmpdir/defaultcwd"
+mkdir "$defaultdir"
+(cd "$defaultdir" && ASAN_OPTIONS="$asan_opts" ULD3D_CRASH_AT=dse.point:3 \
+  "$cli" sweep --keep-going --jobs 1 >/dev/null 2>&1)
+ls "$defaultdir"/*.postmortem.json >/dev/null 2>&1 \
+  || fail "sweep default did not write <run>.postmortem.json in the cwd"
+
+nodir="$tmpdir/nocwd"
+mkdir "$nodir"
+(cd "$nodir" && ASAN_OPTIONS="$asan_opts" ULD3D_CRASH_AT=dse.point:3 \
+  "$cli" sweep --keep-going --jobs 1 --no-postmortem >/dev/null 2>&1)
+if ls "$nodir"/*.postmortem.json >/dev/null 2>&1; then
+  fail "--no-postmortem still wrote a dump"
+fi
+
+# A clean (non-crashing) sweep must not leave a dump behind either.
+cleandir="$tmpdir/cleancwd"
+mkdir "$cleandir"
+(cd "$cleandir" && "$cli" sweep --keep-going --jobs 1 >/dev/null 2>&1) \
+  || fail "clean sweep failed"
+if ls "$cleandir"/*.postmortem.json >/dev/null 2>&1; then
+  fail "clean sweep left a postmortem dump"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures postmortem check(s) failed" >&2
+  exit 1
+fi
+echo "all postmortem checks passed"

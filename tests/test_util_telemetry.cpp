@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "uld3d/util/jsonv.hpp"
@@ -224,6 +226,24 @@ TEST_F(TelemetryTest, AppendReopenUnionsRuns) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(json_parse(lines[0]).at("name").as_string(), "run.one");
   EXPECT_EQ(json_parse(lines[1]).at("name").as_string(), "run.two");
+}
+
+TEST_F(TelemetryTest, ProgressRateIgnoresResumeSkippedPoints) {
+  // Regression guard: a resumed sweep seeds the reporter with thousands of
+  // already-done points.  Both the done count and the rate window start at
+  // `already_done`, so the first rate sample must reflect only the points
+  // evaluated in this process — not (already_done + new) / elapsed, which
+  // would report a wildly inflated pts/s and a near-zero ETA after resume.
+  ProgressReporter progress("test-resume", 1010, 1000);
+  EXPECT_EQ(progress.done(), 1000u);
+  EXPECT_EQ(progress.ewma_points_per_sec(), 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  progress.on_chunk_done(5);
+  const double rate = progress.ewma_points_per_sec();
+  EXPECT_GT(rate, 0.0);
+  // 5 points in ~0.3 s is ~17 pts/s; the buggy version would report ~3350.
+  EXPECT_LT(rate, 100.0);
+  EXPECT_EQ(progress.done(), 1005u);
 }
 
 }  // namespace

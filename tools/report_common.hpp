@@ -1,0 +1,107 @@
+// Shared machinery for the telemetry analyzers (uld3d-report, uld3d-diff):
+// the NDJSON event-stream loader with its crash-tolerance rules, the
+// per-run/per-stage/per-point aggregation both tools build on, and the
+// machine-readable summary emitter (`uld3d-report --json`).
+//
+// This is a tools-local library (compiled into each binary), not part of
+// uld3d::util: it depends on the *reader-side* contract of the event schema,
+// which should stay free to evolve with the tools.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uld3d/util/jsonv.hpp"
+
+namespace uld3d::report {
+
+/// Parsed event lines (header-validated), in file order.
+struct EventStream {
+  std::vector<JsonValue> events;
+  std::size_t torn_lines = 0;  ///< 0 or 1 (only the final line may tear)
+};
+
+/// Load an NDJSON event stream.  Schema-checked per line; exactly one
+/// unparseable *final* line is tolerated (a process killed mid-write can
+/// tear the last write(2)) and counted in `torn_lines`; a malformed line
+/// anywhere else throws JsonParseError.
+EventStream read_events(const std::string& path);
+
+/// Exact double rendering — MUST match util/telemetry's writer so canon
+/// re-renders reproduce the original bytes (doubles round-trip through the
+/// parser bit-exactly at 17 significant digits).
+std::string number_exact(double value);
+
+/// Render one element of a params/metrics array: numbers exactly, and the
+/// writer's non-finite string spellings ("nan"/"inf"/"-inf") verbatim.
+std::string render_scalar(const JsonValue& v);
+
+/// The "index" member of a point_done event.
+std::uint64_t index_of(const JsonValue& event);
+
+/// One run's identity row (a stream may hold several: resume appends).
+struct RunInfo {
+  std::string id;
+  std::string shard;
+  std::string command;
+  std::string git_sha;
+  std::string status = "(no run_end)";  ///< crash/kill leaves no run_end
+  std::string exit_code = "-";
+};
+
+/// Aggregate over all `stage` events with one name, including the resource
+/// attribution fields (0 when the stream predates them — they are additive).
+struct StageAgg {
+  std::size_t count = 0;
+  double wall_us = 0.0;
+  double cpu_us = 0.0;
+  double alloc_bytes = 0.0;
+  double rss_hwm_kb = 0.0;  ///< max over events, not a sum
+};
+
+/// One point_done observation (file order; duplicates from resume included).
+struct PointTiming {
+  std::uint64_t index = 0;
+  double dur_us = 0.0;
+  bool ok = false;
+};
+
+/// Everything both analyzers need from one pass over a stream.
+struct StreamSummary {
+  std::vector<RunInfo> runs;  ///< insertion order
+  std::string sweep_fingerprint;
+  std::size_t grid_size = 0;
+  std::size_t domain_size = 0;
+  int jobs = 0;
+  std::string sweep_line;  ///< human-readable sweep identity ("" = none)
+  std::string shard_line;  ///< human-readable shard_info ("" = none)
+  std::map<std::string, std::size_t> failure_counts;  ///< code -> count
+  std::map<std::string, StageAgg> stages;             ///< name -> aggregate
+  std::vector<PointTiming> timings;  ///< file order, duplicates included
+  std::map<std::uint64_t, PointTiming> points_by_index;  ///< first win
+  std::size_t ok = 0;      ///< point_done events with status ok
+  std::size_t failed = 0;  ///< point_done events with any other status
+  std::size_t checkpoints = 0;
+  std::size_t progress_events = 0;
+
+  /// True when `id` labels a run recorded in this stream (the RunId join
+  /// check shared by every artifact join).
+  [[nodiscard]] bool has_run(const std::string& id) const;
+};
+
+/// One aggregation pass over a stream.
+StreamSummary summarize(const EventStream& stream);
+
+/// Machine-readable rendering of a summary (one JSON object, trailing
+/// newline): runs with exit status, sweep identity, point counts, the
+/// failure taxonomy, per-stage wall/cpu/alloc/rss, and the `stragglers`
+/// slowest points.  Shared by `uld3d-report --json` and `uld3d-diff --json`
+/// (which embeds one per side).
+std::string summary_to_json(const StreamSummary& summary,
+                            const EventStream& stream,
+                            const std::string& source_path,
+                            std::size_t stragglers);
+
+}  // namespace uld3d::report

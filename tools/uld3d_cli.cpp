@@ -24,6 +24,11 @@
 //                               analyze with uld3d-report
 //               --progress      live sweep progress on stderr (EWMA
 //                               points/sec, ok/failed, ETA, queue depth)
+//               --postmortem[=PATH]  arm the flight-recorder crash dumper:
+//                               on SIGSEGV/SIGABRT/SIGBUS/SIGFPE or
+//                               std::terminate, write PATH (default
+//                               <run_id>.postmortem.json).  On by default
+//                               for `sweep`; --no-postmortem disables.
 //
 // Sweep checkpoint/sharding flags (DESIGN.md §13):
 //               --checkpoint FILE        periodically flush resumable sweep
@@ -70,6 +75,7 @@
 #include "uld3d/util/checkpoint.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/fault.hpp"
+#include "uld3d/util/flightrec.hpp"
 #include "uld3d/util/jsonv.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/parallel.hpp"
@@ -109,7 +115,8 @@ constexpr const char* kUsage =
     "usage: uld3d_cli <compare|table1|datasheet|arch|sweep|merge|dump-config>\n"
     "       [--network N] [--config FILE] [--strict] [--keep-going]\n"
     "       [--jobs N] [--trace FILE] [--metrics FILE] [--profile]\n"
-    "       [--events FILE] [--progress]\n"
+    "       [--events FILE] [--progress] [--postmortem[=PATH]]\n"
+    "       [--no-postmortem]\n"
     "       [--checkpoint FILE] [--resume] [--checkpoint-interval N]\n"
     "       [--shard i/N]  (merge takes shard checkpoint files as operands)";
 
@@ -125,6 +132,8 @@ struct CliArgs {
   bool profile = false;      // print span/metrics summary tables at exit
   std::string events_path;   // NDJSON telemetry events output ("" = off)
   bool progress = false;     // live sweep progress on stderr
+  std::optional<bool> postmortem;  // unset = default (on for sweep)
+  std::string postmortem_path;     // "" = <run_id>.postmortem.json
   std::string checkpoint_path;           // sweep checkpoint file ("" = off)
   bool resume = false;                   // continue an existing checkpoint
   std::size_t checkpoint_interval = 64;  // flush every N completed points
@@ -166,6 +175,16 @@ CliArgs parse_args(int argc, char** argv) {
       args.events_path = argv[++i];
     } else if (flag == "--progress") {
       args.progress = true;
+    } else if (flag == "--postmortem") {
+      args.postmortem = true;
+    } else if (flag.rfind("--postmortem=", 0) == 0) {
+      args.postmortem = true;
+      args.postmortem_path = flag.substr(std::strlen("--postmortem="));
+      if (args.postmortem_path.empty()) {
+        throw UsageError("--postmortem= expects a path\n" + std::string(kUsage));
+      }
+    } else if (flag == "--no-postmortem") {
+      args.postmortem = false;
     } else if (flag == "--checkpoint" && i + 1 < argc) {
       args.checkpoint_path = argv[++i];
     } else if (flag == "--resume") {
@@ -228,6 +247,20 @@ class Observability {
       sink.emit_run_start(capture_provenance(), command_line);
     }
     set_progress_enabled(args.progress);
+    // Flight recorder: the main thread gets a name either way; the crash
+    // dumper arms by default for sweeps (long-running, worth forensics)
+    // and on request elsewhere.  Must follow set_current_run_context —
+    // the dump header is pre-formatted from the current RunId.
+    flightrec::set_thread_name("main");
+    const bool want_postmortem =
+        args.postmortem.value_or(args.command == "sweep");
+    if (want_postmortem) {
+      std::string path = args.postmortem_path;
+      if (path.empty()) {
+        path = current_run_context().run_id + ".postmortem.json";
+      }
+      flightrec::install_postmortem(path);
+    }
   }
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;

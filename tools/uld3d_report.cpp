@@ -2,15 +2,19 @@
 // (util/telemetry NDJSON files written via --events / ULD3D_EVENTS).
 //
 //   uld3d-report EVENTS.ndjson [--metrics METRICS.json]
-//       [--trace TRACE.json] [--bench BENCH.json] [--stragglers N]
+//       [--trace TRACE.json] [--bench BENCH.json]
+//       [--postmortem DUMP.json] [--stragglers N] [--json]
 //   uld3d-report --canon EVENTS.ndjson
 //
 // Default mode prints a per-run summary: the runs recorded in the stream
 // (provenance, exit status), sweep identity, point counts, a failure
-// taxonomy histogram, per-stage time breakdown, and the slowest points.
-// `--metrics` / `--trace` / `--bench` join the stream with that run's other
-// artifacts by RunId: a label mismatch is reported loudly (mixing files
-// from different runs is the exact mistake RunIds exist to catch).
+// taxonomy histogram, per-stage time/resource breakdown, and the slowest
+// points.  `--json` renders the same summary as one machine-readable JSON
+// object (the emitter is shared with uld3d-diff, which compares two of
+// them).  `--metrics` / `--trace` / `--bench` / `--postmortem` join the
+// stream with that run's other artifacts by RunId: a label mismatch is
+// reported loudly (mixing files from different runs is the exact mistake
+// RunIds exist to catch).
 //
 // `--canon` emits the stream's canonical projection to stdout: the sweep
 // identity header, every point_done re-rendered exactly (17-significant-
@@ -35,32 +39,33 @@
 //   2  usage error
 //   3  malformed/unreadable input (bad JSON mid-file, unsupported schema)
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
-#include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "report_common.hpp"
 #include "uld3d/util/export.hpp"
 #include "uld3d/util/jsonv.hpp"
 #include "uld3d/util/table.hpp"
-#include "uld3d/util/telemetry.hpp"
 
 namespace {
 
 using namespace uld3d;
+using report::EventStream;
+using report::StreamSummary;
 
 struct Options {
   std::string events_path;
   std::string metrics_path;
   std::string trace_path;
   std::string bench_path;
+  std::string postmortem_path;
   std::size_t stragglers = 5;
   bool canon = false;
+  bool json = false;
 };
 
 [[noreturn]] void usage(int exit_code) {
@@ -72,80 +77,16 @@ struct Options {
       "                    uld3d_cli); RunIds must match\n"
       "  --trace FILE      join with a Chrome trace export (--trace)\n"
       "  --bench FILE      join with a BENCH_*.json suite document\n"
+      "  --postmortem FILE join with a flight-recorder crash dump\n"
+      "                    (<run>.postmortem.json); RunIds must match\n"
       "  --stragglers N    slowest points to list (default 5)\n"
+      "  --json            machine-readable per-run summary (one JSON\n"
+      "                    object; the same emitter uld3d-diff consumes)\n"
       "  --canon           emit the canonical projection (byte-identical\n"
       "                    across jobs counts and interrupt/resume)\n"
       "exit codes: 0 ok, 1 stream inconsistency, 2 usage,\n"
       "            3 malformed input\n";
   std::exit(exit_code);
-}
-
-/// Parsed event lines (header-validated), in file order.
-struct EventStream {
-  std::vector<JsonValue> events;
-  std::size_t torn_lines = 0;  ///< 0 or 1 (only the final line may tear)
-};
-
-/// Exact double rendering — MUST match util/telemetry's writer so canon
-/// re-renders reproduce the original bytes (doubles round-trip through the
-/// parser bit-exactly at 17 significant digits).
-std::string number_exact(double value) {
-  if (std::isnan(value)) return "\"nan\"";
-  if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
-  char buffer[40];
-  std::snprintf(buffer, sizeof buffer, "%.17g", value);
-  return buffer;
-}
-
-/// Render one element of a params/metrics array: numbers exactly, and the
-/// writer's non-finite string spellings ("nan"/"inf"/"-inf") verbatim.
-std::string render_scalar(const JsonValue& v) {
-  if (v.is_string()) return "\"" + json_escape(v.as_string()) + "\"";
-  return number_exact(v.as_number());
-}
-
-std::uint64_t index_of(const JsonValue& event) {
-  return static_cast<std::uint64_t>(event.at("index").as_number());
-}
-
-EventStream read_events(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    throw JsonParseError("cannot read events file: " + path);
-  }
-  EventStream stream;
-  std::string line;
-  std::size_t line_no = 0;
-  std::size_t pending_torn_line = 0;
-  while (std::getline(file, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    if (pending_torn_line != 0) {
-      // A parse failure is only forgivable on the FINAL line; seeing more
-      // content after one means the file is corrupt, not torn.
-      throw JsonParseError(path + ":" + std::to_string(pending_torn_line) +
-                           ": malformed event line (not at end of file)");
-    }
-    JsonValue event;
-    try {
-      event = json_parse(line);
-    } catch (const JsonParseError&) {
-      pending_torn_line = line_no;
-      continue;
-    }
-    const double schema = event.number_or("schema", -1.0);
-    if (schema != static_cast<double>(kTelemetrySchemaVersion)) {
-      throw JsonParseError(path + ":" + std::to_string(line_no) +
-                           ": unsupported telemetry schema version");
-    }
-    if (event.find("ev") == nullptr || !event.at("ev").is_string()) {
-      throw JsonParseError(path + ":" + std::to_string(line_no) +
-                           ": event line has no \"ev\" type");
-    }
-    stream.events.push_back(std::move(event));
-  }
-  if (pending_torn_line != 0) stream.torn_lines = 1;
-  return stream;
 }
 
 // ---------------------------------------------------------------------------
@@ -177,12 +118,12 @@ std::string canon_header(const JsonValue& event) {
 /// doubles re-rendered with the writer's own exact format.
 std::string canon_point(const JsonValue& event) {
   std::ostringstream os;
-  os << "{\"ev\": \"point\", \"index\": " << index_of(event)
+  os << "{\"ev\": \"point\", \"index\": " << report::index_of(event)
      << ", \"params\": [";
   const JsonValue::Array& params = event.at("params").as_array();
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (i > 0) os << ", ";
-    os << render_scalar(params[i]);
+    os << report::render_scalar(params[i]);
   }
   os << "], \"status\": \"" << json_escape(event.at("status").as_string())
      << "\"";
@@ -192,7 +133,7 @@ std::string canon_point(const JsonValue& event) {
     const JsonValue::Array& metrics = event.at("metrics").as_array();
     for (std::size_t i = 0; i < metrics.size(); ++i) {
       if (i > 0) os << ", ";
-      os << render_scalar(metrics[i]);
+      os << report::render_scalar(metrics[i]);
     }
     os << "], \"failure\": null";
   } else {
@@ -237,7 +178,7 @@ int run_canon(const EventStream& stream) {
       }
     } else if (type == "point_done") {
       const std::string rendered = canon_point(event);
-      const std::uint64_t index = index_of(event);
+      const std::uint64_t index = report::index_of(event);
       const auto [it, inserted] = points.emplace(index, rendered);
       if (!inserted && it->second != rendered) {
         std::cerr << "uld3d-report: point " << index
@@ -267,93 +208,13 @@ int run_canon(const EventStream& stream) {
 }
 
 // ---------------------------------------------------------------------------
-// Default mode: human-readable per-run summary + artifact joins.
+// Default mode: per-run summary (tables or --json) + artifact joins.
 // ---------------------------------------------------------------------------
-
-struct RunInfo {
-  std::string shard;
-  std::string command;
-  std::string git_sha;
-  std::string status = "(no run_end)";  ///< crash/kill leaves no run_end
-  std::string exit_code = "-";
-};
 
 std::string format_ms(double us) { return format_double(us / 1e3, 2) + " ms"; }
 
-int run_summary(const Options& opts, const EventStream& stream) {
-  std::map<std::string, RunInfo> runs;       // run_id -> info, insertion order
-  std::vector<std::string> run_order;
-  std::string sweep_line;
-  std::map<std::string, std::size_t> failure_counts;  // code -> count
-  std::map<std::string, std::pair<std::size_t, double>> stages;
-  struct PointTiming {
-    std::uint64_t index;
-    double dur_us;
-    bool ok;
-  };
-  std::vector<PointTiming> timings;
-  std::size_t ok = 0;
-  std::size_t failed = 0;
-  std::size_t checkpoints = 0;
-  std::size_t progress_events = 0;
-  std::string shard_line;
-
-  for (const JsonValue& event : stream.events) {
-    const std::string& type = event.at("ev").as_string();
-    const std::string run_id = event.string_or("run", "");
-    if (runs.find(run_id) == runs.end()) {
-      runs[run_id].shard = event.string_or("shard", "?");
-      run_order.push_back(run_id);
-    }
-    RunInfo& run = runs[run_id];
-    if (type == "run_start") {
-      run.command = event.string_or("command", "");
-      if (const JsonValue* prov = event.find("provenance"); prov != nullptr) {
-        run.git_sha = prov->string_or("git_sha", "");
-      }
-    } else if (type == "run_end") {
-      run.status = event.string_or("status", "?");
-      run.exit_code =
-          std::to_string(static_cast<int>(event.number_or("exit_code", -1)));
-    } else if (type == "sweep_start") {
-      std::ostringstream os;
-      os << "fingerprint " << event.string_or("fingerprint", "?") << ", grid "
-         << static_cast<std::uint64_t>(event.number_or("grid_size", 0))
-         << " points, domain "
-         << static_cast<std::uint64_t>(event.number_or("domain_size", 0))
-         << ", jobs " << static_cast<int>(event.number_or("jobs", 0));
-      sweep_line = os.str();
-    } else if (type == "point_done") {
-      const bool point_ok = event.string_or("status", "") == "ok";
-      point_ok ? ++ok : ++failed;
-      if (!point_ok) {
-        if (const JsonValue* f = event.find("failure");
-            f != nullptr && f->is_object()) {
-          ++failure_counts[f->string_or("code", "?")];
-        }
-      }
-      timings.push_back(
-          {index_of(event), event.number_or("dur_us", 0.0), point_ok});
-    } else if (type == "stage") {
-      auto& [count, total_us] = stages[event.string_or("name", "?")];
-      ++count;
-      total_us += event.number_or("dur_us", 0.0);
-    } else if (type == "checkpoint_flush") {
-      ++checkpoints;
-    } else if (type == "progress") {
-      ++progress_events;
-    } else if (type == "shard_info") {
-      std::ostringstream os;
-      os << "shard "
-         << static_cast<std::uint64_t>(event.number_or("shard_index", 0)) << "/"
-         << static_cast<std::uint64_t>(event.number_or("shard_count", 0))
-         << ", domain "
-         << static_cast<std::uint64_t>(event.number_or("domain_size", 0))
-         << " points";
-      shard_line = os.str();
-    }
-  }
-
+void print_summary_tables(const Options& opts, const EventStream& stream,
+                          const StreamSummary& s) {
   std::cout << "Events: " << stream.events.size() << " parsed from "
             << opts.events_path;
   if (stream.torn_lines > 0) {
@@ -362,47 +223,54 @@ int run_summary(const Options& opts, const EventStream& stream) {
   std::cout << "\n\n";
 
   Table run_table({"Run", "Shard", "Status", "Exit", "Command"});
-  for (const std::string& id : run_order) {
-    const RunInfo& run = runs.at(id);
-    run_table.add_row({id.empty() ? "(unlabelled)" : id, run.shard, run.status,
-                       run.exit_code, run.command});
+  for (const report::RunInfo& run : s.runs) {
+    run_table.add_row({run.id.empty() ? "(unlabelled)" : run.id, run.shard,
+                       run.status, run.exit_code, run.command});
   }
   run_table.print(std::cout, "Runs");
 
-  if (!sweep_line.empty()) std::cout << "\nSweep: " << sweep_line << "\n";
-  if (!shard_line.empty()) std::cout << "Shard: " << shard_line << "\n";
-  if (ok + failed > 0) {
-    std::cout << "Points: " << ok + failed << " evaluated, " << ok << " ok, "
-              << failed << " failed";
-    if (checkpoints > 0) {
-      std::cout << " (" << checkpoints << " checkpoint flushes)";
+  if (!s.sweep_line.empty()) std::cout << "\nSweep: " << s.sweep_line << "\n";
+  if (!s.shard_line.empty()) std::cout << "Shard: " << s.shard_line << "\n";
+  if (s.ok + s.failed > 0) {
+    std::cout << "Points: " << s.ok + s.failed << " evaluated, " << s.ok
+              << " ok, " << s.failed << " failed";
+    if (s.checkpoints > 0) {
+      std::cout << " (" << s.checkpoints << " checkpoint flushes)";
     }
     std::cout << "\n";
   }
 
-  if (!failure_counts.empty()) {
+  if (!s.failure_counts.empty()) {
     Table taxonomy({"Failure code", "Count"});
-    for (const auto& [code, count] : failure_counts) {
+    for (const auto& [code, count] : s.failure_counts) {
       taxonomy.add_row({code, std::to_string(count)});
     }
     std::cout << "\n";
     taxonomy.print(std::cout, "Failure taxonomy");
   }
 
-  if (!stages.empty()) {
-    Table stage_table({"Stage", "Count", "Total", "Mean"});
-    for (const auto& [name, entry] : stages) {
-      const auto& [count, total_us] = entry;
-      stage_table.add_row({name, std::to_string(count), format_ms(total_us),
-                           format_ms(total_us / static_cast<double>(count))});
+  if (!s.stages.empty()) {
+    // CPU/alloc/RSS columns are 0 for streams recorded before stage events
+    // carried resource attribution; the fields are additive, not a schema
+    // break.
+    Table stage_table(
+        {"Stage", "Count", "Total", "Mean", "CPU", "Alloc MiB", "RSS MiB"});
+    for (const auto& [name, agg] : s.stages) {
+      stage_table.add_row(
+          {name, std::to_string(agg.count), format_ms(agg.wall_us),
+           format_ms(agg.wall_us / static_cast<double>(agg.count)),
+           format_ms(agg.cpu_us),
+           format_double(agg.alloc_bytes / (1024.0 * 1024.0), 2),
+           format_double(agg.rss_hwm_kb / 1024.0, 1)});
     }
     std::cout << "\n";
     stage_table.print(std::cout, "Stage times");
   }
 
-  if (!timings.empty() && opts.stragglers > 0) {
+  if (!s.timings.empty() && opts.stragglers > 0) {
+    std::vector<report::PointTiming> timings = s.timings;
     std::sort(timings.begin(), timings.end(),
-              [](const PointTiming& a, const PointTiming& b) {
+              [](const report::PointTiming& a, const report::PointTiming& b) {
                 if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
                 return a.index < b.index;
               });
@@ -416,26 +284,37 @@ int run_summary(const Options& opts, const EventStream& stream) {
     std::cout << "\n";
     straggler_table.print(std::cout, "Slowest points");
   }
-  if (progress_events > 0) {
-    std::cout << "\nProgress events: " << progress_events << "\n";
+  if (s.progress_events > 0) {
+    std::cout << "\nProgress events: " << s.progress_events << "\n";
+  }
+}
+
+int run_summary(const Options& opts, const EventStream& stream) {
+  const StreamSummary s = report::summarize(stream);
+
+  if (opts.json) {
+    std::cout << report::summary_to_json(s, stream, opts.events_path,
+                                         opts.stragglers);
+  } else {
+    print_summary_tables(opts, stream, s);
   }
 
-  // --- Artifact joins: RunId labels must agree with the event stream. ---
+  // --- Artifact joins: RunId labels must agree with the event stream.
+  // In --json mode the join diagnostics go to stderr so stdout stays one
+  // parseable object; the exit code carries the verdict either way. ---
   int inconsistencies = 0;
-  const auto known_run = [&](const std::string& id) {
-    return !id.empty() && runs.find(id) != runs.end();
-  };
+  std::ostream& join_out = opts.json ? std::cerr : std::cout;
 
   if (!opts.metrics_path.empty()) {
     const JsonValue doc = json_parse_file(opts.metrics_path);
     const std::string run_id = doc.string_or("run_id", "");
-    std::cout << "\nMetrics join (" << opts.metrics_path << "): run "
-              << (run_id.empty() ? "(unlabelled)" : run_id);
-    if (!known_run(run_id)) {
-      std::cout << " — MISMATCH: not a run in this event stream\n";
+    join_out << "\nMetrics join (" << opts.metrics_path << "): run "
+             << (run_id.empty() ? "(unlabelled)" : run_id);
+    if (!s.has_run(run_id)) {
+      join_out << " — MISMATCH: not a run in this event stream\n";
       ++inconsistencies;
     } else {
-      std::cout << " — matches\n";
+      join_out << " — matches\n";
       double hits = 0.0;
       double misses = 0.0;
       double dropped = 0.0;
@@ -453,15 +332,15 @@ int run_summary(const Options& opts, const EventStream& stream) {
         }
       }
       if (hits + misses > 0.0) {
-        std::cout << "  mapping cache: " << format_double(hits, 0) << " hits, "
-                  << format_double(misses, 0) << " misses ("
-                  << format_double(100.0 * hits / (hits + misses), 1)
-                  << "% hit rate)\n";
+        join_out << "  mapping cache: " << format_double(hits, 0) << " hits, "
+                 << format_double(misses, 0) << " misses ("
+                 << format_double(100.0 * hits / (hits + misses), 1)
+                 << "% hit rate)\n";
       }
       if (dropped > 0.0) {
-        std::cout << "  WARNING: " << format_double(dropped, 0)
-                  << " trace event(s) dropped — the trace export is "
-                     "truncated\n";
+        join_out << "  WARNING: " << format_double(dropped, 0)
+                 << " trace event(s) dropped — the trace export is "
+                    "truncated\n";
       }
     }
   }
@@ -479,33 +358,75 @@ int run_summary(const Options& opts, const EventStream& stream) {
         spans != nullptr && spans->is_array()) {
       span_count = spans->as_array().size();
     }
-    std::cout << "\nTrace join (" << opts.trace_path << "): run "
-              << (run_id.empty() ? "(unlabelled)" : run_id);
-    if (!known_run(run_id)) {
-      std::cout << " — MISMATCH: not a run in this event stream\n";
+    join_out << "\nTrace join (" << opts.trace_path << "): run "
+             << (run_id.empty() ? "(unlabelled)" : run_id);
+    if (!s.has_run(run_id)) {
+      join_out << " — MISMATCH: not a run in this event stream\n";
       ++inconsistencies;
     } else {
-      std::cout << " — matches, " << span_count << " span(s)";
+      join_out << " — matches, " << span_count << " span(s)";
       if (dropped > 0.0) {
-        std::cout << ", " << format_double(dropped, 0) << " DROPPED";
+        join_out << ", " << format_double(dropped, 0) << " DROPPED";
       }
-      std::cout << "\n";
+      join_out << "\n";
     }
   }
 
   if (!opts.bench_path.empty()) {
     const JsonValue doc = json_parse_file(opts.bench_path);
-    std::cout << "\nBench join (" << opts.bench_path << "): suite "
-              << doc.string_or("suite", "?");
+    join_out << "\nBench join (" << opts.bench_path << "): suite "
+             << doc.string_or("suite", "?");
     if (const JsonValue* prov = doc.find("provenance"); prov != nullptr) {
-      std::cout << ", git " << prov->string_or("git_sha", "?") << ", peak RSS "
-                << format_double(prov->number_or("peak_rss_kb", 0.0) / 1024.0,
-                                 1)
-                << " MiB, pool queue high-water "
-                << format_double(prov->number_or("pool_queue_high_water", 0.0),
-                                 0);
+      join_out << ", git " << prov->string_or("git_sha", "?") << ", peak RSS "
+               << format_double(prov->number_or("peak_rss_kb", 0.0) / 1024.0,
+                                1)
+               << " MiB, pool queue high-water "
+               << format_double(prov->number_or("pool_queue_high_water", 0.0),
+                                0);
     }
-    std::cout << "\n";
+    join_out << "\n";
+  }
+
+  if (!opts.postmortem_path.empty()) {
+    const JsonValue doc = json_parse_file(opts.postmortem_path);
+    const std::string run_id = doc.string_or("run", "");
+    join_out << "\nPostmortem join (" << opts.postmortem_path << "): run "
+             << (run_id.empty() ? "(unlabelled)" : run_id);
+    if (!s.has_run(run_id)) {
+      join_out << " — MISMATCH: not a run in this event stream\n";
+      ++inconsistencies;
+    } else {
+      join_out << " — matches, reason " << doc.string_or("reason", "?")
+               << " (signal "
+               << static_cast<int>(doc.number_or("signal", 0)) << ")\n";
+      // Show the dumping (crashed) thread's active-span stack — "what was
+      // it doing" is the question a postmortem exists to answer.
+      if (const JsonValue* threads = doc.find("threads");
+          threads != nullptr && threads->is_array()) {
+        for (const JsonValue& t : threads->as_array()) {
+          const JsonValue* dumping = t.find("dumping");
+          if (dumping == nullptr || !dumping->is_bool() ||
+              !dumping->as_bool()) {
+            continue;
+          }
+          join_out << "  crashed thread "
+                   << static_cast<std::uint64_t>(t.number_or("id", 0));
+          const std::string name = t.string_or("name", "");
+          if (!name.empty()) join_out << " (" << name << ")";
+          join_out << ", active spans:";
+          if (const JsonValue* spans = t.find("active_spans");
+              spans != nullptr && spans->is_array() &&
+              !spans->as_array().empty()) {
+            for (const JsonValue& span : spans->as_array()) {
+              join_out << " " << span.as_string();
+            }
+          } else {
+            join_out << " (none)";
+          }
+          join_out << "\n";
+        }
+      }
+    }
   }
 
   return inconsistencies > 0 ? 1 : 0;
@@ -530,12 +451,16 @@ int main(int argc, char** argv) {
     };
     if (arg == "--canon") {
       opts.canon = true;
+    } else if (arg == "--json") {
+      opts.json = true;
     } else if (arg == "--metrics") {
       opts.metrics_path = operand();
     } else if (arg == "--trace") {
       opts.trace_path = operand();
     } else if (arg == "--bench") {
       opts.bench_path = operand();
+    } else if (arg == "--postmortem") {
+      opts.postmortem_path = operand();
     } else if (arg == "--stragglers") {
       try {
         opts.stragglers = std::stoul(operand());
@@ -554,7 +479,7 @@ int main(int argc, char** argv) {
   opts.events_path = positional[0];
 
   try {
-    const EventStream stream = read_events(opts.events_path);
+    const EventStream stream = report::read_events(opts.events_path);
     return opts.canon ? run_canon(stream) : run_summary(opts, stream);
   } catch (const JsonParseError& e) {
     std::cerr << "uld3d-report: " << e.what() << "\n";
