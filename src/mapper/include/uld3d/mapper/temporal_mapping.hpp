@@ -50,6 +50,14 @@ struct TemporalMapping {
 [[nodiscard]] std::vector<TemporalMapping> candidate_mappings(
     const nn::ConvSpec& conv, const Architecture& arch);
 
+/// Allocation-reusing variant: clears `out` and fills it with the same
+/// candidates.  Callers that price many layers (evaluate_conv, the spatial
+/// search) keep one thread-local vector so steady-state enumeration does not
+/// touch the heap (the strings still allocate on first use per slot; the
+/// vector's spine never reallocates after the first call).
+void candidate_mappings(const nn::ConvSpec& conv, const Architecture& arch,
+                        std::vector<TemporalMapping>& out);
+
 /// Spatial PE-array utilization of `conv` on `arch`.
 [[nodiscard]] double spatial_utilization(const nn::ConvSpec& conv,
                                          const SpatialUnrolling& spatial);

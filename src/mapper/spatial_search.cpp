@@ -16,6 +16,11 @@ std::vector<SpatialUnrolling> enumerate_unrollings(std::int64_t total_pes) {
   expects(total_pes >= 1 && (total_pes & (total_pes - 1)) == 0,
           "PE budget must be a power of two");
   std::vector<SpatialUnrolling> out;
+  // total_pes = 2^e yields C(e+3, 3) = (e+1)(e+2)(e+3)/6 factorizations:
+  // choose exponents for (k, c, ox); oy takes the remainder.
+  std::int64_t e = 0;
+  while ((std::int64_t{1} << e) < total_pes) ++e;
+  out.reserve(static_cast<std::size_t>((e + 1) * (e + 2) * (e + 3) / 6));
   for (std::int64_t k = 1; k <= total_pes; k *= 2) {
     for (std::int64_t c = 1; k * c <= total_pes; c *= 2) {
       for (std::int64_t ox = 1; k * c * ox <= total_pes; ox *= 2) {
@@ -98,6 +103,7 @@ SearchedNetworkCost evaluate_network_with_search(const nn::Network& net,
   // nested per-unrolling search), then a serial in-order accumulation so
   // the double sums are bit-identical to the serial loop.
   const auto& layers = net.layers();
+  out.searched.layers.reserve(layers.size());
   std::vector<std::optional<SpatialSearchResult>> searched(layers.size());
   const int jobs =
       FaultInjector::instance().armed() ? 1 : parallel::jobs();

@@ -61,6 +61,13 @@ double spatial_utilization(const nn::ConvSpec& conv,
 
 std::vector<TemporalMapping> candidate_mappings(const nn::ConvSpec& conv,
                                                 const Architecture& arch) {
+  std::vector<TemporalMapping> candidates;
+  candidate_mappings(conv, arch, candidates);
+  return candidates;
+}
+
+void candidate_mappings(const nn::ConvSpec& conv, const Architecture& arch,
+                        std::vector<TemporalMapping>& candidates) {
   arch.validate();
   const std::int64_t pes = arch.spatial.total_pes();
   const double wb = static_cast<double>(arch.weight_bits);
@@ -92,7 +99,8 @@ std::vector<TemporalMapping> candidate_mappings(const nn::ConvSpec& conv,
     m.outputs.rram_write_bits += o_bits;
   };
 
-  std::vector<TemporalMapping> candidates;
+  candidates.clear();
+  candidates.reserve(3);  // the three canonical orders below
 
   {  // A. weight-outer: inputs re-fetched once per (k_outer, tap).
     TemporalMapping m = proto;
@@ -150,7 +158,6 @@ std::vector<TemporalMapping> candidate_mappings(const nn::ConvSpec& conv,
     registry.counter("mapper.temporal.calls").add();
     registry.counter("mapper.temporal.candidates").add(candidates.size());
   }
-  return candidates;
 }
 
 }  // namespace uld3d::mapper

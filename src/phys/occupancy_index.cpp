@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "uld3d/util/batch.hpp"
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/simd.hpp"
 
 namespace uld3d::phys {
 
@@ -38,9 +40,18 @@ void OccupancyIndex::refresh(const std::uint8_t* occupied, std::int64_t nx,
   sat_.assign(static_cast<std::size_t>((nx + 1) * (ny + 1)), 0);
   prev_occ_.assign(static_cast<std::size_t>(nx * ny), -1);
   const std::int64_t stride = nx + 1;
+  // SAT build as batch kernels (exact integer ops, so SIMD and scalar paths
+  // are identical): per row, the running occupancy count is an inclusive
+  // prefix sum of the 0/1 bins and the last-occupied column is an inclusive
+  // prefix max of (occupied ? x : -1) — both served by the shared AVX2
+  // scans in util/simd (scalar under ULD3D_NO_SIMD / non-AVX2 CPUs).
+  thread_local util::AlignedVector<std::uint32_t> ones;
+  thread_local util::AlignedVector<std::uint32_t> row_sums;
+  thread_local util::AlignedVector<std::int32_t> occ_cols;
+  ones.resize(static_cast<std::size_t>(nx));
+  row_sums.resize(static_cast<std::size_t>(nx));
+  occ_cols.resize(static_cast<std::size_t>(nx));
   for (std::int64_t y = 0; y < ny; ++y) {
-    std::uint32_t row_sum = 0;
-    std::int32_t last_occ = -1;
     const std::uint8_t* row = occupied + y * nx;
     const std::uint32_t* sat_above =
         sat_.data() + static_cast<std::size_t>(y * stride);
@@ -48,12 +59,17 @@ void OccupancyIndex::refresh(const std::uint8_t* occupied, std::int64_t nx,
         sat_.data() + static_cast<std::size_t>((y + 1) * stride);
     std::int32_t* prev_row = prev_occ_.data() + static_cast<std::size_t>(y * nx);
     for (std::int64_t x = 0; x < nx; ++x) {
-      if (row[x] != 0) {
-        ++row_sum;
-        last_occ = static_cast<std::int32_t>(x);
-      }
-      sat_row[x + 1] = sat_above[x + 1] + row_sum;
-      prev_row[x] = last_occ;
+      const bool occ = row[x] != 0;
+      ones[static_cast<std::size_t>(x)] = occ ? 1u : 0u;
+      occ_cols[static_cast<std::size_t>(x)] =
+          occ ? static_cast<std::int32_t>(x) : -1;
+    }
+    simd::prefix_sum_u32(ones.data(), row_sums.data(),
+                         static_cast<std::size_t>(nx));
+    simd::prefix_max_i32(occ_cols.data(), prev_row,
+                         static_cast<std::size_t>(nx));
+    for (std::int64_t x = 0; x < nx; ++x) {
+      sat_row[x + 1] = sat_above[x + 1] + row_sums[static_cast<std::size_t>(x)];
     }
   }
   dirty_ = false;

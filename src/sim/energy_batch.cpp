@@ -1,0 +1,178 @@
+#include "uld3d/sim/energy_batch.hpp"
+
+#include <algorithm>
+
+#include "uld3d/util/simd.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define ULD3D_EBATCH_X86 1
+#include <immintrin.h>
+#define ULD3D_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define ULD3D_EBATCH_X86 0
+#endif
+
+namespace uld3d::sim {
+
+void finish_energy(const AcceleratorConfig& cfg, double read_bits,
+                   double write_bits, double compute_energy, LayerResult& r) {
+  const auto& mem = cfg.memory;
+  const double access_scale = cfg.m3d ? mem.m3d_access_energy_scale : 1.0;
+  r.compute_energy_pj = compute_energy;
+  r.memory_energy_pj = access_scale * (read_bits * mem.read_energy_pj_per_bit +
+                                       write_bits * mem.write_energy_pj_per_bit);
+
+  const double cycles = static_cast<double>(r.cycles);
+  const double n = static_cast<double>(cfg.n_cs);
+  const double nm = static_cast<double>(r.cs_used);
+  // Peripheral idle: whole-memory leakage for the layer's duration, grown by
+  // the extra per-bank controllers in the banked M3D organisation.
+  const double bank_scale =
+      1.0 + mem.extra_bank_idle_fraction * static_cast<double>(cfg.n_banks - 1);
+  const double mem_busy = std::min(r.memory_cycles, cycles);
+  const double idle_mem =
+      mem.mem_idle_pj_per_cycle * bank_scale * (cycles - mem_busy);
+  // CS idle: unused CSs idle the whole layer; active CSs idle their slack
+  // (Eq. (7) structure).
+  const double compute_busy = std::min(r.compute_cycles, cycles);
+  const double idle_cs =
+      mem.cs_idle_pj_per_cycle *
+      ((n - nm) * cycles + nm * (cycles - compute_busy));
+  r.idle_energy_pj = idle_mem + idle_cs;
+  r.energy_pj = r.compute_energy_pj + r.memory_energy_pj + r.idle_energy_pj;
+}
+
+void EnergyBatch::resize(std::size_t n) {
+  read_bits.resize(n);
+  write_bits.resize(n);
+  compute_energy.resize(n);
+  cycles.resize(n);
+  nm.resize(n);
+  memory_cycles.resize(n);
+  compute_cycles.resize(n);
+  memory_energy.resize(n);
+  idle_energy.resize(n);
+  energy.resize(n);
+}
+
+namespace {
+
+/// Batch-invariant coefficients, associated exactly as finish_energy does.
+struct EnergyConsts {
+  double access_scale = 1.0;
+  double read_pj = 0.0;
+  double write_pj = 0.0;
+  double n = 1.0;
+  double mem_idle_coeff = 0.0;  ///< mem_idle_pj_per_cycle * bank_scale
+  double cs_idle_pj = 0.0;
+};
+
+EnergyConsts make_consts(const AcceleratorConfig& cfg) {
+  const auto& mem = cfg.memory;
+  EnergyConsts c;
+  c.access_scale = cfg.m3d ? mem.m3d_access_energy_scale : 1.0;
+  c.read_pj = mem.read_energy_pj_per_bit;
+  c.write_pj = mem.write_energy_pj_per_bit;
+  c.n = static_cast<double>(cfg.n_cs);
+  const double bank_scale =
+      1.0 + mem.extra_bank_idle_fraction * static_cast<double>(cfg.n_banks - 1);
+  c.mem_idle_coeff = mem.mem_idle_pj_per_cycle * bank_scale;
+  c.cs_idle_pj = mem.cs_idle_pj_per_cycle;
+  return c;
+}
+
+/// Scalar term passes over [i0, i1); also the AVX2 tail handler.
+void finish_range(const EnergyConsts& c, EnergyBatch& b, std::size_t i0,
+                  std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    b.memory_energy[i] =
+        c.access_scale *
+        (b.read_bits[i] * c.read_pj + b.write_bits[i] * c.write_pj);
+  }
+  for (std::size_t i = i0; i < i1; ++i) {
+    // std::min(a, cycles) = (cycles < a) ? cycles : a.
+    const double cyc = b.cycles[i];
+    const double mem_busy =
+        cyc < b.memory_cycles[i] ? cyc : b.memory_cycles[i];
+    const double idle_mem = c.mem_idle_coeff * (cyc - mem_busy);
+    const double compute_busy =
+        cyc < b.compute_cycles[i] ? cyc : b.compute_cycles[i];
+    const double idle_cs =
+        c.cs_idle_pj *
+        ((c.n - b.nm[i]) * cyc + b.nm[i] * (cyc - compute_busy));
+    b.idle_energy[i] = idle_mem + idle_cs;
+  }
+  for (std::size_t i = i0; i < i1; ++i) {
+    b.energy[i] = b.compute_energy[i] + b.memory_energy[i] + b.idle_energy[i];
+  }
+}
+
+#if ULD3D_EBATCH_X86
+
+/// std::min(a, b) as a selection — (b < a) ? b : a — preserving the scalar
+/// NaN/±0 semantics vminpd would not.
+ULD3D_TARGET_AVX2 inline __m256d vmin_std(__m256d a, __m256d b) {
+  return _mm256_blendv_pd(a, b, _mm256_cmp_pd(b, a, _CMP_LT_OQ));
+}
+
+ULD3D_TARGET_AVX2 void finish_batch_avx2(const EnergyConsts& c,
+                                         EnergyBatch& b, std::size_t n) {
+  const std::size_t main = n - n % 4;
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d e = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_load_pd(b.read_bits.data() + i),
+                      _mm256_set1_pd(c.read_pj)),
+        _mm256_mul_pd(_mm256_load_pd(b.write_bits.data() + i),
+                      _mm256_set1_pd(c.write_pj)));
+    _mm256_store_pd(b.memory_energy.data() + i,
+                    _mm256_mul_pd(_mm256_set1_pd(c.access_scale), e));
+  }
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d cyc = _mm256_load_pd(b.cycles.data() + i);
+    const __m256d mem_busy =
+        vmin_std(_mm256_load_pd(b.memory_cycles.data() + i), cyc);
+    const __m256d idle_mem =
+        _mm256_mul_pd(_mm256_set1_pd(c.mem_idle_coeff),
+                      _mm256_sub_pd(cyc, mem_busy));
+    const __m256d compute_busy =
+        vmin_std(_mm256_load_pd(b.compute_cycles.data() + i), cyc);
+    const __m256d nm = _mm256_load_pd(b.nm.data() + i);
+    const __m256d cs_term = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_set1_pd(c.n), nm), cyc),
+        _mm256_mul_pd(nm, _mm256_sub_pd(cyc, compute_busy)));
+    const __m256d idle_cs =
+        _mm256_mul_pd(_mm256_set1_pd(c.cs_idle_pj), cs_term);
+    _mm256_store_pd(b.idle_energy.data() + i,
+                    _mm256_add_pd(idle_mem, idle_cs));
+  }
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d e = _mm256_add_pd(
+        _mm256_add_pd(_mm256_load_pd(b.compute_energy.data() + i),
+                      _mm256_load_pd(b.memory_energy.data() + i)),
+        _mm256_load_pd(b.idle_energy.data() + i));
+    _mm256_store_pd(b.energy.data() + i, e);
+  }
+  // Clear the dirty upper YMM halves before returning to SSE-encoded code.
+  // GCC does not insert vzeroupper around this target("avx2") clone when it
+  // ends in a call, and the dirty-upper false dependency would slow every
+  // scalar double op in the rest of the process until the next transition.
+  _mm256_zeroupper();
+}
+#endif  // ULD3D_EBATCH_X86
+
+}  // namespace
+
+void finish_energy_batch(const AcceleratorConfig& cfg, EnergyBatch& b,
+                         std::size_t n) {
+  const EnergyConsts consts = make_consts(cfg);
+#if ULD3D_EBATCH_X86
+  if (simd::avx2_active()) {
+    finish_batch_avx2(consts, b, n);
+    finish_range(consts, b, n - n % 4, n);  // scalar tail, same trees
+    return;
+  }
+#endif
+  finish_range(consts, b, 0, n);
+}
+
+}  // namespace uld3d::sim

@@ -1,0 +1,57 @@
+// Batched energy finishing for the network simulator.
+//
+// simulate_layer's energy accounting (`finish_energy`) is a pure function
+// of per-layer scalars (traffic bits, cycle counts, active-CS count) and
+// batch-constant accelerator parameters.  simulate_network therefore splits
+// each layer into a *terms* phase (tiling, cycle counts, traffic — the
+// per-layer control flow with its trace spans and fault sites) and a single
+// *finish* phase that prices every layer's energy through one SoA pass,
+// AVX2-vectorized when `simd::active_isa()` allows.
+//
+// Determinism: the batched passes mirror `finish_energy`'s expression tree
+// operation-for-operation (selection-based std::min, seed association; see
+// util/simd.hpp), so batched, forced-scalar, and seed per-layer runs produce
+// byte-identical LayerResult/NetworkResult values.  Totals accumulation in
+// simulate_network stays serial and in layer order — no floating-point sum
+// is reassociated.
+#pragma once
+
+#include <cstddef>
+
+#include "uld3d/sim/accelerator_config.hpp"
+#include "uld3d/sim/layer_sim.hpp"
+#include "uld3d/util/batch.hpp"
+
+namespace uld3d::sim {
+
+/// The seed scalar energy finishing: fills r.compute_energy_pj,
+/// r.memory_energy_pj, r.idle_energy_pj, and r.energy_pj from the already-
+/// computed cycle/traffic terms.  Canonical reference for the batch pass.
+void finish_energy(const AcceleratorConfig& cfg, double read_bits,
+                   double write_bits, double compute_energy, LayerResult& r);
+
+/// SoA scratch for one batched finish pass.  Inputs are gathered from the
+/// per-layer terms; outputs are scattered back into the LayerResults.
+struct EnergyBatch {
+  // Inputs, one slot per layer.
+  util::AlignedVector<double> read_bits;
+  util::AlignedVector<double> write_bits;
+  util::AlignedVector<double> compute_energy;
+  util::AlignedVector<double> cycles;          ///< double(r.cycles)
+  util::AlignedVector<double> nm;              ///< double(r.cs_used)
+  util::AlignedVector<double> memory_cycles;
+  util::AlignedVector<double> compute_cycles;
+  // Outputs.
+  util::AlignedVector<double> memory_energy;
+  util::AlignedVector<double> idle_energy;
+  util::AlignedVector<double> energy;
+
+  void resize(std::size_t n);
+};
+
+/// Price `n` layers' energy in one pass over `b`, byte-identical to calling
+/// `finish_energy` per layer.  Dispatches AVX2/scalar on simd::active_isa().
+void finish_energy_batch(const AcceleratorConfig& cfg, EnergyBatch& b,
+                         std::size_t n);
+
+}  // namespace uld3d::sim

@@ -21,6 +21,7 @@
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/metrics.hpp"
 #include "uld3d/util/rng.hpp"
+#include "uld3d/util/simd.hpp"
 #include "uld3d/util/units.hpp"
 
 namespace uld3d::phys {
@@ -116,6 +117,41 @@ TEST(OccupancyIndex, MatchesByteGridOnRandomMarkQuerySequences) {
     ASSERT_EQ(index.occupied_bins(), naive_count(0, 0, nx, ny)) << "op " << op;
   }
   EXPECT_GT(marks, 100);  // the sequence actually mutated the grid
+}
+
+TEST(OccupancyIndex, SatBuildIdenticalWithSimdKernelsForcedScalar) {
+  // The SAT/prefix-max build runs on util/simd prefix kernels; forcing the
+  // scalar kernels must reproduce every query answer exactly (integer ops,
+  // so SIMD==scalar is bitwise, not approximate).
+  Rng rng(0xbee);
+  const std::int64_t nx = 61;
+  const std::int64_t ny = 37;
+  std::vector<std::uint8_t> grid(static_cast<std::size_t>(nx * ny), 0);
+  for (auto& cell : grid) cell = rng.below(3) == 0 ? 1 : 0;
+
+  OccupancyIndex simd_index;
+  simd_index.refresh(grid.data(), nx, ny);
+
+  simd::set_force_scalar(true);
+  OccupancyIndex scalar_index;
+  scalar_index.refresh(grid.data(), nx, ny);
+  simd::set_force_scalar(false);
+
+  EXPECT_EQ(simd_index.occupied_bins(), scalar_index.occupied_bins());
+  for (int q = 0; q < 500; ++q) {
+    const std::int64_t bx0 =
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(nx + 8))) - 4;
+    const std::int64_t by0 =
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(ny + 8))) - 4;
+    const std::int64_t bx1 = bx0 + static_cast<std::int64_t>(rng.below(24));
+    const std::int64_t by1 = by0 + static_cast<std::int64_t>(rng.below(24));
+    ASSERT_EQ(simd_index.count(bx0, by0, bx1, by1),
+              scalar_index.count(bx0, by0, bx1, by1))
+        << "q " << q;
+    ASSERT_EQ(simd_index.rightmost_occupied(bx0, by0, bx1, by1),
+              scalar_index.rightmost_occupied(bx0, by0, bx1, by1))
+        << "q " << q;
+  }
 }
 
 TEST(OccupancyIndex, StaleQueryIsAnInvariantViolation) {

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/tech/pdk.hpp"
 #include "uld3d/util/check.hpp"
+#include "uld3d/util/simd.hpp"
 
 namespace uld3d::sim {
 namespace {
@@ -75,6 +79,56 @@ TEST(NetworkSim, MoreCssNeverSlower) {
   const NetworkResult r8 = simulate_network(net, cfg(8));
   EXPECT_LT(r8.total_cycles, r4.total_cycles);
   EXPECT_LT(r4.total_cycles, r1.total_cycles);
+}
+
+bool sim_bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+TEST(NetworkSim, BatchedEnergyFinishingIsByteIdenticalToPerLayer) {
+  // simulate_network's batched finish_energy_batch (AVX2 or forced scalar)
+  // must reproduce the seed per-layer simulate_layer results bitwise.
+  const nn::Network net = nn::make_resnet18();
+  const AcceleratorConfig config = cfg(8);
+
+  std::vector<LayerResult> ref;
+  ref.reserve(net.size());
+  std::int64_t ref_cycles = 0;
+  double ref_energy = 0.0;
+  for (const nn::Layer& layer : net.layers()) {
+    ref.push_back(simulate_layer(layer, config));
+    ref_cycles += ref.back().cycles;
+    ref_energy += ref.back().energy_pj;
+  }
+
+  for (const bool force_scalar : {false, true}) {
+    simd::set_force_scalar(force_scalar);
+    const NetworkResult got = simulate_network(net, config);
+    simd::set_force_scalar(false);
+    ASSERT_EQ(got.layers.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const LayerResult& a = got.layers[i];
+      const LayerResult& b = ref[i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.cycles, b.cycles);
+      EXPECT_EQ(a.cs_used, b.cs_used);
+      EXPECT_EQ(a.memory_bound, b.memory_bound);
+      EXPECT_TRUE(sim_bits_equal(a.compute_cycles, b.compute_cycles));
+      EXPECT_TRUE(sim_bits_equal(a.memory_cycles, b.memory_cycles));
+      EXPECT_TRUE(sim_bits_equal(a.energy_pj, b.energy_pj));
+      EXPECT_TRUE(sim_bits_equal(a.compute_energy_pj, b.compute_energy_pj));
+      EXPECT_TRUE(sim_bits_equal(a.memory_energy_pj, b.memory_energy_pj));
+      EXPECT_TRUE(sim_bits_equal(a.idle_energy_pj, b.idle_energy_pj));
+      EXPECT_TRUE(sim_bits_equal(a.utilization, b.utilization));
+    }
+    EXPECT_EQ(got.total_cycles, ref_cycles);
+    EXPECT_TRUE(sim_bits_equal(got.total_energy_pj, ref_energy))
+        << "force_scalar=" << force_scalar;
+  }
 }
 
 TEST(NetworkSim, EnergyRatioNearUnity) {

@@ -17,7 +17,30 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "$build_dir" -j
 
 out_dir="$repo_root/bench/baselines"
-"$repo_root/tools/run_benches.sh" "$build_dir" "$out_dir"
+
+# Run into a staging directory first, so the comparator can report exactly
+# which values moved against the committed baselines before they are
+# replaced.
+stage_dir=$(mktemp -d "${TMPDIR:-/tmp}/uld3d_baselines.XXXXXX")
+trap 'rm -rf "$stage_dir"' EXIT
+"$repo_root/tools/run_benches.sh" "$build_dir" "$stage_dir"
+
+echo ""
+echo "=== Drift vs committed baselines ==================================="
+echo "Fidelity-value rows mean the MODEL OUTPUT moved (explain in the PR);"
+echo "timing rows are this machine vs the baseline machine (expected)."
+compare="$build_dir/tools/uld3d-bench-compare"
+if [ -f "$out_dir/BENCH_all.json" ] && [ -x "$compare" ]; then
+  # Advisory + zero-tolerance: every moved value and timing prints; the
+  # refresh itself never fails on drift (that is what the review is for).
+  "$compare" "$out_dir/BENCH_all.json" "$stage_dir/BENCH_all.json" \
+      --time-tol 0% --value-tol 0 --time-advisory --verbose || true
+else
+  echo "(no committed BENCH_all.json or comparator missing; skipping report)"
+fi
+echo "===================================================================="
+
+cp "$stage_dir"/BENCH_*.json "$out_dir"/
 
 echo ""
 echo "Baselines refreshed under $out_dir."

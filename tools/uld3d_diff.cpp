@@ -269,6 +269,15 @@ std::string run_list(const StreamSummary& s) {
   return out;
 }
 
+/// First non-empty simd_isa recorded in the stream ("" when the stream
+/// predates the field).
+std::string simd_isa_of(const StreamSummary& s) {
+  for (const report::RunInfo& run : s.runs) {
+    if (!run.simd_isa.empty()) return run.simd_isa;
+  }
+  return "";
+}
+
 int run_diff(const Options& opts) {
   const EventStream base_stream = report::read_events(opts.base_events);
   const EventStream cur_stream = report::read_events(opts.cur_events);
@@ -344,6 +353,14 @@ int run_diff(const Options& opts) {
 
   std::cout << "uld3d-diff: base [" << run_list(base) << "] vs current ["
             << run_list(cur) << "]\n";
+  // Different batch-kernel dispatch explains a timing delta without a code
+  // change; surface it so nobody chases an AVX2-vs-scalar "regression".
+  if (const std::string bi = simd_isa_of(base), ci = simd_isa_of(cur);
+      !bi.empty() && !ci.empty() && bi != ci) {
+    std::cout << "Note: SIMD dispatch differs (base " << bi << ", current "
+              << ci << ") — timing deltas are expected; values must still "
+              << "match byte-for-byte\n";
+  }
   std::cout << "Checked: " << stages_checked << " stage(s), "
             << points_checked << " point(s)";
   if (bench_checked > 0) std::cout << ", " << bench_checked << " benchmark(s)";
