@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
   };
   const auto sweep_at = [&](int jobs) {
     return dse::run_sweep(grid, {"edp"}, price_point,
-                          {dse::ErrorPolicy::kSkipAndRecord, jobs});
+                          {dse::ErrorPolicy::kSkipAndRecord, jobs, {}, {}});
   };
   (void)h.time("sweep512_jobs1", [&] { return sweep_at(1); });
   (void)h.time("sweep512_jobs4", [&] { return sweep_at(4); });

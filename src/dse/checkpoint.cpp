@@ -8,6 +8,7 @@
 #include <limits>
 #include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "uld3d/util/check.hpp"
 #include "uld3d/util/checkpoint.hpp"
@@ -589,14 +590,38 @@ SweepResult run_sweep_resumable(
     m_flushes.add();
   };
 
-  const auto body = [&](std::size_t k) {
-    if (interrupt_requested()) {
-      throw SweepInterrupted(completed.load(std::memory_order_relaxed),
-                             domain.size());
+  // Sweep-point deduplication over the points still TO DO this run (resumed
+  // rows are already final, and a representative must be freshly evaluated
+  // so its aliases copy a row that exists).  `work` holds one grid index per
+  // work item — all of `todo` without dedup, each key class's lowest-index
+  // remaining point with it.  Aliases are filled in the SAME work item as
+  // their representative: rows are fully written before their done[] bit is
+  // release-stored, so checkpoint snapshots stay consistent and an
+  // interrupt loses at most the in-flight batch, which deterministically
+  // re-evaluates on resume.
+  const bool dedup = options.point_key != nullptr && sweep_dedup_enabled();
+  std::vector<std::size_t> work = todo;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> aliases_by_rep;
+  if (dedup && !todo.empty()) {
+    std::unordered_map<std::string, std::size_t> first_by_key;
+    first_by_key.reserve(todo.size());
+    work.clear();
+    for (const std::size_t g : todo) {  // ascending, so reps stay ascending
+      const auto [it, inserted] =
+          first_by_key.try_emplace(options.point_key(grid.point(g)), g);
+      if (inserted) {
+        work.push_back(g);
+      } else {
+        aliases_by_rep[it->second].push_back(g);
+      }
     }
-    const std::size_t g = todo[k];
-    rows[g] =
-        evaluate_sweep_point(grid, g, metric_names, evaluate, options.policy);
+    registry.counter("dse.sweep.dedup_unique")
+        .add(static_cast<std::uint64_t>(work.size()));
+    registry.counter("dse.sweep.dedup_aliased")
+        .add(static_cast<std::uint64_t>(todo.size() - work.size()));
+  }
+
+  const auto finish_point = [&](std::size_t g) {
     if (progress.has_value()) {
       rows[g].ok() ? progress->add_ok() : progress->add_failed();
     }
@@ -609,6 +634,24 @@ SweepResult run_sweep_resumable(
     }
   };
 
+  const auto body = [&](std::size_t k) {
+    if (interrupt_requested()) {
+      throw SweepInterrupted(completed.load(std::memory_order_relaxed),
+                             domain.size());
+    }
+    const std::size_t g = work[k];
+    rows[g] =
+        evaluate_sweep_point(grid, g, metric_names, evaluate, options.policy);
+    finish_point(g);
+    const auto aliases = aliases_by_rep.find(g);  // read-only map: safe
+    if (aliases != aliases_by_rep.end()) {
+      for (const std::size_t a : aliases->second) {
+        rows[a] = alias_sweep_point(grid, a, rows[g]);
+        finish_point(a);
+      }
+    }
+  };
+
   parallel::ForOptions for_opts{.jobs = jobs};
   if (progress.has_value()) {
     for_opts.on_chunk_done = [&](std::size_t n) {
@@ -616,7 +659,7 @@ SweepResult run_sweep_resumable(
     };
   }
   try {
-    parallel::parallel_for_indexed(todo.size(), body, for_opts);
+    parallel::parallel_for_indexed(work.size(), body, for_opts);
   } catch (...) {
     // Keep whatever finished: an interrupt, a kFailFast failure, or a
     // library bug all leave a resumable checkpoint behind.  A flush

@@ -160,6 +160,14 @@ struct ResumableOptions {
   std::size_t checkpoint_interval = 64;
   /// Caller config fingerprint folded into sweep_fingerprint().
   std::string config_hash;
+  /// Canonical evaluation key for sweep-point deduplication — same contract
+  /// as SweepOptions::point_key.  Grouping happens over the points still
+  /// TO DO this run (resumed rows are already final); each class's
+  /// lowest-index remaining point is evaluated and its aliases are filled
+  /// in the same work item, so a checkpoint snapshot only ever contains
+  /// fully-written rows and rows stay bit-identical to a dedup-off run
+  /// across any interrupt/resume schedule.
+  std::function<std::string(const std::vector<double>&)> point_key;
 };
 
 /// Resume-aware, shard-aware run_sweep.  The returned result holds the

@@ -14,6 +14,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "uld3d/util/status.hpp"
@@ -64,7 +65,25 @@ struct SweepOptions {
   /// event's fingerprint (same role as ResumableOptions::config_hash on the
   /// checkpoint path, so both runners label the same study identically).
   std::string config_hash = {};
+  /// Canonical EVALUATION key of one grid point — sweep-point deduplication.
+  /// Points with equal keys are certified by the caller to evaluate
+  /// identically (e.g. an axis like a thermal budget that the evaluator
+  /// never reads), so the runner evaluates only the lowest-grid-index
+  /// representative of each key class and fans its metrics/failure out to
+  /// the aliases (each keeps its own params and grid_index).  The key must
+  /// cover EVERY input the evaluator reads; rows are then bit-identical to
+  /// a dedup-off run.  nullptr (the default) disables deduplication, as
+  /// does ULD3D_NO_SWEEP_DEDUP / set_sweep_dedup_enabled(false).  Counters:
+  /// "dse.sweep.dedup_unique" / "dse.sweep.dedup_aliased".
+  std::function<std::string(const std::vector<double>&)> point_key;
 };
+
+/// Sweep-point-dedup lever: on by default, `ULD3D_NO_SWEEP_DEDUP` (set
+/// non-empty) disables it at startup, the setter at runtime (differential
+/// tests, A/B timing).  Off simply means every point is evaluated, even
+/// when a point_key is supplied — output is byte-identical either way.
+[[nodiscard]] bool sweep_dedup_enabled();
+void set_sweep_dedup_enabled(bool enabled);
 
 /// One evaluated design point.  Failed rows keep their params, carry NaN
 /// metrics, and record why they failed.
@@ -126,6 +145,13 @@ class SweepResult {
   std::vector<std::string> param_names_;
   std::vector<std::string> metric_names_;
   std::vector<SweepRow> rows_;
+  /// Precomputed in the constructor (rows_ is immutable afterwards) so the
+  /// report/export paths over million-row sweeps are not accidentally
+  /// quadratic: metric_index was a linear name scan per call and
+  /// pareto_front/failed_rows re-filtered every row per call.
+  std::unordered_map<std::string, std::size_t> metric_index_;
+  std::vector<std::size_t> ok_rows_;      ///< indices of ok rows, ascending
+  std::vector<std::size_t> failed_rows_;  ///< indices of failed rows, ascending
 };
 
 /// Evaluate `metrics(point)` at every grid point.  The callback returns one
@@ -151,5 +177,16 @@ class SweepResult {
     const std::function<std::vector<double>(const std::vector<double>&)>&
         evaluate,
     ErrorPolicy policy);
+
+/// Build the row for an ALIASED grid point from its already-evaluated
+/// representative (sweep-point deduplication fan-out): the alias keeps its
+/// own params and grid_index but copies the representative's metrics and
+/// failure verbatim.  Performs the same counter/event bookkeeping as
+/// evaluate_sweep_point (points/ok/failed/skipped, point_done event) so a
+/// run report has the same shape with dedup on or off.  Shared by
+/// run_sweep and the checkpoint-aware runner.
+[[nodiscard]] SweepRow alias_sweep_point(const Grid& grid,
+                                         std::size_t grid_index,
+                                         const SweepRow& representative);
 
 }  // namespace uld3d::dse

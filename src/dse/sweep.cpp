@@ -1,8 +1,10 @@
 #include "uld3d/dse/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 #include <sstream>
@@ -17,6 +19,26 @@
 #include "uld3d/util/trace.hpp"
 
 namespace uld3d::dse {
+
+namespace {
+
+std::atomic<bool>& dedup_flag() {
+  static std::atomic<bool> enabled{[] {
+    const char* env = std::getenv("ULD3D_NO_SWEEP_DEDUP");
+    return env == nullptr || *env == '\0';
+  }()};
+  return enabled;
+}
+
+}  // namespace
+
+bool sweep_dedup_enabled() {
+  return dedup_flag().load(std::memory_order_relaxed);
+}
+
+void set_sweep_dedup_enabled(bool enabled) {
+  dedup_flag().store(enabled, std::memory_order_relaxed);
+}
 
 Grid& Grid::axis(std::string name, std::vector<double> values) {
   expects(!values.empty(), "axis needs at least one value: " + name);
@@ -61,47 +83,39 @@ SweepResult::SweepResult(std::vector<std::string> param_names,
     : param_names_(std::move(param_names)),
       metric_names_(std::move(metric_names)),
       rows_(std::move(rows)) {
-  for (const auto& row : rows_) {
+  metric_index_.reserve(metric_names_.size());
+  for (std::size_t m = 0; m < metric_names_.size(); ++m) {
+    metric_index_.emplace(metric_names_[m], m);
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& row = rows_[i];
     expects(row.params.size() == param_names_.size(),
             "row parameter width mismatch");
     expects(row.metrics.size() == metric_names_.size(),
             "row metric width mismatch");
+    (row.ok() ? ok_rows_ : failed_rows_).push_back(i);
   }
 }
 
 std::size_t SweepResult::metric_index(const std::string& name) const {
-  const auto it = std::find(metric_names_.begin(), metric_names_.end(), name);
-  expects(it != metric_names_.end(), "unknown metric: " + name);
-  return static_cast<std::size_t>(it - metric_names_.begin());
+  const auto it = metric_index_.find(name);
+  expects(it != metric_index_.end(), "unknown metric: " + name);
+  return it->second;
 }
 
-std::size_t SweepResult::failed_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(rows_.begin(), rows_.end(),
-                    [](const SweepRow& r) { return !r.ok(); }));
-}
+std::size_t SweepResult::failed_count() const { return failed_rows_.size(); }
 
-std::size_t SweepResult::ok_count() const {
-  return rows_.size() - failed_count();
-}
+std::size_t SweepResult::ok_count() const { return ok_rows_.size(); }
 
 std::vector<std::size_t> SweepResult::failed_rows() const {
-  std::vector<std::size_t> failed;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    if (!rows_[i].ok()) failed.push_back(i);
-  }
-  return failed;
+  return failed_rows_;
 }
 
 std::vector<std::size_t> SweepResult::pareto_front(
     const std::string& benefit_metric, const std::string& cost_metric) const {
   const std::size_t bi = metric_index(benefit_metric);
   const std::size_t ci = metric_index(cost_metric);
-  std::vector<std::size_t> order;
-  order.reserve(rows_.size());
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].ok()) order.push_back(i);
-  }
+  std::vector<std::size_t> order = ok_rows_;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (rows_[a].metrics[ci] != rows_[b].metrics[ci]) {
       return rows_[a].metrics[ci] < rows_[b].metrics[ci];
@@ -299,6 +313,54 @@ SweepRow evaluate_sweep_point(
   return row;
 }
 
+SweepRow alias_sweep_point(const Grid& grid, std::size_t grid_index,
+                           const SweepRow& representative) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  static Counter& m_points = registry.counter("dse.sweep.points");
+  static Counter& m_ok = registry.counter("dse.sweep.ok");
+  static Counter& m_failed = registry.counter("dse.sweep.failed");
+  static Counter& m_skipped = registry.counter("dse.sweep.skipped");
+  static Histogram& m_point_us = registry.histogram("dse.sweep.point_us");
+
+  const bool events = EventSink::enabled();
+  const auto event_start = events ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+
+  SweepRow row;
+  row.grid_index = grid_index;
+  row.params = grid.point(grid_index);
+  {
+    // Same breadcrumb and counters as a real evaluation; the recorded
+    // duration is just the fan-out copy, which is what the point cost.
+    flightrec::event("dse.point", grid_index);
+    ScopedTimer point_timer(m_point_us);
+    m_points.add();
+    row.metrics = representative.metrics;
+    row.failure = representative.failure;
+  }
+  if (row.ok()) {
+    m_ok.add();
+  } else {
+    m_failed.add();
+    m_skipped.add();
+  }
+  if (events) {
+    const double dur_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - event_start)
+                              .count();
+    EventFailure failure;
+    if (!row.ok()) {
+      failure.code = error_code_name(row.failure->code);
+      failure.message = row.failure->message;
+      failure.context = row.failure->context;
+    }
+    EventSink::instance().emit_point_done(grid_index, row.params, row.metrics,
+                                          row.ok() ? nullptr : &failure,
+                                          dur_us);
+  }
+  return row;
+}
+
 SweepResult run_sweep(
     const Grid& grid, const std::vector<std::string>& metric_names,
     const std::function<std::vector<double>(const std::vector<double>&)>&
@@ -355,7 +417,46 @@ SweepResult run_sweep(
       progress->on_chunk_done(n);
     };
   }
-  parallel::parallel_for_indexed(grid_size, evaluate_point, for_opts);
+  // Sweep-point deduplication: group grid indices by the caller's canonical
+  // evaluation key, evaluate only the lowest-index representative of each
+  // class, and fan its outcome out to the aliases.  Rows are bit-identical
+  // to the dense loop (aliases copy the representative's metrics/failure
+  // and keep their own params/grid_index); kFailFast is preserved because
+  // the first failing point's representative has the minimal index of its
+  // class and fails iff the point does, so parallel_for rethrows the same
+  // exception the dense loop would.
+  const bool dedup = options.point_key != nullptr && sweep_dedup_enabled();
+  if (dedup && grid_size > 0) {
+    std::vector<std::size_t> rep_of(grid_size);
+    std::vector<std::size_t> reps;  // ascending by construction
+    {
+      std::unordered_map<std::string, std::size_t> first_by_key;
+      first_by_key.reserve(grid_size);
+      for (std::size_t i = 0; i < grid_size; ++i) {
+        const auto [it, inserted] =
+            first_by_key.try_emplace(options.point_key(grid.point(i)), i);
+        rep_of[i] = it->second;
+        if (inserted) reps.push_back(i);
+      }
+    }
+    registry.counter("dse.sweep.dedup_unique")
+        .add(static_cast<std::uint64_t>(reps.size()));
+    registry.counter("dse.sweep.dedup_aliased")
+        .add(static_cast<std::uint64_t>(grid_size - reps.size()));
+    parallel::parallel_for_indexed(
+        reps.size(), [&](std::size_t j) { evaluate_point(reps[j]); },
+        for_opts);
+    for (std::size_t i = 0; i < grid_size; ++i) {
+      if (rep_of[i] == i) continue;
+      rows[i] = alias_sweep_point(grid, i, rows[rep_of[i]]);
+      if (progress.has_value()) {
+        rows[i].ok() ? progress->add_ok() : progress->add_failed();
+        progress->on_chunk_done(1);
+      }
+    }
+  } else {
+    parallel::parallel_for_indexed(grid_size, evaluate_point, for_opts);
+  }
   if (timed) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

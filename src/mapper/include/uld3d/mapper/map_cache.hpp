@@ -24,16 +24,21 @@
 // `ULD3D_NO_MAPCACHE` (set non-empty) disables the cache at startup;
 // `set_enabled` toggles it at runtime (tests, cache-off baselines).
 // Hit/miss totals are mirrored into the MetricsRegistry as
-// "mapper.mapcache.hits"/"mapper.mapcache.misses".
+// "mapper.mapcache.hits"/"mapper.mapcache.misses"; hits on entries that
+// came from an on-disk store (uld3d/mapper/map_cache_file.hpp) are
+// additionally counted as "mapper.mapcache.file_hits".
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "uld3d/mapper/cost_model.hpp"
 
@@ -82,14 +87,39 @@ class MapCache {
                                const Architecture& arch,
                                const SystemCosts& sys, std::int64_t n_cs);
 
-  /// Cached cost for `key`, or nullopt.  Counts a hit or a miss.
+  /// Rebuild a Key from its persisted word array: the hash is recomputed
+  /// locally (the on-disk store never persists it — a future hash-function
+  /// change must not invalidate old files).
+  [[nodiscard]] static Key key_from_words(
+      const std::array<std::uint64_t, kKeyWords>& words);
+
+  /// Cached cost for `key`, or nullopt.  Probes the sharded maps first,
+  /// then the loaded tier.  Counts a hit or a miss (and a file_hit when the
+  /// entry was served by the loaded tier).
   [[nodiscard]] std::optional<LayerCost> lookup(const Key& key);
 
   /// Insert-if-absent (racing inserts carry identical values; first wins).
   void insert(const Key& key, const LayerCost& cost);
 
-  void clear();           ///< drop every entry (counters untouched)
-  void reset_counters();  ///< zero the hit/miss counters
+  /// Bulk-register entries loaded from an on-disk store.  They land in an
+  /// immutable side table ("loaded tier") probed on shard miss rather than
+  /// in the sharded maps: loading N entries is two flat vector fills plus
+  /// an open-addressing index build — no per-entry map inserts — which
+  /// keeps a warm start an order of magnitude cheaper than re-inserting.
+  /// Keys already present in the tier keep their first value; a key that is
+  /// also computed in-process hits the shard map first and keeps its
+  /// in-memory origin (the values are identical anyway).
+  void load_tier(std::vector<Key> keys, std::vector<LayerCost> costs);
+
+  /// Copy every entry (any origin) out, for persistence: the sharded maps
+  /// plus any loaded-tier entries not shadowed by them (the result never
+  /// repeats a key).  The `layer` field of the returned costs is whatever
+  /// the first computing caller stamped — the on-disk store drops it
+  /// (lookups re-patch the caller's name).
+  [[nodiscard]] std::vector<std::pair<Key, LayerCost>> snapshot() const;
+
+  void clear();           ///< drop every entry + loaded tier (counters untouched)
+  void reset_counters();  ///< zero the hit/miss/file-hit counters
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t hits() const {
     return hits_.load(std::memory_order_relaxed);
@@ -97,22 +127,50 @@ class MapCache {
   [[nodiscard]] std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Hits served by entries that were loaded from an on-disk store.
+  [[nodiscard]] std::uint64_t file_hits() const {
+    return file_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   MapCache();
 
+  struct Entry {
+    LayerCost cost;
+  };
+
   static constexpr std::size_t kShards = 16;
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<Key, LayerCost, KeyHash> map;
+    std::unordered_map<Key, Entry, KeyHash> map;
   };
 
+  /// Entries loaded from an on-disk store: parallel key/cost vectors plus a
+  /// linear-probing index of slots into them.  Immutable once built (the
+  /// shared_ptr is swapped whole under tier_mutex_), so lookups probe it
+  /// without any locking beyond one shared_ptr copy.  Hits served from here
+  /// are the "mapper.mapcache.file_hits" — the observable warm-start
+  /// benefit of a persistent cache, separate from ordinary same-process
+  /// memoization (which lands in the sharded maps).
+  struct LoadedTier {
+    std::vector<Key> keys;
+    std::vector<LayerCost> costs;
+    std::vector<std::uint32_t> index;
+    std::uint64_t mask = 0;
+  };
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   [[nodiscard]] Shard& shard_for(const Key& key);
+  [[nodiscard]] const Shard& shard_for(const Key& key) const;
+  [[nodiscard]] std::shared_ptr<const LoadedTier> tier() const;
 
   std::array<Shard, kShards> shards_;
+  mutable std::mutex tier_mutex_;
+  std::shared_ptr<const LoadedTier> tier_;
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> file_hits_{0};
 };
 
 }  // namespace uld3d::mapper

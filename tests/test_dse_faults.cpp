@@ -66,7 +66,7 @@ TEST_F(DseFaultTest, NonFiniteMetricBecomesNumericalError) {
 }
 
 TEST_F(DseFaultTest, FailFastPreservesThrowingBehaviour) {
-  const SweepOptions fail_fast{ErrorPolicy::kFailFast};
+  const SweepOptions fail_fast{ErrorPolicy::kFailFast, 0, {}, {}};
   EXPECT_THROW(
       run_sweep(grid2x3(), {"m"},
                 [](const std::vector<double>& p) -> std::vector<double> {

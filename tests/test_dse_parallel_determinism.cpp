@@ -95,12 +95,12 @@ std::vector<double> spiky_evaluate(const std::vector<double>& p) {
 
 TEST_F(ParallelDeterminismTest, SkipAndRecordRowsBitIdenticalAcrossJobs) {
   const Grid g = grid20x20();
-  const SweepOptions serial{ErrorPolicy::kSkipAndRecord, /*jobs=*/1};
+  const SweepOptions serial{ErrorPolicy::kSkipAndRecord, /*jobs=*/1, {}, {}};
   const SweepResult ref = run_sweep(g, {"m0", "m1"}, spiky_evaluate, serial);
   ASSERT_GT(ref.failed_count(), 0u);  // the fixture must actually fail rows
   ASSERT_GT(ref.ok_count(), 0u);
   for (const int j : {2, 8}) {
-    const SweepOptions opts{ErrorPolicy::kSkipAndRecord, j};
+    const SweepOptions opts{ErrorPolicy::kSkipAndRecord, j, {}, {}};
     expect_rows_identical(ref, run_sweep(g, {"m0", "m1"}, spiky_evaluate, opts),
                           j);
   }
@@ -108,10 +108,10 @@ TEST_F(ParallelDeterminismTest, SkipAndRecordRowsBitIdenticalAcrossJobs) {
 
 TEST_F(ParallelDeterminismTest, GlobalJobsSettingIsBitIdenticalToo) {
   const Grid g = grid20x20();
-  const SweepOptions serial{ErrorPolicy::kSkipAndRecord, /*jobs=*/1};
+  const SweepOptions serial{ErrorPolicy::kSkipAndRecord, /*jobs=*/1, {}, {}};
   const SweepResult ref = run_sweep(g, {"m0", "m1"}, spiky_evaluate, serial);
   parallel::set_jobs(8);  // options.jobs = 0 falls through to the global
-  const SweepOptions global{ErrorPolicy::kSkipAndRecord, /*jobs=*/0};
+  const SweepOptions global{ErrorPolicy::kSkipAndRecord, /*jobs=*/0, {}, {}};
   expect_rows_identical(ref, run_sweep(g, {"m0", "m1"}, spiky_evaluate, global),
                         8);
 }
@@ -120,7 +120,7 @@ TEST_F(ParallelDeterminismTest, FailFastThrowsSameFirstFailureAcrossJobs) {
   const Grid g = grid20x20();
   std::string reference;
   for (const int j : {1, 2, 8}) {
-    const SweepOptions opts{ErrorPolicy::kFailFast, j};
+    const SweepOptions opts{ErrorPolicy::kFailFast, j, {}, {}};
     try {
       (void)run_sweep(g, {"m0", "m1"}, spiky_evaluate, opts);
       FAIL() << "expected a failure at jobs=" << j;
@@ -147,7 +147,7 @@ TEST_F(ParallelDeterminismTest, ArmedInjectorPinsSweepToSerialOrder) {
   FaultInjector::instance().arm(
       "dse.sweep.point", Failure(ErrorCode::kNumericalError, "injected"),
       /*skip=*/3, /*count=*/1);
-  const SweepOptions opts{ErrorPolicy::kSkipAndRecord, /*jobs=*/8};
+  const SweepOptions opts{ErrorPolicy::kSkipAndRecord, /*jobs=*/8, {}, {}};
   const SweepResult result = run_sweep(g, {"m"}, evaluate, opts);
   ASSERT_EQ(result.failed_count(), 1u);
   EXPECT_EQ(result.failed_rows()[0], 3u);
@@ -156,7 +156,7 @@ TEST_F(ParallelDeterminismTest, ArmedInjectorPinsSweepToSerialOrder) {
   FaultInjector::instance().arm(
       "dse.sweep.point", Failure(ErrorCode::kNumericalError, "injected"),
       /*skip=*/3, /*count=*/1);
-  const SweepOptions serial{ErrorPolicy::kSkipAndRecord, /*jobs=*/1};
+  const SweepOptions serial{ErrorPolicy::kSkipAndRecord, /*jobs=*/1, {}, {}};
   expect_rows_identical(run_sweep(g, {"m"}, evaluate, serial), result, 8);
 }
 
@@ -224,7 +224,7 @@ TEST_F(ParallelDeterminismTest, FailureSummaryCapsAt20Points) {
         throw StatusError(
             Failure(ErrorCode::kInfeasiblePoint, "always").with("x", p[0]));
       },
-      {ErrorPolicy::kSkipAndRecord, /*jobs=*/1});
+      {ErrorPolicy::kSkipAndRecord, /*jobs=*/1, {}, {}});
   EXPECT_EQ(result.failed_count(), 30u);
   const std::string summary = result.failure_summary();
   EXPECT_NE(summary.find("30 of 30"), std::string::npos);

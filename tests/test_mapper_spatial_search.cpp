@@ -2,12 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "uld3d/mapper/table2.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/util/check.hpp"
 
 namespace uld3d::mapper {
 namespace {
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof ba);
+  std::memcpy(&bb, &b, sizeof bb);
+  return ba == bb;
+}
 
 nn::ConvSpec conv(std::int64_t k, std::int64_t c, std::int64_t ox,
                   std::int64_t fx) {
@@ -86,6 +97,73 @@ TEST(SpatialSearch, NetworkSearchAggregates) {
                        out.fixed.layers[i].latency_cycles);
     }
   }
+}
+
+// --- Admissible pruning -----------------------------------------------------
+//
+// The bound's contract: pruning may only skip PRICING candidates that
+// provably cannot beat the incumbent — the winner, its cost, and the
+// candidate count must be bit-identical with pruning on or off.
+
+/// Restores the global prune lever (tests flip it for A/B runs).
+class SpatialPruneTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_spatial_prune_enabled(true); }
+};
+
+TEST_F(SpatialPruneTest, WinnerAndCostBitIdenticalPruneOnVsOff) {
+  // Several layer shapes x architectures x CS counts, including the
+  // small-C layer where the search moves the most and prunes the hardest.
+  for (const int arch_index : {1, 3}) {
+    const auto arch = make_table2_architecture(arch_index);
+    for (const auto& layer :
+         {conv(96, 3, 55, 11), conv(256, 96, 27, 5), conv(512, 512, 7, 3)}) {
+      for (const std::int64_t n_cs : {std::int64_t{1}, std::int64_t{8}}) {
+        set_spatial_prune_enabled(true);
+        const SpatialSearchResult pruned =
+            search_spatial(layer, arch, {}, n_cs);
+        set_spatial_prune_enabled(false);
+        const SpatialSearchResult exhaustive =
+            search_spatial(layer, arch, {}, n_cs);
+
+        EXPECT_EQ(pruned.best.k, exhaustive.best.k);
+        EXPECT_EQ(pruned.best.c, exhaustive.best.c);
+        EXPECT_EQ(pruned.best.ox, exhaustive.best.ox);
+        EXPECT_EQ(pruned.best.oy, exhaustive.best.oy);
+        EXPECT_TRUE(bits_equal(pruned.cost.latency_cycles,
+                               exhaustive.cost.latency_cycles));
+        EXPECT_TRUE(
+            bits_equal(pruned.cost.energy_pj, exhaustive.cost.energy_pj));
+        EXPECT_TRUE(bits_equal(pruned.fixed_cost.latency_cycles,
+                               exhaustive.fixed_cost.latency_cycles));
+        EXPECT_TRUE(bits_equal(pruned.fixed_cost.energy_pj,
+                               exhaustive.fixed_cost.energy_pj));
+        EXPECT_TRUE(
+            bits_equal(pruned.improvement(), exhaustive.improvement()));
+        // Pruning skips pricing, never consideration.
+        EXPECT_EQ(pruned.candidates, exhaustive.candidates);
+        EXPECT_EQ(exhaustive.lb_pruned, 0u);
+      }
+    }
+  }
+}
+
+TEST_F(SpatialPruneTest, BadlyMatchedLayerActuallyPrunes) {
+  // CONV1-like: most unrollings are far off the optimum, so the lower
+  // bound must retire a nonzero share of the 286 candidates.
+  const auto arch = make_table2_architecture(3);
+  const SpatialSearchResult r = search_spatial(conv(96, 3, 55, 11), arch, {}, 1);
+  EXPECT_GT(r.lb_pruned, 0u);
+  EXPECT_LT(r.lb_pruned, r.candidates);
+  EXPECT_EQ(r.candidates, 286u);
+}
+
+TEST_F(SpatialPruneTest, DisabledLeverPricesEveryCandidate) {
+  const auto arch = make_table2_architecture(3);
+  set_spatial_prune_enabled(false);
+  const SpatialSearchResult r = search_spatial(conv(96, 3, 55, 11), arch, {}, 1);
+  EXPECT_EQ(r.lb_pruned, 0u);
+  EXPECT_EQ(r.candidates, 286u);
 }
 
 }  // namespace

@@ -157,7 +157,8 @@ StreamSummary summarize(const EventStream& stream) {
 std::string summary_to_json(const StreamSummary& summary,
                             const EventStream& stream,
                             const std::string& source_path,
-                            std::size_t stragglers) {
+                            std::size_t stragglers,
+                            const std::string& extra_members) {
   std::ostringstream os;
   os << "{\"schema\": 1, \"kind\": \"report\", \"source\": \""
      << json_escape(source_path) << "\", \"events\": " << stream.events.size()
@@ -222,7 +223,43 @@ std::string summary_to_json(const StreamSummary& summary,
        << (timings[i].ok ? "ok" : "failed")
        << "\", \"dur_us\": " << number_exact(timings[i].dur_us) << "}";
   }
-  os << "]}\n";
+  os << "]";
+  if (!extra_members.empty()) os << ", " << extra_members;
+  os << "}\n";
+  return os.str();
+}
+
+ReuseCounters reuse_counters(const JsonValue& metrics_doc) {
+  ReuseCounters reuse;
+  const JsonValue* metrics = metrics_doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) return reuse;
+  const auto grab = [&](const JsonValue& m, const char* name, double& out) {
+    if (m.string_or("name", "") != name) return;
+    out = m.number_or("value", 0.0);
+    reuse.any = true;
+  };
+  for (const JsonValue& m : metrics->as_array()) {
+    grab(m, "mapper.mapcache.hits", reuse.hits);
+    grab(m, "mapper.mapcache.misses", reuse.misses);
+    grab(m, "mapper.mapcache.file_hits", reuse.file_hits);
+    grab(m, "mapper.mapcache.file_loads", reuse.file_loads);
+    grab(m, "mapper.mapcache.file_appends", reuse.file_appends);
+    grab(m, "dse.sweep.dedup_unique", reuse.dedup_unique);
+    grab(m, "dse.sweep.dedup_aliased", reuse.dedup_aliased);
+  }
+  return reuse;
+}
+
+std::string reuse_to_json(const ReuseCounters& reuse) {
+  std::ostringstream os;
+  os << "\"reuse\": {\"mapcache\": {\"hits\": " << number_exact(reuse.hits)
+     << ", \"misses\": " << number_exact(reuse.misses)
+     << ", \"file_hits\": " << number_exact(reuse.file_hits)
+     << ", \"file_loads\": " << number_exact(reuse.file_loads)
+     << ", \"file_appends\": " << number_exact(reuse.file_appends)
+     << ", \"warm\": " << (reuse.warm() ? "true" : "false")
+     << "}, \"dedup\": {\"unique\": " << number_exact(reuse.dedup_unique)
+     << ", \"aliased\": " << number_exact(reuse.dedup_aliased) << "}}";
   return os.str();
 }
 

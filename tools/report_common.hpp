@@ -99,10 +99,39 @@ StreamSummary summarize(const EventStream& stream);
 /// newline): runs with exit status, sweep identity, point counts, the
 /// failure taxonomy, per-stage wall/cpu/alloc/rss, and the `stragglers`
 /// slowest points.  Shared by `uld3d-report --json` and `uld3d-diff --json`
-/// (which embeds one per side).
+/// (which embeds one per side).  `extra_members`, when non-empty, is
+/// spliced verbatim as additional top-level members (caller renders them,
+/// e.g. the `"reuse"` object from a joined metrics export).
 std::string summary_to_json(const StreamSummary& summary,
                             const EventStream& stream,
                             const std::string& source_path,
-                            std::size_t stragglers);
+                            std::size_t stragglers,
+                            const std::string& extra_members = {});
+
+/// The computation-reuse counters of one run's metrics export — the
+/// MapCache (in-process and persistent-file layers) and sweep-point dedup.
+/// Zeros when the export predates a counter; `any` distinguishes "all
+/// zero" from "no metrics at all".
+struct ReuseCounters {
+  double hits = 0.0;          ///< mapper.mapcache.hits
+  double misses = 0.0;        ///< mapper.mapcache.misses
+  double file_hits = 0.0;     ///< mapper.mapcache.file_hits
+  double file_loads = 0.0;    ///< mapper.mapcache.file_loads
+  double file_appends = 0.0;  ///< mapper.mapcache.file_appends
+  double dedup_unique = 0.0;   ///< dse.sweep.dedup_unique
+  double dedup_aliased = 0.0;  ///< dse.sweep.dedup_aliased
+  bool any = false;            ///< at least one of the above was present
+
+  /// A run that loaded a persistent store ran warm: its mapper timings are
+  /// not comparable to a cold run's even though its VALUES are identical.
+  [[nodiscard]] bool warm() const { return file_loads > 0.0; }
+};
+
+/// Extract the reuse counters from a parsed metrics export document.
+ReuseCounters reuse_counters(const JsonValue& metrics_doc);
+
+/// Render a ReuseCounters as the `"reuse": {...}` member body (no trailing
+/// comma) for summary_to_json's extra_members.
+std::string reuse_to_json(const ReuseCounters& reuse);
 
 }  // namespace uld3d::report

@@ -5,6 +5,9 @@
 //   uld3d_cli datasheet [--network N] [--config FILE]   coupled phys run
 //   uld3d_cli arch      --config FILE [--network N]     custom architecture
 //   uld3d_cli sweep     [--network N] [--config FILE]   capacity x N_CS DSE
+//                       [--mapper]    price design points with the temporal
+//                                     mapper instead of the analytic EDP
+//                                     model (exercises the MapCache)
 //   uld3d_cli merge     CKPT...                         stitch shard runs
 //   uld3d_cli dump-config                               print the defaults
 //
@@ -29,6 +32,14 @@
 //                               std::terminate, write PATH (default
 //                               <run_id>.postmortem.json).  On by default
 //                               for `sweep`; --no-postmortem disables.
+//               --mapcache-file FILE  persistent MapCache store: load it
+//                               before the run (a corrupt file is refused,
+//                               exit 3; a missing one is a cold start) and
+//                               merge-save it after, so repeated runs,
+//                               --resume runs, and all shards of a sharded
+//                               sweep share one warm cache.
+//                               ULD3D_MAPCACHE_FILE mirrors the flag;
+//                               ULD3D_NO_MAPCACHE_FILE disables the layer.
 //
 // Sweep checkpoint/sharding flags (DESIGN.md §13):
 //               --checkpoint FILE        periodically flush resumable sweep
@@ -52,6 +63,7 @@
 // ULD3D_SWEEP_DELAY_MS=N (test hook) sleeps N ms per design point so
 // integration tests can interrupt a sweep at a controlled depth.
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -69,6 +81,8 @@
 #include "uld3d/dse/sweep.hpp"
 #include "uld3d/io/study_config.hpp"
 #include "uld3d/mapper/cost_model.hpp"
+#include "uld3d/mapper/map_cache_file.hpp"
+#include "uld3d/mapper/table2.hpp"
 #include "uld3d/nn/zoo.hpp"
 #include "uld3d/sim/report.hpp"
 #include "uld3d/util/check.hpp"
@@ -116,7 +130,7 @@ constexpr const char* kUsage =
     "       [--network N] [--config FILE] [--strict] [--keep-going]\n"
     "       [--jobs N] [--trace FILE] [--metrics FILE] [--profile]\n"
     "       [--events FILE] [--progress] [--postmortem[=PATH]]\n"
-    "       [--no-postmortem]\n"
+    "       [--no-postmortem] [--mapper] [--mapcache-file FILE]\n"
     "       [--checkpoint FILE] [--resume] [--checkpoint-interval N]\n"
     "       [--shard i/N]  (merge takes shard checkpoint files as operands)";
 
@@ -134,6 +148,8 @@ struct CliArgs {
   bool progress = false;     // live sweep progress on stderr
   std::optional<bool> postmortem;  // unset = default (on for sweep)
   std::string postmortem_path;     // "" = <run_id>.postmortem.json
+  bool mapper_sweep = false;       // price sweep points with the mapper
+  std::string mapcache_file;       // persistent MapCache store ("" = env)
   std::string checkpoint_path;           // sweep checkpoint file ("" = off)
   bool resume = false;                   // continue an existing checkpoint
   std::size_t checkpoint_interval = 64;  // flush every N completed points
@@ -185,6 +201,10 @@ CliArgs parse_args(int argc, char** argv) {
       }
     } else if (flag == "--no-postmortem") {
       args.postmortem = false;
+    } else if (flag == "--mapper") {
+      args.mapper_sweep = true;
+    } else if (flag == "--mapcache-file" && i + 1 < argc) {
+      args.mapcache_file = argv[++i];
     } else if (flag == "--checkpoint" && i + 1 < argc) {
       args.checkpoint_path = argv[++i];
     } else if (flag == "--resume") {
@@ -429,6 +449,9 @@ const std::vector<std::string>& sweep_metric_names() {
 /// different study config or network is refused on resume/merge.
 std::string sweep_config_hash(const CliArgs& args) {
   std::string identity = "network " + args.network + "\n";
+  // --mapper prices the same grid with a different evaluator, so its
+  // checkpoints must never merge/resume against analytic ones.
+  if (args.mapper_sweep) identity += "evaluator mapper\n";
   if (args.config_path.has_value()) {
     std::ifstream in(*args.config_path, std::ios::binary);
     if (!in) {
@@ -471,28 +494,74 @@ int run_sweep(const CliArgs& args) {
     delay_ms = std::strtol(delay_env, nullptr, 10);
   }
 
-  const auto evaluate = [&](const std::vector<double>& p) {
-    if (delay_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  const tech::FoundryM3dPdk pdk = tech::FoundryM3dPdk::make_130nm();
+  std::function<std::vector<double>(const std::vector<double>&)> evaluate;
+  if (args.mapper_sweep) {
+    // Price each design point with the temporal mapper (same metric names,
+    // same grid): the per-layer evaluate_conv calls hit the MapCache, so
+    // this mode exercises --mapcache-file end to end — a warm second run
+    // reports nonzero mapper.mapcache.file_hits.
+    evaluate = [&net, &pdk, delay_ms](const std::vector<double>& p) {
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      mapper::Architecture arch = mapper::make_table2_architecture(1);
+      arch.rram_capacity_bits = p[0] * 8.0 * 1024.0 * 1024.0;
+      const auto n = static_cast<std::int64_t>(p[1]);
+      const std::int64_t n_geom = mapper::m3d_parallel_cs(arch, pdk);
+      if (n > n_geom) {
+        throw StatusError(
+            Failure(ErrorCode::kInfeasiblePoint,
+                    "requested CS count does not fit the freed Si area")
+                .with("n_cs", n)
+                .with("n_geom", n_geom));
+      }
+      const mapper::SystemCosts sys;
+      const mapper::NetworkCost c2 = mapper::evaluate_network(net, arch, sys, 1);
+      const mapper::NetworkCost c3 = mapper::evaluate_network(net, arch, sys, n);
+      return std::vector<double>{c2.edp() / c3.edp(),
+                                 c2.latency_cycles / c3.latency_cycles};
+    };
+  } else {
+    evaluate = [&base, &workloads, delay_ms](const std::vector<double>& p) {
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      accel::CaseStudy study = base;
+      study.rram_capacity_mb = p[0];
+      const auto n = static_cast<std::int64_t>(p[1]);
+      const std::int64_t n_geom = study.m3d_cs_count();
+      if (n > n_geom) {
+        throw StatusError(
+            Failure(ErrorCode::kInfeasiblePoint,
+                    "requested CS count does not fit the freed Si area")
+                .with("n_cs", n)
+                .with("n_geom", n_geom));
+      }
+      const core::Chip2d c2 = study.chip2d_params();
+      const core::Chip3d c3 = study.chip3d_params(n);
+      std::vector<core::EdpResult> rs;
+      rs.reserve(workloads.size());
+      for (const auto& w : workloads) {
+        rs.push_back(core::evaluate_edp(w, c2, c3));
+      }
+      const auto total = core::combine_results(rs);
+      return std::vector<double>{total.edp_benefit, total.speedup};
+    };
+  }
+
+  // Canonical evaluation key for sweep-point dedup: both evaluators read
+  // every axis, so the key is the exact rendering of all params — the CLI
+  // grid has no evaluator-blind axis, but the wiring keeps the dedup path
+  // exercised end to end (dse.sweep.dedup_* counters in --metrics).
+  const auto point_key = [](const std::vector<double>& p) {
+    std::string key;
+    char buffer[32];
+    for (const double v : p) {
+      std::snprintf(buffer, sizeof buffer, "%.17g,", v);
+      key += buffer;
     }
-    accel::CaseStudy study = base;
-    study.rram_capacity_mb = p[0];
-    const auto n = static_cast<std::int64_t>(p[1]);
-    const std::int64_t n_geom = study.m3d_cs_count();
-    if (n > n_geom) {
-      throw StatusError(
-          Failure(ErrorCode::kInfeasiblePoint,
-                  "requested CS count does not fit the freed Si area")
-              .with("n_cs", n)
-              .with("n_geom", n_geom));
-    }
-    const core::Chip2d c2 = study.chip2d_params();
-    const core::Chip3d c3 = study.chip3d_params(n);
-    std::vector<core::EdpResult> rs;
-    rs.reserve(workloads.size());
-    for (const auto& w : workloads) rs.push_back(core::evaluate_edp(w, c2, c3));
-    const auto total = core::combine_results(rs);
-    return std::vector<double>{total.edp_benefit, total.speedup};
+    return key;
   };
 
   const dse::ErrorPolicy policy = args.keep_going
@@ -506,6 +575,7 @@ int run_sweep(const CliArgs& args) {
     dse::SweepOptions sweep_options;
     sweep_options.policy = policy;
     sweep_options.config_hash = sweep_config_hash(args);
+    sweep_options.point_key = point_key;
     const dse::SweepResult result =
         dse::run_sweep(grid, sweep_metric_names(), evaluate, sweep_options);
     return print_sweep_result(result, args, net.name());
@@ -518,6 +588,7 @@ int run_sweep(const CliArgs& args) {
   options.resume = args.resume;
   options.checkpoint_interval = args.checkpoint_interval;
   options.config_hash = sweep_config_hash(args);
+  options.point_key = point_key;
   install_interrupt_handlers();
   try {
     const dse::SweepResult result =
@@ -581,6 +652,19 @@ int main(int argc, char** argv) {
       command_line << argv[i];
     }
     Observability observability(args, command_line.str());
+    // Declared after Observability so its destructor (the merge-save, which
+    // counts mapper.mapcache.file_appends) runs BEFORE the metrics file is
+    // written.  A corrupt store throws StatusError(kInvalidConfig) here —
+    // before any work runs on stale assumptions — and exits 3.
+    std::optional<mapper::MapCacheFileSession> mapcache_session;
+    {
+      std::string store = args.mapcache_file.empty()
+                              ? mapper::mapcache_file_path_from_env()
+                              : args.mapcache_file;
+      if (!store.empty() && mapper::mapcache_file_enabled()) {
+        mapcache_session.emplace(std::move(store));
+      }
+    }
     TraceSpan command_span("cli." + args.command, "cli");
     const int code = dispatch(args);
     observability.set_exit_code(code);

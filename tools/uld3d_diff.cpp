@@ -302,6 +302,12 @@ int run_diff(const Options& opts) {
   diff_points(opts, base, cur, findings, points_checked);
 
   std::vector<std::pair<std::string, std::pair<double, double>>> metric_deltas;
+  // Cache-temperature join: a warm run (persistent MapCache store loaded)
+  // legitimately prices mapper points much faster than a cold one, so a
+  // temperature mismatch explains timing deltas without any code change.
+  bool have_reuse = false;
+  report::ReuseCounters base_reuse;
+  report::ReuseCounters cur_reuse;
   if (!opts.base_metrics.empty()) {
     const auto base_vals = load_metrics(opts.base_metrics, base, "base");
     const auto cur_vals = load_metrics(opts.cur_metrics, cur, "current");
@@ -310,6 +316,26 @@ int run_diff(const Options& opts) {
       const double base_v = it == base_vals.end() ? 0.0 : it->second;
       if (cur_v != base_v) metric_deltas.push_back({name, {base_v, cur_v}});
     }
+    const auto reuse_of = [](const std::map<std::string, double>& vals) {
+      report::ReuseCounters r;
+      const auto grab = [&](const char* name, double& out) {
+        const auto it = vals.find(name);
+        if (it == vals.end()) return;
+        out = it->second;
+        r.any = true;
+      };
+      grab("mapper.mapcache.hits", r.hits);
+      grab("mapper.mapcache.misses", r.misses);
+      grab("mapper.mapcache.file_hits", r.file_hits);
+      grab("mapper.mapcache.file_loads", r.file_loads);
+      grab("mapper.mapcache.file_appends", r.file_appends);
+      grab("dse.sweep.dedup_unique", r.dedup_unique);
+      grab("dse.sweep.dedup_aliased", r.dedup_aliased);
+      return r;
+    };
+    base_reuse = reuse_of(base_vals);
+    cur_reuse = reuse_of(cur_vals);
+    have_reuse = base_reuse.any || cur_reuse.any;
   }
   if (!opts.base_bench.empty()) {
     diff_bench(opts, findings, bench_checked);
@@ -336,7 +362,14 @@ int run_diff(const Options& opts) {
        << report::number_exact(opts.min_delta_bytes)
        << "}, \"checked\": {\"stages\": " << stages_checked
        << ", \"points\": " << points_checked
-       << ", \"bench\": " << bench_checked << "}, \"regressions\": [";
+       << ", \"bench\": " << bench_checked << "}";
+    if (have_reuse) {
+      os << ", \"cache_temperature\": {\"base\": \""
+         << (base_reuse.warm() ? "warm" : "cold") << "\", \"current\": \""
+         << (cur_reuse.warm() ? "warm" : "cold") << "\", \"differs\": "
+         << (base_reuse.warm() != cur_reuse.warm() ? "true" : "false") << "}";
+    }
+    os << ", \"regressions\": [";
     for (std::size_t i = 0; i < findings.size(); ++i) {
       const Finding& f = findings[i];
       if (i > 0) os << ", ";
@@ -360,6 +393,16 @@ int run_diff(const Options& opts) {
     std::cout << "Note: SIMD dispatch differs (base " << bi << ", current "
               << ci << ") — timing deltas are expected; values must still "
               << "match byte-for-byte\n";
+  }
+  // Same reasoning as the SIMD note: a warm persistent MapCache skips the
+  // mapper's pricing work entirely, so comparing a cold base against a warm
+  // current (or vice versa) yields huge timing deltas with identical values.
+  if (have_reuse && base_reuse.warm() != cur_reuse.warm()) {
+    std::cout << "Note: map-cache temperature differs (base "
+              << (base_reuse.warm() ? "warm" : "cold") << ", current "
+              << (cur_reuse.warm() ? "warm" : "cold")
+              << ") — timing deltas are expected; values must still match "
+              << "byte-for-byte\n";
   }
   std::cout << "Checked: " << stages_checked << " stage(s), "
             << points_checked << " point(s)";

@@ -42,6 +42,7 @@
 #include <cstdint>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -294,9 +295,27 @@ void print_summary_tables(const Options& opts, const EventStream& stream,
 int run_summary(const Options& opts, const EventStream& stream) {
   const StreamSummary s = report::summarize(stream);
 
+  // Parse the metrics export (if any) BEFORE emitting the summary: in
+  // --json mode its reuse counters become the "reuse" member of the one
+  // stdout object, so consumers get cache/dedup effectiveness without a
+  // second parse.  Only a RunId-matching export contributes — mixing
+  // another run's counters in is the mistake the join check exists for.
+  std::optional<JsonValue> metrics_doc;
+  bool metrics_run_matches = false;
+  if (!opts.metrics_path.empty()) {
+    metrics_doc = json_parse_file(opts.metrics_path);
+    metrics_run_matches = s.has_run(metrics_doc->string_or("run_id", ""));
+  }
+  std::string extra_members;
+  report::ReuseCounters reuse;
+  if (metrics_doc.has_value() && metrics_run_matches) {
+    reuse = report::reuse_counters(*metrics_doc);
+    if (reuse.any) extra_members = report::reuse_to_json(reuse);
+  }
+
   if (opts.json) {
     std::cout << report::summary_to_json(s, stream, opts.events_path,
-                                         opts.stragglers);
+                                         opts.stragglers, extra_members);
   } else {
     print_summary_tables(opts, stream, s);
   }
@@ -307,37 +326,44 @@ int run_summary(const Options& opts, const EventStream& stream) {
   int inconsistencies = 0;
   std::ostream& join_out = opts.json ? std::cerr : std::cout;
 
-  if (!opts.metrics_path.empty()) {
-    const JsonValue doc = json_parse_file(opts.metrics_path);
-    const std::string run_id = doc.string_or("run_id", "");
+  if (metrics_doc.has_value()) {
+    const std::string run_id = metrics_doc->string_or("run_id", "");
     join_out << "\nMetrics join (" << opts.metrics_path << "): run "
              << (run_id.empty() ? "(unlabelled)" : run_id);
-    if (!s.has_run(run_id)) {
+    if (!metrics_run_matches) {
       join_out << " — MISMATCH: not a run in this event stream\n";
       ++inconsistencies;
     } else {
       join_out << " — matches\n";
-      double hits = 0.0;
-      double misses = 0.0;
       double dropped = 0.0;
-      if (const JsonValue* metrics = doc.find("metrics");
+      if (const JsonValue* metrics = metrics_doc->find("metrics");
           metrics != nullptr && metrics->is_array()) {
         for (const JsonValue& m : metrics->as_array()) {
-          const std::string name = m.string_or("name", "");
-          if (name == "mapper.mapcache.hits") hits = m.number_or("value", 0.0);
-          if (name == "mapper.mapcache.misses") {
-            misses = m.number_or("value", 0.0);
-          }
-          if (name == "trace.dropped_events") {
+          if (m.string_or("name", "") == "trace.dropped_events") {
             dropped = m.number_or("value", 0.0);
           }
         }
       }
-      if (hits + misses > 0.0) {
-        join_out << "  mapping cache: " << format_double(hits, 0) << " hits, "
-                 << format_double(misses, 0) << " misses ("
-                 << format_double(100.0 * hits / (hits + misses), 1)
-                 << "% hit rate)\n";
+      if (reuse.hits + reuse.misses > 0.0) {
+        join_out << "  mapping cache: " << format_double(reuse.hits, 0)
+                 << " hits, " << format_double(reuse.misses, 0) << " misses ("
+                 << format_double(
+                        100.0 * reuse.hits / (reuse.hits + reuse.misses), 1)
+                 << "% hit rate)";
+        if (reuse.file_loads > 0.0 || reuse.file_appends > 0.0) {
+          join_out << "; persistent store: " << format_double(reuse.file_hits, 0)
+                   << " file hits of " << format_double(reuse.file_loads, 0)
+                   << " loaded, " << format_double(reuse.file_appends, 0)
+                   << " appended (" << (reuse.warm() ? "warm" : "cold")
+                   << " start)";
+        }
+        join_out << "\n";
+      }
+      if (reuse.dedup_unique + reuse.dedup_aliased > 0.0) {
+        join_out << "  sweep dedup: "
+                 << format_double(reuse.dedup_unique, 0) << " unique point(s) "
+                 << "evaluated, " << format_double(reuse.dedup_aliased, 0)
+                 << " aliased\n";
       }
       if (dropped > 0.0) {
         join_out << "  WARNING: " << format_double(dropped, 0)
